@@ -1,0 +1,57 @@
+// Ablation: the rankall checkpoint rate (Fig. 2's space/time dial — the
+// paper stores "4 rankall values ... for every 4 elements"; sparser
+// checkpoints shrink the index and lengthen every search() step).
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "bwt/fm_index.h"
+#include "search/algorithm_a.h"
+#include "util/stopwatch.h"
+
+namespace bwtk::bench {
+namespace {
+
+constexpr size_t kBaseGenomeSize = 2u << 20;
+constexpr size_t kReadLength = 100;
+constexpr size_t kReadCount = 10;
+constexpr int32_t kMismatches = 3;
+
+int Run() {
+  const size_t genome_size = Scaled(kBaseGenomeSize);
+  PrintBanner("Ablation: rankall checkpoint rate",
+              "genome " + FormatCount(genome_size) + " bp, " +
+                  std::to_string(kReadCount) + " reads of 100 bp, k = 3");
+
+  const auto genome = MakeGenome(genome_size);
+  const auto reads = MakeReads(genome, kReadLength, kReadCount);
+
+  TablePrinter table({"checkpoint rate", "index size", "bytes/base",
+                      "build", "search time/read"});
+  for (const uint32_t rate : {32u, 64u, 128u, 256u, 512u}) {
+    FmIndex::Options options;
+    options.checkpoint_rate = rate;
+    Stopwatch build_watch;
+    const auto index = FmIndex::Build(genome, options).value();
+    const double build_seconds = build_watch.ElapsedSeconds();
+    const AlgorithmA searcher(&index);
+    (void)searcher.Search(reads[0], kMismatches);  // warm
+    Stopwatch watch;
+    for (const auto& read : reads) {
+      (void)searcher.Search(read, kMismatches);
+    }
+    const double per_read = watch.ElapsedSeconds() / kReadCount;
+    char bpb[16];
+    std::snprintf(bpb, sizeof(bpb), "%.3f",
+                  static_cast<double>(index.MemoryUsage()) / genome_size);
+    table.AddRow({std::to_string(rate), FormatMb(index.MemoryUsage()), bpb,
+                  FormatSeconds(build_seconds), FormatSeconds(per_read)});
+  }
+  table.Print();
+  return 0;
+}
+
+}  // namespace
+}  // namespace bwtk::bench
+
+int main() { return bwtk::bench::Run(); }

@@ -1,0 +1,64 @@
+// Ablation: the τ(i) cut-off heuristic of the BWT baseline [34], on its own
+// (S-tree) and composed with Algorithm A, across k. The paper argues the
+// heuristic is "not quite helpful" because it only relates r[i..m] to the
+// whole of s; this bench quantifies exactly how much it prunes at our scale.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "bwt/fm_index.h"
+#include "search/algorithm_a.h"
+#include "search/stree_search.h"
+#include "util/stopwatch.h"
+
+namespace bwtk::bench {
+namespace {
+
+constexpr size_t kBaseGenomeSize = 2u << 20;
+constexpr size_t kReadLength = 100;
+constexpr size_t kReadCount = 10;
+
+int Run() {
+  const size_t genome_size = Scaled(kBaseGenomeSize);
+  PrintBanner("Ablation: tau(i) cut-off heuristic",
+              "genome " + FormatCount(genome_size) + " bp, " +
+                  std::to_string(kReadCount) + " reads of 100 bp");
+
+  const auto genome = MakeGenome(genome_size);
+  const auto reads = MakeReads(genome, kReadLength, kReadCount);
+  const auto index = FmIndex::Build(genome).value();
+
+  const STreeSearch stree_tau(&index, {.use_tau = true});
+  const STreeSearch stree_plain(&index, {.use_tau = false});
+  const AlgorithmA a_tau(&index, {.use_tau = true});
+  const AlgorithmA a_plain(&index, {.use_tau = false});
+
+  TablePrinter table({"k", "S-tree", "S-tree+tau", "A(.)", "A(.)+tau",
+                      "nodes cut by tau"});
+  for (const int32_t k : {1, 2, 3, 4, 5}) {
+    auto time_engine = [&](const auto& engine, SearchStats* total) {
+      Stopwatch watch;
+      for (const auto& read : reads) {
+        SearchStats stats;
+        (void)engine.Search(read, k, &stats);
+        if (total != nullptr) *total += stats;
+      }
+      return watch.ElapsedSeconds() / kReadCount;
+    };
+    SearchStats tau_stats;
+    const double t_plain = time_engine(stree_plain, nullptr);
+    const double t_tau = time_engine(stree_tau, &tau_stats);
+    const double t_a_plain = time_engine(a_plain, nullptr);
+    const double t_a_tau = time_engine(a_tau, nullptr);
+    table.AddRow({std::to_string(k), FormatSeconds(t_plain),
+                  FormatSeconds(t_tau), FormatSeconds(t_a_plain),
+                  FormatSeconds(t_a_tau), FormatCount(tau_stats.tau_pruned)});
+  }
+  table.Print();
+  return 0;
+}
+
+}  // namespace
+}  // namespace bwtk::bench
+
+int main() { return bwtk::bench::Run(); }

@@ -1,0 +1,128 @@
+#include "bench_common.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "simulate/genome_generator.h"
+#include "util/logging.h"
+
+namespace bwtk::bench {
+
+double BenchScale() {
+  const char* env = std::getenv("BWTK_BENCH_SCALE");
+  if (env == nullptr) return 1.0;
+  const double value = std::atof(env);
+  return std::clamp(value > 0 ? value : 1.0, 0.01, 1024.0);
+}
+
+size_t Scaled(size_t base_size) {
+  const double scaled = static_cast<double>(base_size) * BenchScale();
+  return std::max<size_t>(1 << 12, static_cast<size_t>(scaled));
+}
+
+std::vector<DnaCode> MakeGenome(size_t length, uint64_t seed) {
+  GenomeOptions options;
+  options.length = length;
+  options.gc_content = 0.41;
+  options.repeat_fraction = 0.3;
+  options.seed = seed;
+  auto genome = GenerateGenome(options);
+  BWTK_CHECK(genome.ok()) << genome.status().ToString();
+  return std::move(genome).value();
+}
+
+std::vector<std::vector<DnaCode>> MakeReads(const std::vector<DnaCode>& genome,
+                                            size_t read_length,
+                                            size_t read_count,
+                                            uint64_t seed) {
+  ReadSimOptions options;
+  options.read_length = read_length;
+  options.read_count = read_count;
+  options.mutation_rate = 0.001;
+  options.error_rate = 0.02;
+  options.both_strands = false;
+  options.seed = seed;
+  auto reads = SimulateReads(genome, options);
+  BWTK_CHECK(reads.ok()) << reads.status().ToString();
+  std::vector<std::vector<DnaCode>> queries;
+  queries.reserve(reads->size());
+  for (auto& read : *reads) queries.push_back(std::move(read.sequence));
+  return queries;
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::Print() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      std::printf("%c %-*s", c == 0 ? '|' : '|',
+                  static_cast<int>(widths[c]), cell.c_str());
+      std::printf(" ");
+    }
+    std::printf("|\n");
+  };
+  auto print_rule = [&] {
+    for (const size_t w : widths) {
+      std::printf("+%s", std::string(w + 2, '-').c_str());
+    }
+    std::printf("+\n");
+  };
+  print_rule();
+  print_row(headers_);
+  print_rule();
+  for (const auto& row : rows_) print_row(row);
+  print_rule();
+}
+
+std::string FormatSeconds(double seconds) {
+  char buffer[64];
+  if (seconds >= 1.0) {
+    std::snprintf(buffer, sizeof(buffer), "%.2f s", seconds);
+  } else if (seconds >= 1e-3) {
+    std::snprintf(buffer, sizeof(buffer), "%.2f ms", seconds * 1e3);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.1f us", seconds * 1e6);
+  }
+  return buffer;
+}
+
+std::string FormatMb(size_t bytes) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.2f MB", bytes / 1048576.0);
+  return buffer;
+}
+
+std::string FormatCount(uint64_t value) {
+  std::string raw = std::to_string(value);
+  std::string out;
+  for (size_t i = 0; i < raw.size(); ++i) {
+    if (i > 0 && (raw.size() - i) % 3 == 0) out.push_back(',');
+    out.push_back(raw[i]);
+  }
+  return out;
+}
+
+void PrintBanner(const std::string& title, const std::string& setup) {
+  std::printf("==============================================================="
+              "=\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("%s  [BWTK_BENCH_SCALE=%.2f]\n", setup.c_str(), BenchScale());
+  std::printf("==============================================================="
+              "=\n");
+}
+
+}  // namespace bwtk::bench

@@ -1,0 +1,65 @@
+// Shared infrastructure for the paper-reproduction benchmark binaries.
+//
+// Every binary regenerates one table or figure of the paper's Section V and
+// prints it as an aligned text table with the same rows/series the paper
+// reports. Sizes are scaled relative to the paper's genomes (see DESIGN.md);
+// the BWTK_BENCH_SCALE environment variable multiplies all default sizes
+// (e.g. BWTK_BENCH_SCALE=4 for a longer, more faithful run).
+
+#ifndef BWTK_BENCH_BENCH_COMMON_H_
+#define BWTK_BENCH_BENCH_COMMON_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "alphabet/dna.h"
+#include "search/match.h"
+#include "simulate/read_simulator.h"
+
+namespace bwtk::bench {
+
+/// BWTK_BENCH_SCALE (default 1.0), clamped to [0.01, 1024].
+double BenchScale();
+
+/// Applies the scale to a base size with a floor.
+size_t Scaled(size_t base_size);
+
+/// Deterministic benchmark genome: GC 0.41, 30% repeats.
+std::vector<DnaCode> MakeGenome(size_t length, uint64_t seed = 42);
+
+/// Deterministic wgsim-like reads (forward strand so every engine sees the
+/// identical query workload).
+std::vector<std::vector<DnaCode>> MakeReads(const std::vector<DnaCode>& genome,
+                                            size_t read_length,
+                                            size_t read_count,
+                                            uint64_t seed = 7);
+
+/// Column-aligned table printer.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats seconds with an adaptive unit (s / ms / us).
+std::string FormatSeconds(double seconds);
+
+/// Formats a byte count as MB with two decimals.
+std::string FormatMb(size_t bytes);
+
+/// Formats a count with thousands separators.
+std::string FormatCount(uint64_t value);
+
+/// Prints the standard benchmark banner (name, genome size, scale).
+void PrintBanner(const std::string& title, const std::string& setup);
+
+}  // namespace bwtk::bench
+
+#endif  // BWTK_BENCH_BENCH_COMMON_H_

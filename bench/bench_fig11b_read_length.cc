@@ -1,0 +1,89 @@
+// Fig. 11(b): average match time per read while the read length varies
+// (100-300 bp) with k fixed at 5, for the paper's four methods.
+//
+// Expected shape (paper): "only the BWT-based and the Cole's are sensitive
+// to the length of reads" — the indexes must walk deeper trees for longer
+// patterns — while Amir's (text-scan dominated) and Algorithm A stay flat.
+
+#include <cstdio>
+
+#include "baselines/amir_search.h"
+#include "baselines/cole_search.h"
+#include "bench_common.h"
+#include "bwt/fm_index.h"
+#include "search/algorithm_a.h"
+#include "search/stree_search.h"
+#include "util/stopwatch.h"
+
+namespace bwtk::bench {
+namespace {
+
+constexpr size_t kBaseGenomeSize = 2u << 20;
+constexpr size_t kReadCount = 20;
+constexpr int32_t kMismatches = 5;  // "For this test, k is set to 5."
+
+int Run() {
+  const size_t genome_size = Scaled(kBaseGenomeSize);
+  PrintBanner("Fig. 11(b): average match time vs read length (k = 5)",
+              "genome " + FormatCount(genome_size) + " bp, " +
+                  std::to_string(kReadCount) + " reads per length");
+
+  const auto genome = MakeGenome(genome_size);
+  const auto index = FmIndex::Build(genome).value();
+  const STreeSearch bwt_baseline(&index);
+  const AmirSearch amir(&genome);
+  const auto cole = ColeSearch::Build(genome).value();
+  const AlgorithmA a_paper(&index, {.use_tau = false});
+  const AlgorithmA a_tau(&index);
+
+  TablePrinter table({"read bp", "BWT [34]", "Amir's", "Cole's", "A(.)",
+                      "A(.)+tau"});
+  size_t check = 0;
+  for (const size_t read_length : {100u, 150u, 200u, 250u, 300u}) {
+    const auto reads =
+        MakeReads(genome, read_length, kReadCount, 7 + read_length);
+
+    Stopwatch watch;
+    for (const auto& read : reads) {
+      check += bwt_baseline.Search(read, kMismatches).size();
+    }
+    const double bwt_time = watch.ElapsedSeconds() / kReadCount;
+
+    watch.Restart();
+    for (const auto& read : reads) {
+      check += amir.Search(read, kMismatches).size();
+    }
+    const double amir_time = watch.ElapsedSeconds() / kReadCount;
+
+    watch.Restart();
+    for (const auto& read : reads) {
+      check += cole.Search(read, kMismatches).size();
+    }
+    const double cole_time = watch.ElapsedSeconds() / kReadCount;
+
+    watch.Restart();
+    for (const auto& read : reads) {
+      check += a_paper.Search(read, kMismatches).size();
+    }
+    const double a_time = watch.ElapsedSeconds() / kReadCount;
+
+    watch.Restart();
+    for (const auto& read : reads) {
+      check += a_tau.Search(read, kMismatches).size();
+    }
+    const double a_tau_time = watch.ElapsedSeconds() / kReadCount;
+
+    table.AddRow({std::to_string(read_length), FormatSeconds(bwt_time),
+                  FormatSeconds(amir_time), FormatSeconds(cole_time),
+                  FormatSeconds(a_time), FormatSeconds(a_tau_time)});
+  }
+  table.Print();
+  std::printf("(times per read over %zu reads per length; checksum %zu)\n",
+              kReadCount, check);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bwtk::bench
+
+int main() { return bwtk::bench::Run(); }

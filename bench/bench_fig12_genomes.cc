@@ -1,0 +1,86 @@
+// Genome sweep (the evaluation section's remaining figure; see DESIGN.md):
+// average match time per read across the five Table 1 genomes, with reads
+// of 100 bp and k = 5, for the paper's four methods.
+//
+// Expected shape: every method's cost grows with genome size; the online
+// methods (Amir's) grow linearly in n, the index-based tree searches grow
+// sublinearly (deeper but narrower exploration).
+
+#include <cstdio>
+
+#include "baselines/amir_search.h"
+#include "baselines/cole_search.h"
+#include "bench_common.h"
+#include "bwt/fm_index.h"
+#include "search/algorithm_a.h"
+#include "search/stree_search.h"
+#include "simulate/genome_generator.h"
+#include "util/stopwatch.h"
+
+namespace bwtk::bench {
+namespace {
+
+constexpr double kBasePresetScale = 1.0 / 1024;
+constexpr size_t kReadLength = 100;
+constexpr size_t kReadCount = 10;
+constexpr int32_t kMismatches = 5;
+
+int Run() {
+  const double scale = kBasePresetScale * BenchScale();
+  PrintBanner("Genome sweep: average match time per read (100 bp, k = 5)",
+              std::to_string(kReadCount) + " reads per genome");
+
+  TablePrinter table({"Genome", "size (bp)", "BWT [34]", "Amir's", "Cole's",
+                      "A(.)+tau"});
+  size_t check = 0;
+  for (const GenomePreset& preset : Table1Presets(scale)) {
+    GenomeOptions options;
+    options.length = preset.scaled_size_bp;
+    options.repeat_fraction = 0.3;
+    options.seed = 42 + preset.scaled_size_bp % 97;
+    const auto genome = GenerateGenome(options).value();
+    const auto reads = MakeReads(genome, kReadLength, kReadCount);
+
+    const auto index = FmIndex::Build(genome).value();
+    const STreeSearch bwt_baseline(&index);
+    const AmirSearch amir(&genome);
+    const auto cole = ColeSearch::Build(genome).value();
+    const AlgorithmA algorithm_a(&index);
+
+    Stopwatch watch;
+    for (const auto& read : reads) {
+      check += bwt_baseline.Search(read, kMismatches).size();
+    }
+    const double bwt_time = watch.ElapsedSeconds() / kReadCount;
+
+    watch.Restart();
+    for (const auto& read : reads) {
+      check += amir.Search(read, kMismatches).size();
+    }
+    const double amir_time = watch.ElapsedSeconds() / kReadCount;
+
+    watch.Restart();
+    for (const auto& read : reads) {
+      check += cole.Search(read, kMismatches).size();
+    }
+    const double cole_time = watch.ElapsedSeconds() / kReadCount;
+
+    watch.Restart();
+    for (const auto& read : reads) {
+      check += algorithm_a.Search(read, kMismatches).size();
+    }
+    const double a_time = watch.ElapsedSeconds() / kReadCount;
+
+    table.AddRow({preset.name, FormatCount(preset.scaled_size_bp),
+                  FormatSeconds(bwt_time), FormatSeconds(amir_time),
+                  FormatSeconds(cole_time), FormatSeconds(a_time)});
+  }
+  table.Print();
+  std::printf("(checksum %zu)\n", check);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bwtk::bench
+
+int main() { return bwtk::bench::Run(); }

@@ -1,0 +1,75 @@
+// Index construction costs (Sections II/III): BWT index vs suffix tree.
+// The paper cites 12-17 bytes/char for suffix trees against 0.5-2 for the
+// BWT ("the file size of chromosome 1 ... its suffix tree is of 26 Gb in
+// size while its BWT needs only 390 Mb - 1 Gb"). This bench regenerates
+// that comparison: per genome size we time SA-IS, the BWT derivation, the
+// full FM-index build and the Ukkonen suffix tree, and report both
+// footprints, plus the serialization round-trip.
+
+#include <cstdio>
+#include <sstream>
+
+#include "bench_common.h"
+#include "bwt/bwt.h"
+#include "bwt/fm_index.h"
+#include "suffix/suffix_array.h"
+#include "suffix/suffix_tree.h"
+#include "util/stopwatch.h"
+
+namespace bwtk::bench {
+namespace {
+
+int Run() {
+  PrintBanner("Index construction: BWT/FM-index vs suffix tree",
+              "three genome sizes, 30% repeats");
+
+  TablePrinter table({"genome (bp)", "SA-IS", "FM build", "FM B/base",
+                      "suffix tree", "ST B/base", "ST:FM", "save+load"});
+  for (const size_t base : {512u << 10, 2u << 20, 8u << 20}) {
+    const size_t genome_size = Scaled(base);
+    const auto genome = MakeGenome(genome_size);
+
+    Stopwatch watch;
+    const auto sa = BuildSuffixArrayDna(genome).value();
+    const double sa_seconds = watch.ElapsedSeconds();
+
+    watch.Restart();
+    const auto index = FmIndex::Build(genome).value();
+    const double fm_seconds = watch.ElapsedSeconds();
+
+    watch.Restart();
+    const auto tree = SuffixTree::Build(genome).value();
+    const double st_seconds = watch.ElapsedSeconds();
+
+    watch.Restart();
+    std::stringstream buffer;
+    (void)index.Save(buffer);
+    const auto reloaded = FmIndex::Load(buffer).value();
+    const double io_seconds = watch.ElapsedSeconds();
+
+    char fm_bpb[16];
+    char st_bpb[16];
+    char ratio[16];
+    std::snprintf(fm_bpb, sizeof(fm_bpb), "%.2f",
+                  static_cast<double>(index.MemoryUsage()) / genome_size);
+    std::snprintf(st_bpb, sizeof(st_bpb), "%.1f",
+                  static_cast<double>(tree.MemoryUsage()) / genome_size);
+    std::snprintf(ratio, sizeof(ratio), "%.1fx",
+                  static_cast<double>(tree.MemoryUsage()) /
+                      index.MemoryUsage());
+    table.AddRow({FormatCount(genome_size), FormatSeconds(sa_seconds),
+                  FormatSeconds(fm_seconds), fm_bpb,
+                  FormatSeconds(st_seconds), st_bpb, ratio,
+                  FormatSeconds(io_seconds)});
+    if (reloaded.text_size() != genome_size) std::printf("reload mismatch!\n");
+  }
+  table.Print();
+  std::printf("(FM build includes reversal + SA-IS + BWT + rankall + SA "
+              "samples)\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bwtk::bench
+
+int main() { return bwtk::bench::Run(); }

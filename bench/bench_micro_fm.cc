@@ -1,0 +1,104 @@
+// Micro-benchmarks (google-benchmark) of the FM-index primitives every
+// search is built from: rank, the fused rank-all, one backward-search step,
+// exact pattern matching, and occurrence location.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "bwt/fm_index.h"
+#include "util/random.h"
+
+namespace bwtk::bench {
+namespace {
+
+const FmIndex& SharedIndex() {
+  static const FmIndex* index = [] {
+    const auto genome = MakeGenome(Scaled(2u << 20));
+    return new FmIndex(FmIndex::Build(genome).value());
+  }();
+  return *index;
+}
+
+void BM_Rank(benchmark::State& state) {
+  const FmIndex& index = SharedIndex();
+  Rng rng(1);
+  uint64_t sink = 0;
+  for (auto _ : state) {
+    const size_t pos = rng.NextBounded(index.rows());
+    sink += index.occ().Rank(static_cast<DnaCode>(pos & 3), pos);
+  }
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_Rank);
+
+void BM_RankAll(benchmark::State& state) {
+  const FmIndex& index = SharedIndex();
+  Rng rng(2);
+  uint32_t out[kDnaAlphabetSize];
+  for (auto _ : state) {
+    index.occ().RankAll(rng.NextBounded(index.rows()), out);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_RankAll);
+
+void BM_ExtendStep(benchmark::State& state) {
+  const FmIndex& index = SharedIndex();
+  Rng rng(3);
+  FmIndex::Range range = index.WholeRange();
+  for (auto _ : state) {
+    const FmIndex::Range next =
+        index.Extend(range, static_cast<DnaCode>(rng.NextBounded(4)));
+    range = next.empty() || next.count() < 4 ? index.WholeRange() : next;
+    benchmark::DoNotOptimize(range);
+  }
+}
+BENCHMARK(BM_ExtendStep);
+
+void BM_ExtendAll(benchmark::State& state) {
+  const FmIndex& index = SharedIndex();
+  Rng rng(4);
+  FmIndex::Range range = index.WholeRange();
+  FmIndex::Range out[kDnaAlphabetSize];
+  for (auto _ : state) {
+    index.ExtendAll(range, out);
+    const FmIndex::Range next = out[rng.NextBounded(4)];
+    range = next.empty() || next.count() < 4 ? index.WholeRange() : next;
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_ExtendAll);
+
+void BM_CountExactPattern(benchmark::State& state) {
+  const FmIndex& index = SharedIndex();
+  Rng rng(5);
+  const auto genome = MakeGenome(Scaled(2u << 20));  // same seed as index
+  const size_t m = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    const size_t pos = rng.NextBounded(genome.size() - m);
+    const std::vector<DnaCode> pattern(genome.begin() + pos,
+                                       genome.begin() + pos + m);
+    benchmark::DoNotOptimize(index.CountOccurrences(pattern));
+  }
+}
+BENCHMARK(BM_CountExactPattern)->Arg(20)->Arg(50)->Arg(100);
+
+void BM_Locate(benchmark::State& state) {
+  const FmIndex& index = SharedIndex();
+  const auto genome = MakeGenome(Scaled(2u << 20));
+  Rng rng(6);
+  constexpr size_t kPatternLength = 30;
+  for (auto _ : state) {
+    const size_t pos = rng.NextBounded(genome.size() - kPatternLength);
+    const std::vector<DnaCode> pattern(
+        genome.begin() + pos, genome.begin() + pos + kPatternLength);
+    const auto range = index.MatchForward(pattern);
+    benchmark::DoNotOptimize(index.Locate(range, kPatternLength));
+  }
+}
+BENCHMARK(BM_Locate);
+
+}  // namespace
+}  // namespace bwtk::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,54 @@
+// Table 1: characteristics of the evaluation genomes. The paper lists five
+// real genomes (Rat 2.9 Gbp ... C. merolae 16.7 Mbp); we print the scaled
+// synthetic stand-ins actually used by the other benchmarks, alongside the
+// paper's sizes, plus their measured composition and index-build costs.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "bwt/fm_index.h"
+#include "simulate/genome_generator.h"
+#include "util/stopwatch.h"
+
+namespace bwtk::bench {
+namespace {
+
+// 1/1024 of the paper's sizes by default; BWTK_BENCH_SCALE multiplies this.
+constexpr double kBasePresetScale = 1.0 / 1024;
+
+int Run() {
+  const double scale = kBasePresetScale * BenchScale();
+  PrintBanner("Table 1: characteristics of genomes",
+              "synthetic stand-ins at 1/" +
+                  std::to_string(static_cast<int>(1.0 / scale)) +
+                  " of the paper's sizes");
+
+  TablePrinter table({"Genome", "Paper size (bp)", "Scaled size (bp)", "GC%",
+                      "index build", "index size"});
+  for (const GenomePreset& preset : Table1Presets(scale)) {
+    GenomeOptions options;
+    options.length = preset.scaled_size_bp;
+    options.repeat_fraction = 0.3;
+    options.seed = 42 + preset.scaled_size_bp % 97;
+    const auto genome = GenerateGenome(options).value();
+    size_t gc = 0;
+    for (const DnaCode c : genome) gc += (c == 1 || c == 2);
+    Stopwatch watch;
+    const auto index = FmIndex::Build(genome).value();
+    const double build_seconds = watch.ElapsedSeconds();
+    char gc_text[16];
+    std::snprintf(gc_text, sizeof(gc_text), "%.1f",
+                  100.0 * gc / genome.size());
+    table.AddRow({preset.name, FormatCount(preset.paper_size_bp),
+                  FormatCount(preset.scaled_size_bp), gc_text,
+                  FormatSeconds(build_seconds),
+                  FormatMb(index.MemoryUsage())});
+  }
+  table.Print();
+  return 0;
+}
+
+}  // namespace
+}  // namespace bwtk::bench
+
+int main() { return bwtk::bench::Run(); }

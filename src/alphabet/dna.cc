@@ -1,0 +1,66 @@
+#include "alphabet/dna.h"
+
+#include <array>
+
+namespace bwtk {
+
+namespace {
+
+constexpr std::array<int8_t, 256> BuildCharTable() {
+  std::array<int8_t, 256> table{};
+  for (auto& v : table) v = -1;
+  table['a'] = table['A'] = 0;
+  table['c'] = table['C'] = 1;
+  table['g'] = table['G'] = 2;
+  table['t'] = table['T'] = 3;
+  return table;
+}
+
+constexpr std::array<int8_t, 256> kCharTable = BuildCharTable();
+constexpr char kCodeTable[4] = {'a', 'c', 'g', 't'};
+
+}  // namespace
+
+bool IsDnaChar(char c) {
+  return kCharTable[static_cast<unsigned char>(c)] >= 0;
+}
+
+DnaCode CharToCode(char c) {
+  const int8_t v = kCharTable[static_cast<unsigned char>(c)];
+  return v >= 0 ? static_cast<DnaCode>(v) : DnaCode{0};
+}
+
+char CodeToChar(DnaCode code) { return kCodeTable[code & 3]; }
+
+Result<std::vector<DnaCode>> EncodeDna(std::string_view text) {
+  std::vector<DnaCode> codes;
+  codes.reserve(text.size());
+  for (size_t i = 0; i < text.size(); ++i) {
+    const int8_t v = kCharTable[static_cast<unsigned char>(text[i])];
+    if (v < 0) {
+      return Status::InvalidArgument("non-DNA character '" +
+                                     std::string(1, text[i]) +
+                                     "' at offset " + std::to_string(i));
+    }
+    codes.push_back(static_cast<DnaCode>(v));
+  }
+  return codes;
+}
+
+std::string DecodeDna(const std::vector<DnaCode>& codes) {
+  std::string out;
+  out.reserve(codes.size());
+  for (DnaCode c : codes) out.push_back(CodeToChar(c));
+  return out;
+}
+
+std::vector<DnaCode> ReverseComplement(const std::vector<DnaCode>& codes) {
+  std::vector<DnaCode> out;
+  out.reserve(codes.size());
+  for (auto it = codes.rbegin(); it != codes.rend(); ++it) {
+    out.push_back(ComplementCode(*it));
+  }
+  return out;
+}
+
+}  // namespace bwtk

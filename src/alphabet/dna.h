@@ -1,0 +1,57 @@
+// The DNA alphabet used throughout bwtk.
+//
+// Internally every sequence is a string of 2-bit codes: a=0, c=1, g=2, t=3.
+// The BWT sentinel '$' is *not* part of the code space; index structures
+// that need it track its position separately (see bwt/bwt.h). This matches
+// the paper's setting ($ < a < c < g < t) while keeping sequences packable
+// at 2 bits/base.
+
+#ifndef BWTK_ALPHABET_DNA_H_
+#define BWTK_ALPHABET_DNA_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace bwtk {
+
+/// 2-bit DNA code. Values 0..3 = a, c, g, t.
+using DnaCode = uint8_t;
+
+/// Number of DNA symbols (excluding the sentinel).
+inline constexpr int kDnaAlphabetSize = 4;
+
+/// Sentinel character: lexicographically before every base.
+inline constexpr char kSentinelChar = '$';
+
+/// True if `c` is one of acgtACGT.
+bool IsDnaChar(char c);
+
+/// Maps a/c/g/t (either case) to 0..3. Unknown characters map to 0 ('a');
+/// use EncodeDna for validated conversion.
+DnaCode CharToCode(char c);
+
+/// Maps 0..3 to 'a'/'c'/'g'/'t'.
+char CodeToChar(DnaCode code);
+
+/// Complement code: a<->t, c<->g.
+inline DnaCode ComplementCode(DnaCode code) {
+  return static_cast<DnaCode>(3 - code);
+}
+
+/// Validated conversion of an ASCII DNA string to codes. Characters other
+/// than acgtACGT yield InvalidArgument (with the offending offset).
+Result<std::vector<DnaCode>> EncodeDna(std::string_view text);
+
+/// Converts codes back to a lowercase ASCII string.
+std::string DecodeDna(const std::vector<DnaCode>& codes);
+
+/// Reverse complement of a code sequence.
+std::vector<DnaCode> ReverseComplement(const std::vector<DnaCode>& codes);
+
+}  // namespace bwtk
+
+#endif  // BWTK_ALPHABET_DNA_H_

@@ -1,0 +1,124 @@
+#include "alphabet/fasta.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace bwtk {
+
+namespace {
+
+// Strips a trailing '\r' (CRLF input read in text mode on POSIX).
+void StripCarriageReturn(std::string* line) {
+  if (!line->empty() && line->back() == '\r') line->pop_back();
+}
+
+Status AppendSequenceLine(const std::string& line, size_t line_number,
+                          const FastaParseOptions& options,
+                          std::vector<DnaCode>* sequence) {
+  for (char c : line) {
+    if (c == ' ' || c == '\t') continue;
+    if (IsDnaChar(c)) {
+      sequence->push_back(CharToCode(c));
+      continue;
+    }
+    switch (options.ambiguity) {
+      case AmbiguityPolicy::kReject:
+        return Status::InvalidArgument(
+            "ambiguous or invalid base '" + std::string(1, c) + "' on line " +
+            std::to_string(line_number));
+      case AmbiguityPolicy::kReplaceWithA:
+        sequence->push_back(DnaCode{0});
+        break;
+      case AmbiguityPolicy::kSkip:
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::vector<FastaRecord>> ParseFasta(std::istream& in,
+                                            const FastaParseOptions& options) {
+  std::vector<FastaRecord> records;
+  std::string line;
+  size_t line_number = 0;
+  bool have_record = false;
+  while (std::getline(in, line)) {
+    ++line_number;
+    StripCarriageReturn(&line);
+    if (line.empty()) continue;
+    if (line[0] == ';') continue;  // legacy FASTA comment
+    if (line[0] == '>') {
+      FastaRecord record;
+      const size_t space = line.find_first_of(" \t");
+      if (space == std::string::npos) {
+        record.name = line.substr(1);
+      } else {
+        record.name = line.substr(1, space - 1);
+        const size_t desc = line.find_first_not_of(" \t", space);
+        if (desc != std::string::npos) record.description = line.substr(desc);
+      }
+      if (record.name.empty()) {
+        return Status::InvalidArgument("empty record name on line " +
+                                       std::to_string(line_number));
+      }
+      records.push_back(std::move(record));
+      have_record = true;
+      continue;
+    }
+    if (!have_record) {
+      return Status::InvalidArgument(
+          "sequence data before first '>' header on line " +
+          std::to_string(line_number));
+    }
+    BWTK_RETURN_IF_ERROR(AppendSequenceLine(line, line_number, options,
+                                            &records.back().sequence));
+  }
+  return records;
+}
+
+Result<std::vector<FastaRecord>> ParseFastaString(
+    const std::string& text, const FastaParseOptions& options) {
+  std::istringstream in(text);
+  return ParseFasta(in, options);
+}
+
+Result<std::vector<FastaRecord>> ReadFastaFile(
+    const std::string& path, const FastaParseOptions& options) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open FASTA file: " + path);
+  return ParseFasta(in, options);
+}
+
+Status WriteFasta(std::ostream& out, const std::vector<FastaRecord>& records,
+                  int line_width) {
+  if (line_width <= 0) {
+    return Status::InvalidArgument("line_width must be positive");
+  }
+  for (const FastaRecord& record : records) {
+    out << '>' << record.name;
+    if (!record.description.empty()) out << ' ' << record.description;
+    out << '\n';
+    const auto& seq = record.sequence;
+    for (size_t i = 0; i < seq.size(); i += line_width) {
+      const size_t end = std::min(seq.size(), i + line_width);
+      for (size_t j = i; j < end; ++j) out << CodeToChar(seq[j]);
+      out << '\n';
+    }
+  }
+  if (!out) return Status::IoError("FASTA write failed");
+  return Status::OK();
+}
+
+Status WriteFastaFile(const std::string& path,
+                      const std::vector<FastaRecord>& records,
+                      int line_width) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  return WriteFasta(out, records, line_width);
+}
+
+}  // namespace bwtk

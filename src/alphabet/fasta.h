@@ -1,0 +1,69 @@
+// FASTA parsing and writing.
+//
+// The paper's experiments read reference genomes from FASTA files; this is
+// the substrate the examples use to load real inputs. Parsing is tolerant
+// of the formats produced by genome browsers: multi-record files, arbitrary
+// line widths, CRLF, and 'N'/ambiguity codes (policy-controlled).
+
+#ifndef BWTK_ALPHABET_FASTA_H_
+#define BWTK_ALPHABET_FASTA_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "alphabet/dna.h"
+#include "util/status.h"
+
+namespace bwtk {
+
+/// One FASTA record: ">name description" header plus sequence codes.
+struct FastaRecord {
+  std::string name;         // first whitespace-delimited token after '>'
+  std::string description;  // remainder of the header line (may be empty)
+  std::vector<DnaCode> sequence;
+};
+
+/// How to handle characters outside acgtACGT in FASTA sequence lines.
+enum class AmbiguityPolicy {
+  /// Fail with InvalidArgument (strict).
+  kReject,
+  /// Replace each ambiguous base (N, R, Y, ...) with 'a'. Deterministic
+  /// stand-in for the common aligner practice of randomizing Ns; keeps runs
+  /// indexable without inventing randomness in the parser.
+  kReplaceWithA,
+  /// Drop ambiguous bases from the sequence.
+  kSkip,
+};
+
+struct FastaParseOptions {
+  AmbiguityPolicy ambiguity = AmbiguityPolicy::kReject;
+};
+
+/// Parses every record in a FASTA stream.
+Result<std::vector<FastaRecord>> ParseFasta(std::istream& in,
+                                            const FastaParseOptions& options =
+                                                FastaParseOptions());
+
+/// Parses a FASTA string (convenience for tests).
+Result<std::vector<FastaRecord>> ParseFastaString(
+    const std::string& text,
+    const FastaParseOptions& options = FastaParseOptions());
+
+/// Reads a FASTA file from disk.
+Result<std::vector<FastaRecord>> ReadFastaFile(
+    const std::string& path,
+    const FastaParseOptions& options = FastaParseOptions());
+
+/// Writes records with sequence lines wrapped at `line_width` bases.
+Status WriteFasta(std::ostream& out, const std::vector<FastaRecord>& records,
+                  int line_width = 70);
+
+/// Writes records to a file.
+Status WriteFastaFile(const std::string& path,
+                      const std::vector<FastaRecord>& records,
+                      int line_width = 70);
+
+}  // namespace bwtk
+
+#endif  // BWTK_ALPHABET_FASTA_H_

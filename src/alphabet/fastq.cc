@@ -1,0 +1,98 @@
+#include "alphabet/fastq.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace bwtk {
+
+namespace {
+
+void StripCarriageReturn(std::string* line) {
+  if (!line->empty() && line->back() == '\r') line->pop_back();
+}
+
+}  // namespace
+
+Result<std::vector<FastqRecord>> ParseFastq(std::istream& in) {
+  std::vector<FastqRecord> records;
+  std::string header;
+  std::string sequence;
+  std::string plus;
+  std::string quality;
+  size_t line_number = 0;
+  while (std::getline(in, header)) {
+    ++line_number;
+    StripCarriageReturn(&header);
+    if (header.empty()) continue;
+    if (header[0] != '@') {
+      return Status::InvalidArgument("expected '@' header on line " +
+                                     std::to_string(line_number));
+    }
+    if (!std::getline(in, sequence) || !std::getline(in, plus) ||
+        !std::getline(in, quality)) {
+      return Status::InvalidArgument("truncated FASTQ record starting line " +
+                                     std::to_string(line_number));
+    }
+    line_number += 3;
+    StripCarriageReturn(&sequence);
+    StripCarriageReturn(&plus);
+    StripCarriageReturn(&quality);
+    if (plus.empty() || plus[0] != '+') {
+      return Status::InvalidArgument("expected '+' separator on line " +
+                                     std::to_string(line_number - 1));
+    }
+    if (quality.size() != sequence.size()) {
+      return Status::InvalidArgument(
+          "quality length " + std::to_string(quality.size()) +
+          " != sequence length " + std::to_string(sequence.size()) +
+          " in record ending line " + std::to_string(line_number));
+    }
+    FastqRecord record;
+    const size_t space = header.find_first_of(" \t");
+    record.name = header.substr(1, space == std::string::npos
+                                       ? std::string::npos
+                                       : space - 1);
+    record.sequence.reserve(sequence.size());
+    for (char c : sequence) {
+      record.sequence.push_back(IsDnaChar(c) ? CharToCode(c) : DnaCode{0});
+    }
+    record.quality = quality;
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+Result<std::vector<FastqRecord>> ParseFastqString(const std::string& text) {
+  std::istringstream in(text);
+  return ParseFastq(in);
+}
+
+Result<std::vector<FastqRecord>> ReadFastqFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open FASTQ file: " + path);
+  return ParseFastq(in);
+}
+
+Status WriteFastq(std::ostream& out, const std::vector<FastqRecord>& records) {
+  for (const FastqRecord& record : records) {
+    BWTK_CHECK_EQ(record.quality.size(), record.sequence.size());
+    out << '@' << record.name << '\n';
+    for (DnaCode c : record.sequence) out << CodeToChar(c);
+    out << "\n+\n" << record.quality << '\n';
+  }
+  if (!out) return Status::IoError("FASTQ write failed");
+  return Status::OK();
+}
+
+Status WriteFastqFile(const std::string& path,
+                      const std::vector<FastqRecord>& records) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  return WriteFastq(out, records);
+}
+
+}  // namespace bwtk

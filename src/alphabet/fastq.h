@@ -1,0 +1,44 @@
+// FASTQ parsing and writing (reads with per-base quality scores), the
+// format produced by sequencers and by our wgsim-like read simulator.
+
+#ifndef BWTK_ALPHABET_FASTQ_H_
+#define BWTK_ALPHABET_FASTQ_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "alphabet/dna.h"
+#include "util/status.h"
+
+namespace bwtk {
+
+/// One FASTQ record. `quality` is the raw Phred+33 string and always has
+/// the same length as `sequence`.
+struct FastqRecord {
+  std::string name;
+  std::vector<DnaCode> sequence;
+  std::string quality;
+};
+
+/// Parses every record from a FASTQ stream. Ambiguous bases are replaced
+/// with 'a' (reads with Ns are near-universal; rejecting them would make
+/// the format unusable in practice).
+Result<std::vector<FastqRecord>> ParseFastq(std::istream& in);
+
+/// Parses a FASTQ string (convenience for tests).
+Result<std::vector<FastqRecord>> ParseFastqString(const std::string& text);
+
+/// Reads a FASTQ file from disk.
+Result<std::vector<FastqRecord>> ReadFastqFile(const std::string& path);
+
+/// Writes records in four-line FASTQ form.
+Status WriteFastq(std::ostream& out, const std::vector<FastqRecord>& records);
+
+/// Writes records to a file.
+Status WriteFastqFile(const std::string& path,
+                      const std::vector<FastqRecord>& records);
+
+}  // namespace bwtk
+
+#endif  // BWTK_ALPHABET_FASTQ_H_

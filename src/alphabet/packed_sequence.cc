@@ -1,0 +1,39 @@
+#include "alphabet/packed_sequence.h"
+
+#include <algorithm>
+
+namespace bwtk {
+
+PackedSequence::PackedSequence(const std::vector<DnaCode>& codes) {
+  words_.resize((codes.size() + 31) / 32, 0);
+  size_ = codes.size();
+  for (size_t i = 0; i < codes.size(); ++i) {
+    words_[i >> 5] |= uint64_t{static_cast<uint64_t>(codes[i] & 3)}
+                      << ((i & 31) * 2);
+  }
+}
+
+void PackedSequence::push_back(DnaCode code) {
+  if ((size_ & 31) == 0) words_.push_back(0);
+  words_[size_ >> 5] |= uint64_t{static_cast<uint64_t>(code & 3)}
+                        << ((size_ & 31) * 2);
+  ++size_;
+}
+
+std::vector<DnaCode> PackedSequence::Slice(size_t pos, size_t len) const {
+  std::vector<DnaCode> out;
+  if (pos >= size_) return out;
+  len = std::min(len, size_ - pos);
+  out.reserve(len);
+  for (size_t i = 0; i < len; ++i) out.push_back(at(pos + i));
+  return out;
+}
+
+std::string PackedSequence::ToString() const {
+  std::string out;
+  out.reserve(size_);
+  for (size_t i = 0; i < size_; ++i) out.push_back(CodeToChar(at(i)));
+  return out;
+}
+
+}  // namespace bwtk

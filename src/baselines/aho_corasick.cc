@@ -1,0 +1,73 @@
+#include "baselines/aho_corasick.h"
+
+#include <queue>
+
+namespace bwtk {
+
+AhoCorasick::AhoCorasick(const std::vector<std::vector<DnaCode>>& patterns) {
+  nodes_.emplace_back();  // root
+  pattern_lengths_.reserve(patterns.size());
+  // Trie phase.
+  for (size_t id = 0; id < patterns.size(); ++id) {
+    pattern_lengths_.push_back(patterns[id].size());
+    if (patterns[id].empty()) continue;
+    int32_t state = 0;
+    for (const DnaCode c : patterns[id]) {
+      if (nodes_[state].next[c] < 0) {
+        nodes_[state].next[c] = static_cast<int32_t>(nodes_.size());
+        nodes_.emplace_back();
+      }
+      state = nodes_[state].next[c];
+    }
+    outputs_.push_back({static_cast<int32_t>(id), nodes_[state].output_head});
+    nodes_[state].output_head = static_cast<int32_t>(outputs_.size() - 1);
+  }
+  // BFS phase: fail links, output links, and dense goto.
+  // output_link = nearest state on the fail chain (self included) that has
+  // outputs, or -1; Scan walks these links only, skipping silent states.
+  nodes_[0].output_link = nodes_[0].output_head >= 0 ? 0 : -1;
+  std::queue<int32_t> queue;
+  for (DnaCode c = 0; c < kDnaAlphabetSize; ++c) {
+    int32_t& child = nodes_[0].next[c];
+    if (child < 0) {
+      child = 0;
+    } else {
+      nodes_[child].fail = 0;
+      queue.push(child);
+    }
+  }
+  while (!queue.empty()) {
+    const int32_t state = queue.front();
+    queue.pop();
+    const int32_t fail = nodes_[state].fail;
+    nodes_[state].output_link = nodes_[state].output_head >= 0
+                                    ? state
+                                    : nodes_[fail].output_link;
+    for (DnaCode c = 0; c < kDnaAlphabetSize; ++c) {
+      const int32_t child = nodes_[state].next[c];
+      if (child < 0) {
+        nodes_[state].next[c] = nodes_[fail].next[c];
+      } else {
+        nodes_[child].fail = nodes_[fail].next[c];
+        queue.push(child);
+      }
+    }
+  }
+}
+
+void AhoCorasick::Scan(const std::vector<DnaCode>& text,
+                       const Callback& on_hit) const {
+  int32_t state = 0;
+  for (size_t pos = 0; pos < text.size(); ++pos) {
+    state = nodes_[state].next[text[pos]];
+    for (int32_t s = nodes_[state].output_link; s >= 0;
+         s = nodes_[nodes_[s].fail].output_link) {
+      for (int32_t o = nodes_[s].output_head; o >= 0; o = outputs_[o].next) {
+        on_hit(pos + 1, static_cast<size_t>(outputs_[o].pattern_id));
+      }
+      if (s == 0) break;  // root's fail is itself
+    }
+  }
+}
+
+}  // namespace bwtk

@@ -1,0 +1,56 @@
+// Aho–Corasick multi-pattern exact matching over the DNA alphabet.
+//
+// Substrate for the Amir-style baseline: the pattern's blocks ("breaks")
+// are located in the target in a single pass, exactly as the paper
+// describes Amir's marking phase ("for each break b_i ... find all those
+// substrings s_j in s such that b_i = s_j, and then mark each of them").
+
+#ifndef BWTK_BASELINES_AHO_CORASICK_H_
+#define BWTK_BASELINES_AHO_CORASICK_H_
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "alphabet/dna.h"
+
+namespace bwtk {
+
+/// Classic goto/fail automaton; Build once, Scan any number of texts.
+class AhoCorasick {
+ public:
+  /// Hit callback: (end_position_exclusive_in_text, pattern_id).
+  using Callback = std::function<void(size_t, size_t)>;
+
+  /// Builds the automaton over `patterns` (empty patterns are ignored).
+  explicit AhoCorasick(const std::vector<std::vector<DnaCode>>& patterns);
+
+  /// Reports every occurrence of every pattern in `text` in O(|text| + z).
+  void Scan(const std::vector<DnaCode>& text, const Callback& on_hit) const;
+
+  size_t state_count() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    std::array<int32_t, kDnaAlphabetSize> next;  // goto (dense, precomputed)
+    int32_t fail = 0;
+    int32_t output_head = -1;   // first entry in outputs_ for this state
+    int32_t output_link = 0;    // nearest ancestor-via-fail with outputs
+    Node() { next.fill(-1); }
+  };
+
+  // Chained output lists: (pattern_id, next_index).
+  struct Output {
+    int32_t pattern_id;
+    int32_t next;
+  };
+
+  std::vector<Node> nodes_;
+  std::vector<Output> outputs_;
+  std::vector<size_t> pattern_lengths_;
+};
+
+}  // namespace bwtk
+
+#endif  // BWTK_BASELINES_AHO_CORASICK_H_

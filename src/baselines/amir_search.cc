@@ -1,0 +1,83 @@
+#include "baselines/amir_search.h"
+
+#include <algorithm>
+#include <span>
+
+#include "baselines/aho_corasick.h"
+#include "mismatch/mismatch_array.h"
+
+namespace bwtk {
+
+std::vector<Occurrence> AmirSearch::Search(const std::vector<DnaCode>& pattern,
+                                           int32_t k,
+                                           AmirStats* stats) const {
+  AmirStats local_stats;
+  std::vector<Occurrence> results;
+  const size_t m = pattern.size();
+  const size_t n = text_->size();
+  if (m == 0 || m > n || k < 0) {
+    if (stats != nullptr) *stats = local_stats;
+    return results;
+  }
+  const std::span<const DnaCode> pattern_span(pattern);
+  const std::span<const DnaCode> text_span(*text_);
+  const size_t window_count = n - m + 1;
+
+  // Pigeonhole split into B = 2k + 2 blocks; each must have >= 1 character.
+  const size_t blocks = std::min<size_t>(2 * static_cast<size_t>(k) + 2, m);
+  const int32_t threshold = static_cast<int32_t>(blocks) - k;
+  local_stats.blocks = blocks;
+  if (threshold <= 0) {
+    // Too few blocks to filter (k >= B): verify every window directly.
+    for (size_t pos = 0; pos < window_count; ++pos) {
+      const int32_t distance =
+          HammingDistanceCapped(text_span.subspan(pos, m), pattern_span, k);
+      if (distance <= k) {
+        results.push_back({pos, distance});
+        ++local_stats.verified_matches;
+      }
+    }
+    local_stats.candidates = window_count;
+    if (stats != nullptr) *stats = local_stats;
+    return results;
+  }
+
+  // Cut the pattern into blocks and remember each block's offset.
+  std::vector<std::vector<DnaCode>> block_patterns(blocks);
+  std::vector<size_t> block_offsets(blocks);
+  for (size_t b = 0; b < blocks; ++b) {
+    const size_t begin = b * m / blocks;
+    const size_t end = (b + 1) * m / blocks;
+    block_offsets[b] = begin;
+    block_patterns[b].assign(pattern.begin() + begin, pattern.begin() + end);
+  }
+
+  // Marking pass: one mark per exact block occurrence, accumulated at the
+  // window start position it implies.
+  const AhoCorasick automaton(block_patterns);
+  std::vector<int32_t> marks(window_count, 0);
+  automaton.Scan(*text_, [&](size_t end_pos, size_t block_id) {
+    ++local_stats.block_hits;
+    const size_t block_len = block_patterns[block_id].size();
+    const size_t hit_start = end_pos - block_len;
+    if (hit_start < block_offsets[block_id]) return;
+    const size_t window = hit_start - block_offsets[block_id];
+    if (window < window_count) ++marks[window];
+  });
+
+  // Verification pass over surviving windows.
+  for (size_t pos = 0; pos < window_count; ++pos) {
+    if (marks[pos] < threshold) continue;
+    ++local_stats.candidates;
+    const int32_t distance =
+        HammingDistanceCapped(text_span.subspan(pos, m), pattern_span, k);
+    if (distance <= k) {
+      results.push_back({pos, distance});
+      ++local_stats.verified_matches;
+    }
+  }
+  if (stats != nullptr) *stats = local_stats;
+  return results;
+}
+
+}  // namespace bwtk

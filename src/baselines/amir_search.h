@@ -1,0 +1,51 @@
+// Amir-style filter-and-verify k-mismatch search (the paper's "Amir"
+// competitor, Section V).
+//
+// Amir et al. split the pattern into periodic stretches separated by
+// aperiodic "breaks", mark every target position where a break matches
+// exactly, discard positions with too few marks, and verify the survivors.
+// We implement the same filter with the pigeonhole variant: the pattern is
+// cut into B = 2k + 2 equal blocks; an occurrence with at most k mismatches
+// must contain at least B - k exact block matches, so positions marked
+// fewer times are discarded without verification. Marking is one
+// Aho–Corasick pass; verification is a capped Hamming check. This preserves
+// the filter-then-verify behaviour (and its sensitivity to k) that the
+// paper's comparison exercises, without the periodicity machinery of the
+// original O(n sqrt(k log k)) construction.
+
+#ifndef BWTK_BASELINES_AMIR_SEARCH_H_
+#define BWTK_BASELINES_AMIR_SEARCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "alphabet/dna.h"
+#include "search/match.h"
+
+namespace bwtk {
+
+/// Statistics from one filter-and-verify run.
+struct AmirStats {
+  size_t blocks = 0;            // B
+  size_t block_hits = 0;        // raw Aho-Corasick marks
+  size_t candidates = 0;        // positions surviving the mark threshold
+  size_t verified_matches = 0;  // candidates confirmed as occurrences
+};
+
+/// Pigeonhole filter + capped verification.
+class AmirSearch {
+ public:
+  /// `text` must outlive the searcher.
+  explicit AmirSearch(const std::vector<DnaCode>* text) : text_(text) {}
+
+  /// All occurrences of `pattern` with at most `k` mismatches, sorted.
+  std::vector<Occurrence> Search(const std::vector<DnaCode>& pattern,
+                                 int32_t k, AmirStats* stats = nullptr) const;
+
+ private:
+  const std::vector<DnaCode>* text_;  // not owned
+};
+
+}  // namespace bwtk
+
+#endif  // BWTK_BASELINES_AMIR_SEARCH_H_

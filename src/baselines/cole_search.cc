@@ -1,0 +1,79 @@
+#include "baselines/cole_search.h"
+
+#include <utility>
+
+namespace bwtk {
+
+Result<ColeSearch> ColeSearch::Build(const std::vector<DnaCode>& text) {
+  BWTK_ASSIGN_OR_RETURN(auto tree, SuffixTree::Build(text));
+  return ColeSearch(std::make_unique<SuffixTree>(std::move(tree)));
+}
+
+std::vector<Occurrence> ColeSearch::Search(const std::vector<DnaCode>& pattern,
+                                           int32_t k) const {
+  std::vector<Occurrence> results;
+  const size_t m = pattern.size();
+  const size_t n = tree_->text_size();
+  if (m == 0 || m > n || k < 0) return results;
+  const std::vector<uint8_t>& text = tree_->text();
+
+  // A frame sits just below `node`'s incoming edge start: `edge_offset`
+  // characters of that edge are consumed, `depth` pattern characters
+  // matched so far, `mismatches` spent.
+  struct Frame {
+    SaIndex node;
+    SaIndex edge_offset;
+    uint32_t depth;
+    int32_t mismatches;
+  };
+  std::vector<Frame> stack;
+  // Seed with the root's children at edge offset 0.
+  stack.push_back({tree_->root(), 0, 0, 0});
+  std::vector<SaIndex> leaves;
+  while (!stack.empty()) {
+    Frame frame = stack.back();
+    stack.pop_back();
+    const SuffixTree::Node& node = tree_->node(frame.node);
+
+    // Consume the remainder of this node's edge label.
+    bool dead = false;
+    while (frame.depth < m &&
+           node.start + frame.edge_offset < node.end) {
+      const uint8_t symbol = text[node.start + frame.edge_offset];
+      if (symbol == SuffixTree::kSentinelSymbol) {
+        dead = true;  // the target ends inside this alignment
+        break;
+      }
+      if (symbol != pattern[frame.depth]) {
+        if (++frame.mismatches > k) {
+          dead = true;
+          break;
+        }
+      }
+      ++frame.edge_offset;
+      ++frame.depth;
+    }
+    if (dead) continue;
+    if (frame.depth == m) {
+      // Every leaf below is an occurrence start (if it fits the text).
+      leaves.clear();
+      tree_->CollectLeaves(frame.node, &leaves);
+      for (const SaIndex pos : leaves) {
+        if (static_cast<size_t>(pos) + m <= n) {
+          results.push_back({static_cast<size_t>(pos), frame.mismatches});
+        }
+      }
+      continue;
+    }
+    // Edge exhausted: descend into every child.
+    for (const SaIndex child : node.children) {
+      if (child != SuffixTree::kNoNode) {
+        stack.push_back({child, 0, frame.depth, frame.mismatches});
+      }
+    }
+  }
+  NormalizeOccurrences(&results);
+  return results;
+}
+
+}  // namespace bwtk

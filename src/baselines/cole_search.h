@@ -1,0 +1,44 @@
+// Cole-style suffix-tree k-mismatch search (the paper's "Cole's"
+// competitor). The paper evaluated the method of [14] as a brute-force
+// traversal of a suffix tree over the target ("a (compressed) suffix tree
+// over s is created. Then, a brute-force tree searching is conducted",
+// Section I); this reproduces exactly that: depth-first descent matching
+// the pattern against edge labels, branching on every symbol while the
+// mismatch budget lasts.
+
+#ifndef BWTK_BASELINES_COLE_SEARCH_H_
+#define BWTK_BASELINES_COLE_SEARCH_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "alphabet/dna.h"
+#include "search/match.h"
+#include "suffix/suffix_tree.h"
+#include "util/status.h"
+
+namespace bwtk {
+
+/// Suffix-tree brute-force k-mismatch search.
+class ColeSearch {
+ public:
+  /// Builds the suffix tree over `text` (Ukkonen, O(n)).
+  static Result<ColeSearch> Build(const std::vector<DnaCode>& text);
+
+  /// All occurrences of `pattern` with at most `k` mismatches, sorted.
+  std::vector<Occurrence> Search(const std::vector<DnaCode>& pattern,
+                                 int32_t k) const;
+
+  const SuffixTree& tree() const { return *tree_; }
+
+ private:
+  explicit ColeSearch(std::unique_ptr<SuffixTree> tree)
+      : tree_(std::move(tree)) {}
+
+  std::unique_ptr<SuffixTree> tree_;
+};
+
+}  // namespace bwtk
+
+#endif  // BWTK_BASELINES_COLE_SEARCH_H_

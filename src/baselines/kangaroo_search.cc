@@ -1,0 +1,40 @@
+#include "baselines/kangaroo_search.h"
+
+namespace bwtk {
+
+Result<std::vector<Occurrence>> KangarooSearch::Search(
+    const std::vector<DnaCode>& pattern, int32_t k) const {
+  std::vector<Occurrence> results;
+  const size_t m = pattern.size();
+  const size_t n = text_->size();
+  if (m == 0 || m > n || k < 0) return results;
+
+  // Concatenate pattern # text with a separator outside the DNA alphabet so
+  // no LCP can run across the boundary.
+  constexpr uint32_t kSeparator = kDnaAlphabetSize;
+  std::vector<uint32_t> joined;
+  joined.reserve(m + 1 + n);
+  for (const DnaCode c : pattern) joined.push_back(c);
+  joined.push_back(kSeparator);
+  for (const DnaCode c : *text_) joined.push_back(c);
+  BWTK_ASSIGN_OR_RETURN(
+      auto lcp, LcpIndex::Build(std::move(joined), kDnaAlphabetSize + 1));
+
+  const size_t text_base = m + 1;  // offset of text inside `joined`
+  for (size_t pos = 0; pos + m <= n; ++pos) {
+    int32_t mismatches = 0;
+    size_t offset = 0;
+    while (true) {
+      // Jump over the agreeing stretch in O(1).
+      offset += static_cast<size_t>(
+          lcp.Lcp(offset, text_base + pos + offset));
+      if (offset >= m) break;
+      if (++mismatches > k) break;
+      ++offset;
+    }
+    if (mismatches <= k) results.push_back({pos, mismatches});
+  }
+  return results;
+}
+
+}  // namespace bwtk

@@ -1,0 +1,36 @@
+// Online O(kn) k-mismatch matching by kangaroo jumps (the Galil–Giancarlo /
+// Landau–Vishkin technique cited by the paper as [19]): build LCP machinery
+// over pattern#text, then verify every alignment with at most k+1 O(1)
+// jumps instead of m character comparisons.
+
+#ifndef BWTK_BASELINES_KANGAROO_SEARCH_H_
+#define BWTK_BASELINES_KANGAROO_SEARCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "alphabet/dna.h"
+#include "search/match.h"
+#include "suffix/lcp.h"
+#include "util/status.h"
+
+namespace bwtk {
+
+/// Online O(kn + (n+m) log (n+m)) k-mismatch search.
+class KangarooSearch {
+ public:
+  /// `text` must outlive the searcher (it is concatenated per Search call).
+  explicit KangarooSearch(const std::vector<DnaCode>* text) : text_(text) {}
+
+  /// All occurrences of `pattern` with at most `k` mismatches, sorted.
+  /// Builds the generalized suffix structure for pattern#text, then scans.
+  Result<std::vector<Occurrence>> Search(const std::vector<DnaCode>& pattern,
+                                         int32_t k) const;
+
+ private:
+  const std::vector<DnaCode>* text_;  // not owned
+};
+
+}  // namespace bwtk
+
+#endif  // BWTK_BASELINES_KANGAROO_SEARCH_H_

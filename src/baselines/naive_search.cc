@@ -1,0 +1,25 @@
+#include "baselines/naive_search.h"
+
+#include <span>
+
+#include "mismatch/mismatch_array.h"
+
+namespace bwtk {
+
+std::vector<Occurrence> NaiveSearch::Search(
+    const std::vector<DnaCode>& pattern, int32_t k) const {
+  std::vector<Occurrence> results;
+  const size_t m = pattern.size();
+  const size_t n = text_->size();
+  if (m == 0 || m > n || k < 0) return results;
+  const std::span<const DnaCode> pattern_span(pattern);
+  const std::span<const DnaCode> text_span(*text_);
+  for (size_t pos = 0; pos + m <= n; ++pos) {
+    const int32_t distance =
+        HammingDistanceCapped(text_span.subspan(pos, m), pattern_span, k);
+    if (distance <= k) results.push_back({pos, distance});
+  }
+  return results;
+}
+
+}  // namespace bwtk

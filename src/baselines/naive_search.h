@@ -1,0 +1,32 @@
+// The O(mn) sliding-window scanner. Slow by design: it is the correctness
+// oracle every other engine is validated against, and the "no index, no
+// cleverness" floor in the benchmarks.
+
+#ifndef BWTK_BASELINES_NAIVE_SEARCH_H_
+#define BWTK_BASELINES_NAIVE_SEARCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "alphabet/dna.h"
+#include "search/match.h"
+
+namespace bwtk {
+
+/// Position-by-position Hamming comparison with early exit at k+1.
+class NaiveSearch {
+ public:
+  /// `text` must outlive the searcher.
+  explicit NaiveSearch(const std::vector<DnaCode>* text) : text_(text) {}
+
+  /// All occurrences of `pattern` with at most `k` mismatches, sorted.
+  std::vector<Occurrence> Search(const std::vector<DnaCode>& pattern,
+                                 int32_t k) const;
+
+ private:
+  const std::vector<DnaCode>* text_;  // not owned
+};
+
+}  // namespace bwtk
+
+#endif  // BWTK_BASELINES_NAIVE_SEARCH_H_

@@ -1,0 +1,44 @@
+// Burrows–Wheeler transform construction (Section III of the paper).
+//
+// The BWT array L of text$ is derived from the suffix array by equation (3):
+//   L[i] = '$'            if SA[i] == 0
+//   L[i] = text[SA[i]-1]  otherwise
+// Because sequences are stored 2 bits/base, the sentinel cannot live inside
+// the packed array; its row index is carried alongside (the packed slot at
+// that row is an ignored placeholder).
+
+#ifndef BWTK_BWT_BWT_H_
+#define BWTK_BWT_BWT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "alphabet/dna.h"
+#include "alphabet/packed_sequence.h"
+#include "suffix/suffix_array.h"
+#include "util/status.h"
+
+namespace bwtk {
+
+/// The BWT of text$: `codes.size() == text.size() + 1`, with row
+/// `sentinel_row` logically holding '$' (its packed slot is a placeholder).
+struct Bwt {
+  PackedSequence codes;
+  size_t sentinel_row = 0;
+};
+
+/// Computes the BWT from a text and its suffix array (`sa.size()` must be
+/// `text.size() + 1` with SA[0] == text.size()).
+Bwt BwtFromSuffixArray(const std::vector<DnaCode>& text,
+                       const std::vector<SaIndex>& sa);
+
+/// Builds the suffix array internally and returns the BWT.
+Result<Bwt> BwtFromText(const std::vector<DnaCode>& text);
+
+/// Inverts a BWT back to the original text (LF-walk); used to validate
+/// round-trips in tests and the serialized-index integrity check.
+std::vector<DnaCode> InvertBwt(const Bwt& bwt);
+
+}  // namespace bwtk
+
+#endif  // BWTK_BWT_BWT_H_

@@ -1,0 +1,101 @@
+#include "bwt/fm_index.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace bwtk {
+
+Result<FmIndex> FmIndex::Build(const std::vector<DnaCode>& text,
+                               const Options& options) {
+  if (options.sa_sample_rate == 0) {
+    return Status::InvalidArgument("sa_sample_rate must be positive");
+  }
+  FmIndex index;
+  index.n_ = text.size();
+  index.options_ = options;
+
+  // Index the reversed text so search steps consume the pattern in order.
+  std::vector<DnaCode> reversed(text.rbegin(), text.rend());
+  BWTK_ASSIGN_OR_RETURN(auto sa, BuildSuffixArrayDna(reversed));
+  index.bwt_ = std::make_unique<Bwt>(BwtFromSuffixArray(reversed, sa));
+
+  // Sample the suffix array before discarding it.
+  index.sampled_rows_ = BitVectorRank(sa.size());
+  for (size_t row = 0; row < sa.size(); ++row) {
+    if (static_cast<uint32_t>(sa[row]) % options.sa_sample_rate == 0) {
+      index.sampled_rows_.Set(row);
+      index.sa_samples_.push_back(sa[row]);
+    }
+  }
+  index.sampled_rows_.FinalizeRank();
+
+  BWTK_RETURN_IF_ERROR(index.FinishConstruction());
+  return index;
+}
+
+Status FmIndex::FinishConstruction() {
+  BWTK_ASSIGN_OR_RETURN(occ_, OccTable::Build(bwt_.get(),
+                                              options_.checkpoint_rate));
+  // first_row_: cumulative symbol counts, offset by 1 for the sentinel row.
+  SaIndex sum = 1;
+  for (unsigned c = 0; c < kDnaAlphabetSize; ++c) {
+    first_row_[c] = sum;
+    sum += static_cast<SaIndex>(occ_.Total(static_cast<DnaCode>(c)));
+  }
+  first_row_[kDnaAlphabetSize] = sum;
+  if (static_cast<size_t>(sum) != rows()) {
+    return Status::Corruption("symbol totals do not cover the BWT rows");
+  }
+  return Status::OK();
+}
+
+FmIndex::Range FmIndex::MatchForward(
+    const std::vector<DnaCode>& pattern) const {
+  Range range = WholeRange();
+  for (const DnaCode c : pattern) {
+    range = Extend(range, c);
+    if (range.empty()) return range;
+  }
+  return range;
+}
+
+SaIndex FmIndex::LfStep(SaIndex row) const {
+  BWTK_DCHECK_NE(static_cast<size_t>(row), bwt_->sentinel_row);
+  const DnaCode c = bwt_->codes.at(static_cast<size_t>(row));
+  return static_cast<SaIndex>(first_row_[c] +
+                              occ_.Rank(c, static_cast<size_t>(row)));
+}
+
+size_t FmIndex::SuffixArrayValue(SaIndex row) const {
+  size_t steps = 0;
+  while (!sampled_rows_.Get(static_cast<size_t>(row))) {
+    row = LfStep(row);
+    ++steps;
+  }
+  const size_t sample =
+      static_cast<size_t>(sa_samples_[sampled_rows_.Rank1(row)]);
+  return sample + steps;
+}
+
+std::vector<size_t> FmIndex::Locate(Range range, size_t depth) const {
+  std::vector<size_t> positions;
+  if (range.empty()) return positions;
+  positions.reserve(static_cast<size_t>(range.count()));
+  for (SaIndex row = range.lo; row < range.hi; ++row) {
+    const size_t p = SuffixArrayValue(row);
+    // Row matches `depth` characters starting at position p of the reversed
+    // text; in the original text the occurrence starts at n - depth - p.
+    BWTK_DCHECK_LE(p + depth, n_);
+    positions.push_back(n_ - depth - p);
+  }
+  return positions;
+}
+
+size_t FmIndex::MemoryUsage() const {
+  return bwt_->codes.MemoryUsage() + occ_.MemoryUsage() +
+         sampled_rows_.MemoryUsage() +
+         sa_samples_.capacity() * sizeof(SaIndex);
+}
+
+}  // namespace bwtk

@@ -1,0 +1,141 @@
+// FM-index over the *reverse* of the target text.
+//
+// The paper searches the pattern r against BWT(reverse(s)) so that
+// backward-search steps consume r's characters left to right (Section III.A
+// and Definition 1). FmIndex packages that convention: Extend() performs one
+// search() step of the paper — narrowing a pair <x, [α, β]> to its
+// sub-range for the next character — and Locate() maps final rows back to
+// occurrence start positions in the original, un-reversed text.
+
+#ifndef BWTK_BWT_FM_INDEX_H_
+#define BWTK_BWT_FM_INDEX_H_
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <vector>
+
+#include "alphabet/dna.h"
+#include "bwt/bwt.h"
+#include "bwt/occ_table.h"
+#include "suffix/suffix_array.h"
+#include "util/bit_vector.h"
+#include "util/status.h"
+
+namespace bwtk {
+
+/// Self-index supporting backward search and occurrence location.
+class FmIndex {
+ public:
+  struct Options {
+    /// Rankall checkpoint spacing (rows per checkpoint, multiple of 32).
+    uint32_t checkpoint_rate = OccTable::kDefaultCheckpointRate;
+    /// Suffix-array sample spacing (every rate-th text position).
+    uint32_t sa_sample_rate = 8;
+  };
+
+  /// A half-open row interval [lo, hi) of the conceptual sorted-rotation
+  /// matrix; the in-code form of the paper's pair <x, [α, β]>.
+  struct Range {
+    SaIndex lo = 0;
+    SaIndex hi = 0;
+    bool empty() const { return lo >= hi; }
+    SaIndex count() const { return hi - lo; }
+    bool operator==(const Range&) const = default;
+  };
+
+  /// Indexes `text`. The reversal, suffix array, BWT, rank checkpoints and
+  /// SA samples are all constructed here; `text` itself is not retained.
+  static Result<FmIndex> Build(const std::vector<DnaCode>& text,
+                               const Options& options);
+  static Result<FmIndex> Build(const std::vector<DnaCode>& text) {
+    return Build(text, Options());
+  }
+
+  /// Length of the indexed text (excluding the sentinel).
+  size_t text_size() const { return n_; }
+  /// Number of BWT rows (text_size() + 1).
+  size_t rows() const { return n_ + 1; }
+
+  /// The range of every row: the virtual root <-, [0, n]> of the S-tree.
+  Range WholeRange() const { return {0, static_cast<SaIndex>(rows())}; }
+
+  /// One backward-search step: rows of `range` whose suffix, prefixed with
+  /// `c`, still occurs. Equals the paper's search(c, L_range). May be empty.
+  Range Extend(Range range, DnaCode c) const {
+    return {static_cast<SaIndex>(first_row_[c] + occ_.Rank(c, range.lo)),
+            static_cast<SaIndex>(first_row_[c] + occ_.Rank(c, range.hi))};
+  }
+
+  /// All four one-symbol extensions of `range` at once; cheaper than four
+  /// Extend calls because the rank scans are shared. `out[c]` may be empty.
+  void ExtendAll(Range range, Range out[kDnaAlphabetSize]) const {
+    uint32_t lo_ranks[kDnaAlphabetSize];
+    uint32_t hi_ranks[kDnaAlphabetSize];
+    occ_.RankAll(range.lo, lo_ranks);
+    occ_.RankAll(range.hi, hi_ranks);
+    for (unsigned c = 0; c < kDnaAlphabetSize; ++c) {
+      out[c] = {static_cast<SaIndex>(first_row_[c] + lo_ranks[c]),
+                static_cast<SaIndex>(first_row_[c] + hi_ranks[c])};
+    }
+  }
+
+  /// Feeds `pattern` left to right through Extend; the resulting range
+  /// covers exactly the occurrences of `pattern` in the original text.
+  Range MatchForward(const std::vector<DnaCode>& pattern) const;
+
+  /// Number of occurrences of `pattern` in the text.
+  size_t CountOccurrences(const std::vector<DnaCode>& pattern) const {
+    const Range range = MatchForward(pattern);
+    return range.empty() ? 0 : static_cast<size_t>(range.count());
+  }
+
+  /// Start positions (in the original text) of the occurrences represented
+  /// by `range` after extending `depth` characters. Unsorted.
+  std::vector<size_t> Locate(Range range, size_t depth) const;
+
+  /// Suffix-array value of `row` (position in the reversed text), recovered
+  /// from the samples by LF-walking.
+  size_t SuffixArrayValue(SaIndex row) const;
+
+  const Bwt& bwt() const { return *bwt_; }
+  const OccTable& occ() const { return occ_; }
+  const Options& options() const { return options_; }
+
+  /// Approximate heap footprint in bytes of the whole index.
+  size_t MemoryUsage() const;
+
+  // --- Serialization (implemented in bwt/serialize.cc) ------------------
+  Status Save(std::ostream& out) const;
+  static Result<FmIndex> Load(std::istream& in);
+  Status SaveToFile(const std::string& path) const;
+  static Result<FmIndex> LoadFromFile(const std::string& path);
+
+ private:
+  friend class FmIndexSerializer;
+
+  FmIndex() = default;
+
+  /// LF mapping: row of the suffix one position to the left.
+  SaIndex LfStep(SaIndex row) const;
+
+  /// Rebuilds occ_ / first_row_ after bwt_ and samples are in place.
+  Status FinishConstruction();
+
+  size_t n_ = 0;
+  Options options_;
+  std::unique_ptr<Bwt> bwt_;  // heap-stable so occ_ can point at it
+  OccTable occ_;
+  /// first_row_[c] = first row whose suffix starts with symbol c; entry
+  /// [kDnaAlphabetSize] caps the table at rows().
+  std::array<SaIndex, kDnaAlphabetSize + 1> first_row_{};
+  /// sampled_rows_[row] marks rows whose SA value is a multiple of the
+  /// sample rate; sa_samples_ stores those values in row order.
+  BitVectorRank sampled_rows_;
+  std::vector<SaIndex> sa_samples_;
+};
+
+}  // namespace bwtk
+
+#endif  // BWTK_BWT_FM_INDEX_H_

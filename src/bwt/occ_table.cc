@@ -1,0 +1,92 @@
+#include "bwt/occ_table.h"
+
+#include "util/bit_utils.h"
+#include "util/logging.h"
+
+namespace bwtk {
+
+Result<OccTable> OccTable::Build(const Bwt* bwt, uint32_t checkpoint_rate) {
+  if (bwt == nullptr) return Status::InvalidArgument("bwt must not be null");
+  if (checkpoint_rate == 0 || checkpoint_rate % 32 != 0) {
+    return Status::InvalidArgument(
+        "checkpoint_rate must be a positive multiple of 32, got " +
+        std::to_string(checkpoint_rate));
+  }
+  OccTable table;
+  table.bwt_ = bwt;
+  table.rate_ = checkpoint_rate;
+
+  const size_t rows = bwt->codes.size();
+  const size_t blocks = rows / checkpoint_rate + 1;
+  table.checkpoints_.assign(blocks * kDnaAlphabetSize, 0);
+
+  std::array<uint32_t, kDnaAlphabetSize> running{};
+  const std::vector<uint64_t>& words = bwt->codes.words();
+  const uint32_t words_per_block = checkpoint_rate / 32;
+  for (size_t block = 1; block < blocks; ++block) {
+    // Accumulate the raw symbol counts of the previous block's words.
+    const size_t first_word = (block - 1) * words_per_block;
+    for (size_t w = first_word; w < first_word + words_per_block; ++w) {
+      const uint64_t word = w < words.size() ? words[w] : 0;
+      for (unsigned c = 0; c < kDnaAlphabetSize; ++c) {
+        running[c] += Count2BitSymbols(word, c, 32);
+      }
+    }
+    for (unsigned c = 0; c < kDnaAlphabetSize; ++c) {
+      table.checkpoints_[block * kDnaAlphabetSize + c] = running[c];
+    }
+  }
+
+  for (unsigned c = 0; c < kDnaAlphabetSize; ++c) {
+    table.totals_[c] = table.Rank(static_cast<DnaCode>(c), rows);
+  }
+  return table;
+}
+
+uint32_t OccTable::Rank(DnaCode c, size_t pos) const {
+  BWTK_DCHECK_LE(pos, bwt_->codes.size());
+  const size_t block = pos / rate_;
+  uint32_t count = checkpoints_[block * kDnaAlphabetSize + c];
+  // Scan the tail: whole packed words first, then the partial word.
+  const std::vector<uint64_t>& words = bwt_->codes.words();
+  size_t cursor = block * rate_;
+  while (cursor + 32 <= pos) {
+    count += Count2BitSymbols(words[cursor >> 5], c, 32);
+    cursor += 32;
+  }
+  if (cursor < pos) {
+    count += Count2BitSymbols(words[cursor >> 5], c,
+                              static_cast<unsigned>(pos - cursor));
+  }
+  // The sentinel row's packed slot holds a placeholder 'a'; it must never
+  // count as a real symbol.
+  if (c == 0 && bwt_->sentinel_row < pos) --count;
+  return count;
+}
+
+void OccTable::RankAll(size_t pos, uint32_t out[kDnaAlphabetSize]) const {
+  BWTK_DCHECK_LE(pos, bwt_->codes.size());
+  const size_t block = pos / rate_;
+  for (unsigned c = 0; c < kDnaAlphabetSize; ++c) {
+    out[c] = checkpoints_[block * kDnaAlphabetSize + c];
+  }
+  const std::vector<uint64_t>& words = bwt_->codes.words();
+  size_t cursor = block * rate_;
+  while (cursor + 32 <= pos) {
+    const uint64_t word = words[cursor >> 5];
+    for (unsigned c = 0; c < kDnaAlphabetSize; ++c) {
+      out[c] += Count2BitSymbols(word, c, 32);
+    }
+    cursor += 32;
+  }
+  if (cursor < pos) {
+    const uint64_t word = words[cursor >> 5];
+    const unsigned tail = static_cast<unsigned>(pos - cursor);
+    for (unsigned c = 0; c < kDnaAlphabetSize; ++c) {
+      out[c] += Count2BitSymbols(word, c, tail);
+    }
+  }
+  if (bwt_->sentinel_row < pos) --out[0];
+}
+
+}  // namespace bwtk

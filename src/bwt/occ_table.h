@@ -1,0 +1,65 @@
+// The "rankall" structure of Section III.A (Fig. 2): for each DNA symbol x,
+// A_x[i] = number of occurrences of x in L[0..i). The paper stores one
+// rankall value per symbol for every 4 BWT elements; we generalize the
+// checkpoint rate (one checkpoint block per `rate` rows, rate a multiple of
+// 32) and fill the gap with word-level popcounts over the 2-bit packed BWT.
+// The rate is the space/time knob exercised by bench_ablation_rankall.
+
+#ifndef BWTK_BWT_OCC_TABLE_H_
+#define BWTK_BWT_OCC_TABLE_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "alphabet/dna.h"
+#include "alphabet/packed_sequence.h"
+#include "bwt/bwt.h"
+#include "util/status.h"
+
+namespace bwtk {
+
+/// Occurrence (rank) table over a BWT array.
+class OccTable {
+ public:
+  static constexpr uint32_t kDefaultCheckpointRate = 64;
+
+  OccTable() = default;
+
+  /// Builds checkpoints for `bwt`. `checkpoint_rate` must be a positive
+  /// multiple of 32 (so checkpoints align with packed words).
+  static Result<OccTable> Build(const Bwt* bwt, uint32_t checkpoint_rate =
+                                                    kDefaultCheckpointRate);
+
+  /// Number of occurrences of `c` in L[0..pos). The sentinel row never
+  /// counts toward any symbol. O(rate/32) word operations.
+  uint32_t Rank(DnaCode c, size_t pos) const;
+
+  /// Ranks of all four symbols at once — one pass over the checkpoint gap
+  /// instead of four (this is why the paper's rankall stores all four
+  /// counters per checkpoint). `out[c]` = Rank(c, pos).
+  void RankAll(size_t pos, uint32_t out[kDnaAlphabetSize]) const;
+
+  /// Occurrences of `c` in the whole BWT.
+  uint32_t Total(DnaCode c) const { return totals_[c]; }
+
+  uint32_t checkpoint_rate() const { return rate_; }
+  size_t size() const { return bwt_ == nullptr ? 0 : bwt_->codes.size(); }
+
+  /// Heap bytes used by the checkpoint directory (excludes the BWT itself).
+  size_t MemoryUsage() const {
+    return checkpoints_.capacity() * sizeof(uint32_t);
+  }
+
+ private:
+  const Bwt* bwt_ = nullptr;  // not owned
+  uint32_t rate_ = kDefaultCheckpointRate;
+  // checkpoints_[4 * block + c] = count of symbol c in L[0 .. block*rate),
+  // counting the sentinel row's placeholder slot (corrected at query time).
+  std::vector<uint32_t> checkpoints_;
+  std::array<uint32_t, kDnaAlphabetSize> totals_{};
+};
+
+}  // namespace bwtk
+
+#endif  // BWTK_BWT_OCC_TABLE_H_

@@ -1,0 +1,26 @@
+// Binary (de)serialization of FM-indexes.
+//
+// Building the BWT of a genome is the expensive step ("once it is created,
+// it can be repeatedly used" — Section V); persisting the index makes that
+// amortization real. The format is versioned and checksummed so a truncated
+// or foreign file fails with Corruption instead of producing wrong matches.
+
+#ifndef BWTK_BWT_SERIALIZE_H_
+#define BWTK_BWT_SERIALIZE_H_
+
+#include <cstdint>
+#include <iosfwd>
+
+#include "util/status.h"
+
+namespace bwtk {
+
+/// On-disk format constants shared by writer and reader.
+struct FmIndexFormat {
+  static constexpr uint32_t kMagic = 0x4257544b;  // "BWTK"
+  static constexpr uint32_t kVersion = 1;
+};
+
+}  // namespace bwtk
+
+#endif  // BWTK_BWT_SERIALIZE_H_

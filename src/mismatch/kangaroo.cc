@@ -1,0 +1,36 @@
+#include "mismatch/kangaroo.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace bwtk {
+
+Result<PatternLcp> PatternLcp::Build(const std::vector<DnaCode>& pattern) {
+  PatternLcp out;
+  std::vector<uint32_t> widened(pattern.begin(), pattern.end());
+  BWTK_ASSIGN_OR_RETURN(out.lcp_index_,
+                        LcpIndex::Build(std::move(widened),
+                                        kDnaAlphabetSize));
+  return out;
+}
+
+std::vector<int32_t> PatternLcp::MismatchesBetween(size_t a, size_t b,
+                                                   size_t len,
+                                                   size_t max_count) const {
+  std::vector<int32_t> out;
+  BWTK_DCHECK_LE(a + len, size());
+  BWTK_DCHECK_LE(b + len, size());
+  size_t offset = 0;  // characters already known equal
+  while (out.size() < max_count) {
+    const int32_t common = Lcp(a + offset, b + offset);
+    offset += static_cast<size_t>(common);
+    if (offset >= len) break;
+    out.push_back(static_cast<int32_t>(offset + 1));  // 1-based mismatch
+    ++offset;
+  }
+  return out;
+}
+
+}  // namespace bwtk

@@ -1,0 +1,46 @@
+// Kangaroo jumps over a pattern: constant-time LCP queries between any two
+// suffixes of the pattern, the primitive behind the R_i tables of Section
+// IV.B. Each "jump" lands exactly on the next mismatch between two aligned
+// suffixes, so the first k+2 mismatches of any alignment cost O(k).
+
+#ifndef BWTK_MISMATCH_KANGAROO_H_
+#define BWTK_MISMATCH_KANGAROO_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "alphabet/dna.h"
+#include "suffix/lcp.h"
+#include "util/status.h"
+
+namespace bwtk {
+
+/// O(1) LCP between arbitrary suffixes of one pattern.
+class PatternLcp {
+ public:
+  /// Empty; assign from Build() before use.
+  PatternLcp() = default;
+
+  /// Preprocesses `pattern` (suffix array + LCP + RMQ): O(m log m).
+  static Result<PatternLcp> Build(const std::vector<DnaCode>& pattern);
+
+  /// LCP of pattern[a..) and pattern[b..). Positions may equal size().
+  int32_t Lcp(size_t a, size_t b) const {
+    return static_cast<int32_t>(lcp_index_.Lcp(a, b));
+  }
+
+  size_t size() const { return lcp_index_.text_size(); }
+
+  /// The first `max_count` mismatch offsets (1-based) between
+  /// pattern[a..a+len) and pattern[b..b+len). Offsets are relative to the
+  /// alignment: offset t means pattern[a+t-1] != pattern[b+t-1].
+  std::vector<int32_t> MismatchesBetween(size_t a, size_t b, size_t len,
+                                         size_t max_count) const;
+
+ private:
+  LcpIndex lcp_index_;
+};
+
+}  // namespace bwtk
+
+#endif  // BWTK_MISMATCH_KANGAROO_H_

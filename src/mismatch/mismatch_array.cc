@@ -1,0 +1,106 @@
+#include "mismatch/mismatch_array.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace bwtk {
+
+MismatchArray MismatchPositionsNaive(std::span<const DnaCode> a,
+                                     std::span<const DnaCode> b,
+                                     size_t max_count) {
+  MismatchArray out;
+  const size_t len = std::min(a.size(), b.size());
+  for (size_t t = 0; t < len && out.size() < max_count; ++t) {
+    if (a[t] != b[t]) out.push_back(static_cast<int32_t>(t + 1));
+  }
+  return out;
+}
+
+int32_t HammingDistanceCapped(std::span<const DnaCode> a,
+                              std::span<const DnaCode> b, int32_t cap) {
+  BWTK_DCHECK_EQ(a.size(), b.size());
+  int32_t distance = 0;
+  for (size_t t = 0; t < a.size(); ++t) {
+    if (a[t] != b[t]) {
+      if (++distance > cap) return cap + 1;
+    }
+  }
+  return distance;
+}
+
+Result<ShiftMismatchTable> ShiftMismatchTable::Build(
+    const std::vector<DnaCode>& pattern, int32_t k) {
+  if (k < 0) return Status::InvalidArgument("k must be non-negative");
+  ShiftMismatchTable table;
+  table.pattern_size_ = pattern.size();
+  table.k_ = k;
+  BWTK_ASSIGN_OR_RETURN(table.lcp_, PatternLcp::Build(pattern));
+  const size_t m = pattern.size();
+  table.shifts_.resize(m == 0 ? 0 : m);
+  for (size_t i = 1; i < m; ++i) {
+    // Overlap of r[1..m-i] with r[i+1..m] has length m - i.
+    table.shifts_[i] =
+        table.lcp_.MismatchesBetween(0, i, m - i, table.capacity());
+  }
+  return table;
+}
+
+MismatchArray ShiftMismatchTable::SuffixMismatches(size_t i, size_t j,
+                                                   size_t max_count) const {
+  BWTK_DCHECK_LE(i, pattern_size_);
+  BWTK_DCHECK_LE(j, pattern_size_);
+  const size_t overlap = pattern_size_ - std::max(i, j);
+  return lcp_.MismatchesBetween(i, j, overlap, max_count);
+}
+
+MergedMismatches MergeMismatchArrays(const MismatchArray& a1,
+                                     const MismatchArray& a2,
+                                     std::span<const DnaCode> beta,
+                                     std::span<const DnaCode> gamma,
+                                     bool a1_exhaustive, bool a2_exhaustive,
+                                     size_t max_count) {
+  MergedMismatches merged;
+  // Offsets beyond a truncated input may hide mismatches of (α, βγ); the
+  // result is only exhaustive up to the earliest truncation point.
+  if (!a1_exhaustive && !a1.empty()) {
+    merged.horizon = std::min(merged.horizon, a1.back());
+  }
+  if (!a2_exhaustive && !a2.empty()) {
+    merged.horizon = std::min(merged.horizon, a2.back());
+  }
+
+  size_t p = 0;
+  size_t q = 0;
+  auto push = [&](int32_t offset) {
+    if (merged.positions.size() < max_count &&
+        offset <= merged.horizon) {
+      merged.positions.push_back(offset);
+    }
+  };
+  while (p < a1.size() && q < a2.size()) {
+    if (a1[p] < a2[q]) {
+      // β differs from α here while γ agrees with α, hence β != γ.
+      push(a1[p]);
+      ++p;
+    } else if (a2[q] < a1[p]) {
+      push(a2[q]);
+      ++q;
+    } else {
+      // Both differ from α at this offset: compare β and γ directly
+      // (step 4 of the paper's merge).
+      const size_t t = static_cast<size_t>(a1[p]) - 1;
+      const DnaCode b = t < beta.size() ? beta[t] : DnaCode{255};
+      const DnaCode g = t < gamma.size() ? gamma[t] : DnaCode{254};
+      if (b != g) push(a1[p]);
+      ++p;
+      ++q;
+    }
+  }
+  // Step 5: append the remainder of whichever input survives.
+  for (; p < a1.size(); ++p) push(a1[p]);
+  for (; q < a2.size(); ++q) push(a2[q]);
+  return merged;
+}
+
+}  // namespace bwtk

@@ -1,0 +1,109 @@
+// Mismatch arrays over the pattern (Section IV.B of the paper).
+//
+// A *mismatch array* lists the 1-based offsets of the first few mismatches
+// of two aligned strings, in increasing order ("R[p] = q" means the p-th
+// mismatch is at offset q). Three facilities live here:
+//
+//  * MismatchPositionsNaive — character-by-character oracle.
+//  * ShiftMismatchTable     — the paper's R_1 .. R_{m-1}: for shift i, the
+//                             first k+2 mismatches between r[1..m-i] and
+//                             r[i+1..m]. Built with kangaroo jumps.
+//  * MergeMismatchArrays    — the paper's merge(A1, A2, γ1, γ2)
+//                             (Proposition 1): derives the mismatch array of
+//                             (β, γ) from those of (α, β) and (α, γ) in
+//                             O(k), comparing characters only at offsets
+//                             present in both inputs.
+//
+// Truncation caveat: when an input array was cut off at its capacity, the
+// merged output is exhaustive only up to the earlier cut-off point. The
+// paper handles this by carrying k+2 entries everywhere; we additionally
+// report the trusted horizon so callers can fall back to direct comparison
+// beyond it instead of silently missing mismatches.
+
+#ifndef BWTK_MISMATCH_MISMATCH_ARRAY_H_
+#define BWTK_MISMATCH_MISMATCH_ARRAY_H_
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "alphabet/dna.h"
+#include "mismatch/kangaroo.h"
+#include "util/status.h"
+
+namespace bwtk {
+
+/// Strictly increasing 1-based mismatch offsets.
+using MismatchArray = std::vector<int32_t>;
+
+/// Horizon value meaning "exhaustive over the full overlap".
+inline constexpr int32_t kUnboundedHorizon =
+    std::numeric_limits<int32_t>::max();
+
+/// First `max_count` mismatch offsets between `a` and `b` over
+/// min(a.size(), b.size()) characters, by direct comparison.
+MismatchArray MismatchPositionsNaive(std::span<const DnaCode> a,
+                                     std::span<const DnaCode> b,
+                                     size_t max_count);
+
+/// Total Hamming distance between equal-length spans, early-exiting once it
+/// exceeds `cap` (returns cap+1 in that case).
+int32_t HammingDistanceCapped(std::span<const DnaCode> a,
+                              std::span<const DnaCode> b, int32_t cap);
+
+/// The paper's R_i tables for a pattern r: Shift(i) holds the first k+2
+/// mismatch offsets between r[1..m-i] and r[i+1..m] (1-based offsets into
+/// the overlap). Construction costs O(m log m) preprocessing + O(mk) jumps.
+class ShiftMismatchTable {
+ public:
+  /// Entries kept per shift: k+2, per the paper ("we need to keep k+2,
+  /// rather than k+1 mismatches in each R_i").
+  static Result<ShiftMismatchTable> Build(const std::vector<DnaCode>& pattern,
+                                          int32_t k);
+
+  /// R_i for shift i in [1, pattern_size). R_0 would be all-equal ([-]).
+  const MismatchArray& Shift(size_t i) const { return shifts_[i]; }
+
+  size_t pattern_size() const { return pattern_size_; }
+  int32_t k() const { return k_; }
+
+  /// Capacity used per entry (k + 2).
+  size_t capacity() const { return static_cast<size_t>(k_) + 2; }
+
+  /// Mismatch offsets between suffixes r[i..] and r[j..] over their common
+  /// overlap (the paper's R_ij), computed exactly with kangaroo jumps; up to
+  /// `max_count` entries. 0-based suffix starts i, j.
+  MismatchArray SuffixMismatches(size_t i, size_t j, size_t max_count) const;
+
+ private:
+  ShiftMismatchTable() = default;
+
+  size_t pattern_size_ = 0;
+  int32_t k_ = 0;
+  PatternLcp lcp_;
+  std::vector<MismatchArray> shifts_;  // index 0 unused
+};
+
+/// Result of MergeMismatchArrays: `positions` is exhaustive for offsets
+/// <= `horizon` and may miss mismatches beyond it.
+struct MergedMismatches {
+  MismatchArray positions;
+  int32_t horizon = kUnboundedHorizon;
+};
+
+/// merge(A1, A2, γ1, γ2) of Section IV.B. `a1` holds the mismatch offsets of
+/// (α, β), `a2` those of (α, γ); `beta`/`gamma` are the strings themselves,
+/// consulted only at offsets present in both arrays. `a1_exhaustive` /
+/// `a2_exhaustive` say whether the corresponding input lists *all*
+/// mismatches (false if it was truncated at capacity).
+MergedMismatches MergeMismatchArrays(const MismatchArray& a1,
+                                     const MismatchArray& a2,
+                                     std::span<const DnaCode> beta,
+                                     std::span<const DnaCode> gamma,
+                                     bool a1_exhaustive, bool a2_exhaustive,
+                                     size_t max_count);
+
+}  // namespace bwtk
+
+#endif  // BWTK_MISMATCH_MISMATCH_ARRAY_H_

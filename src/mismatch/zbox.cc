@@ -1,0 +1,36 @@
+#include "mismatch/zbox.h"
+
+namespace bwtk {
+
+namespace {
+
+template <typename Symbol>
+std::vector<int32_t> ZArrayImpl(const std::vector<Symbol>& s) {
+  const int32_t n = static_cast<int32_t>(s.size());
+  std::vector<int32_t> z(n, 0);
+  if (n == 0) return z;
+  z[0] = n;
+  int32_t l = 0;
+  int32_t r = 0;  // [l, r) = rightmost Z-box
+  for (int32_t i = 1; i < n; ++i) {
+    if (i < r) z[i] = std::min(r - i, z[i - l]);
+    while (i + z[i] < n && s[z[i]] == s[i + z[i]]) ++z[i];
+    if (i + z[i] > r) {
+      l = i;
+      r = i + z[i];
+    }
+  }
+  return z;
+}
+
+}  // namespace
+
+std::vector<int32_t> ComputeZArray(const std::vector<DnaCode>& s) {
+  return ZArrayImpl(s);
+}
+
+std::vector<int32_t> ComputeZArray(const std::vector<uint32_t>& s) {
+  return ZArrayImpl(s);
+}
+
+}  // namespace bwtk

@@ -1,0 +1,23 @@
+// Z-algorithm: Z[i] = length of the longest common prefix of s and s[i..).
+// A light-weight alternative to the suffix-array LCP machinery when only
+// prefix-anchored LCPs are needed (e.g. the Amir baseline's break finding).
+
+#ifndef BWTK_MISMATCH_ZBOX_H_
+#define BWTK_MISMATCH_ZBOX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "alphabet/dna.h"
+
+namespace bwtk {
+
+/// Computes the Z-array of `s` in O(|s|). Z[0] = |s| by convention.
+std::vector<int32_t> ComputeZArray(const std::vector<DnaCode>& s);
+
+/// Generic-symbol overload (used on concatenations with separators).
+std::vector<int32_t> ComputeZArray(const std::vector<uint32_t>& s);
+
+}  // namespace bwtk
+
+#endif  // BWTK_MISMATCH_ZBOX_H_

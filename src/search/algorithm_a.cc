@@ -1,0 +1,460 @@
+#include "search/algorithm_a.h"
+
+#include <algorithm>
+#include <array>
+#include <optional>
+#include <unordered_map>
+
+#include "mismatch/kangaroo.h"
+#include "mismatch/mismatch_array.h"
+#include "search/mtree.h"
+#include "search/tau_heuristic.h"
+#include "util/logging.h"
+
+namespace bwtk {
+
+namespace {
+
+constexpr int32_t kNoChild = -1;
+
+// Open-addressing hash table from packed rank ranges to DAG node ids. The
+// paper's hash table of pairs sits on the search's hot path (one probe per
+// materialized node), so this is a flat linear-probing map instead of
+// std::unordered_map — no per-node allocation, one cache line per probe.
+class RangeMap {
+ public:
+  RangeMap() { Rehash(1 << 16); }
+
+  // Returns {slot for the value, inserted}. On a hit the existing value is
+  // untouched.
+  std::pair<int32_t*, bool> TryEmplace(uint64_t key, int32_t value) {
+    if ((size_ + 1) * 10 >= capacity() * 7) Rehash(capacity() * 2);
+    size_t slot = Mix(key) & mask_;
+    while (keys_[slot] != kEmptyKey) {
+      if (keys_[slot] == key) return {&values_[slot], false};
+      slot = (slot + 1) & mask_;
+    }
+    keys_[slot] = key;
+    values_[slot] = value;
+    ++size_;
+    return {&values_[slot], true};
+  }
+
+ private:
+  static constexpr uint64_t kEmptyKey = ~uint64_t{0};  // ranges stay below
+
+  static uint64_t Mix(uint64_t x) {
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    return x;
+  }
+
+  size_t capacity() const { return keys_.size(); }
+
+  void Rehash(size_t new_capacity) {
+    std::vector<uint64_t> old_keys = std::move(keys_);
+    std::vector<int32_t> old_values = std::move(values_);
+    keys_.assign(new_capacity, kEmptyKey);
+    values_.assign(new_capacity, 0);
+    mask_ = new_capacity - 1;
+    size_ = 0;
+    for (size_t i = 0; i < old_keys.size(); ++i) {
+      if (old_keys[i] != kEmptyKey) TryEmplace(old_keys[i], old_values[i]);
+    }
+  }
+
+  std::vector<uint64_t> keys_;
+  std::vector<int32_t> values_;
+  size_t mask_ = 0;
+  size_t size_ = 0;
+};
+
+// A node of the memoized search DAG. Children depend only on the rank range
+// (one search() step per symbol), so every distinct pair <x, [α, β]> is
+// expanded exactly once per Search() call — the role of the paper's hash
+// table.
+struct DagNode {
+  FmIndex::Range range;
+  std::array<int32_t, kDnaAlphabetSize> child{kNoChild, kNoChild, kNoChild,
+                                              kNoChild};
+  int32_t chain_id = -1;
+  uint8_t child_count = 0;
+  bool expanded = false;
+};
+
+// A maximal single-continuation run below a DAG node, with its mismatch
+// array recorded against the alignment of the first visit. Corresponds to
+// the paths through a repeated S-tree node whose mismatch information
+// Algorithm A derives instead of re-searching.
+struct Chain {
+  int32_t first_alignment = 0;    // pattern position of the first chain char
+  std::vector<int32_t> node_ids;  // chain nodes, top to bottom
+  std::vector<DnaCode> symbols;   // characters along the chain
+  // 1-based offsets t with symbols[t-1] != r[first_alignment + t - 1];
+  // exhaustive over the whole chain (the path's B_l array).
+  MismatchArray mm_vs_first;
+};
+
+class SearchContext {
+ public:
+  SearchContext(const FmIndex& index, const std::vector<DnaCode>& pattern,
+                int32_t k, const AlgorithmAOptions& options)
+      : index_(index),
+        r_(pattern),
+        m_(pattern.size()),
+        k_(k),
+        reuse_(options.reuse),
+        use_tau_(options.use_tau) {}
+
+  void Run() {
+    if (m_ == 0 || m_ > index_.text_size() || k_ < 0) return;
+    if (use_tau_) tau_ = ComputeTau(index_, r_);
+    dag_.reserve(1 << 16);
+    stack_.reserve(1 << 10);
+    stack_.push_back(
+        {GetOrCreateNode(index_.WholeRange()), 0, 0, mtree_.root()});
+    while (!stack_.empty()) {
+      Frame frame = stack_.back();
+      stack_.pop_back();
+      ProcessFrame(frame);
+    }
+    NormalizeOccurrences(&results_);
+    stats_.mtree_nodes = mtree_.node_count();
+    stats_.mtree_leaves = mtree_.leaf_count();
+  }
+
+  std::vector<Occurrence>& results() { return results_; }
+  SearchStats& stats() { return stats_; }
+
+ private:
+  struct Frame {
+    int32_t node;
+    uint32_t depth;  // characters consumed; next char compared to r[depth]
+    int32_t mismatches;
+    int32_t mnode;  // current M-tree node
+  };
+
+  // Descends from one frame, following chains inline; pushes sibling
+  // branches onto the stack.
+  void ProcessFrame(Frame frame) {
+    for (;;) {
+      if (frame.depth == m_) {
+        ReportAt(frame.node, frame.mismatches);
+        return;
+      }
+      Expand(frame.node);
+      const DagNode& v = dag_[frame.node];
+      if (v.child_count == 0) {
+        // Dead end: the spelled string cannot be extended in the text (the
+        // paper's <$, i> leaves, e.g. u16 in Fig. 7).
+        mtree_.MarkLeaf();
+        return;
+      }
+      if (reuse_ == AlgorithmAOptions::Reuse::kFull && v.child_count == 1) {
+        const bool advanced = v.chain_id < 0 ? BuildChainWalk(&frame)
+                                             : DerivedChainWalk(&frame);
+        if (!advanced) return;
+        continue;
+      }
+      StepChildren(frame);
+      return;
+    }
+  }
+
+  // Expands a DAG node: one search() step per symbol, exactly once ever.
+  void Expand(int32_t id) {
+    if (dag_[id].expanded) return;
+    const FmIndex::Range range = dag_[id].range;
+    std::array<int32_t, kDnaAlphabetSize> kids{kNoChild, kNoChild, kNoChild,
+                                               kNoChild};
+    uint8_t count = 0;
+    FmIndex::Range next[kDnaAlphabetSize];
+    index_.ExtendAll(range, next);
+    stats_.extend_calls += kDnaAlphabetSize;
+    for (DnaCode c = 0; c < kDnaAlphabetSize; ++c) {
+      if (next[c].empty()) continue;
+      kids[c] = GetOrCreateNode(next[c]);  // may reallocate dag_
+      ++count;
+    }
+    DagNode& v = dag_[id];
+    v.child = kids;
+    v.child_count = count;
+    v.expanded = true;
+  }
+
+  int32_t GetOrCreateNode(FmIndex::Range range) {
+    if (reuse_ == AlgorithmAOptions::Reuse::kNone) {
+      dag_.push_back(DagNode{range, {}, -1, 0, false});
+      return static_cast<int32_t>(dag_.size() - 1);
+    }
+    const uint64_t key = (static_cast<uint64_t>(
+                              static_cast<uint32_t>(range.lo))
+                          << 32) |
+                         static_cast<uint32_t>(range.hi);
+    const auto [slot, inserted] =
+        node_of_range_.TryEmplace(key, static_cast<int32_t>(dag_.size()));
+    if (!inserted) {
+      ++stats_.reused_nodes;
+      return *slot;
+    }
+    dag_.push_back(DagNode{range, {}, -1, 0, false});
+    return *slot;
+  }
+
+  // Branching step: at most one child matches r[depth]; the rest are
+  // mismatching nodes of the S-tree.
+  void StepChildren(const Frame& frame) {
+    const DnaCode expected = r_[frame.depth];
+    const std::array<int32_t, kDnaAlphabetSize> kids = dag_[frame.node].child;
+    for (DnaCode c = 0; c < kDnaAlphabetSize; ++c) {
+      if (kids[c] == kNoChild) continue;
+      ++stats_.stree_nodes;
+      int32_t q = frame.mismatches;
+      int32_t mnode = frame.mnode;
+      if (c == expected) {
+        mnode = mtree_.AddMatching(mnode);
+      } else {
+        ++q;
+        mnode = mtree_.AddMismatching(mnode, c,
+                                      static_cast<int32_t>(frame.depth));
+        if (q > k_) {
+          mtree_.MarkLeaf();
+          ++stats_.budget_pruned;
+          continue;
+        }
+      }
+      if (TauCuts(frame.depth + 1, q)) {
+        mtree_.MarkLeaf();
+        ++stats_.tau_pruned;
+        continue;
+      }
+      stack_.push_back({kids[c], frame.depth + 1, q, mnode});
+    }
+  }
+
+  // First walk through a single-continuation run: records the chain and its
+  // mismatch array against the current alignment while walking it.
+  // Returns true if `frame` advanced past the chain, false if the path
+  // terminated inside it.
+  bool BuildChainWalk(Frame* frame) {
+    Chain chain;
+    chain.first_alignment = static_cast<int32_t>(frame->depth);
+    int32_t cur = frame->node;
+    int32_t q = frame->mismatches;
+    int32_t mnode = frame->mnode;
+    enum class End { kOpen, kKilled, kComplete };
+    End end = End::kOpen;
+    int32_t final_node = kNoChild;
+    for (;;) {
+      Expand(cur);
+      if (dag_[cur].child_count != 1) break;
+      DnaCode c = 0;
+      while (dag_[cur].child[c] == kNoChild) ++c;
+      const int32_t child = dag_[cur].child[c];
+      const size_t t = chain.node_ids.size() + 1;  // 1-based chain offset
+      const size_t ppos = frame->depth + t - 1;    // pattern position
+      chain.node_ids.push_back(child);
+      chain.symbols.push_back(c);
+      ++stats_.stree_nodes;
+      if (c == r_[ppos]) {
+        mnode = mtree_.AddMatching(mnode);
+      } else {
+        chain.mm_vs_first.push_back(static_cast<int32_t>(t));
+        ++q;
+        mnode = mtree_.AddMismatching(mnode, c, static_cast<int32_t>(ppos));
+        if (q > k_) {
+          mtree_.MarkLeaf();
+          ++stats_.budget_pruned;
+          end = End::kKilled;
+          break;
+        }
+      }
+      if (ppos + 1 == m_) {
+        end = End::kComplete;
+        final_node = child;
+        break;
+      }
+      if (TauCuts(ppos + 1, q)) {
+        mtree_.MarkLeaf();
+        ++stats_.tau_pruned;
+        end = End::kKilled;
+        break;
+      }
+      cur = child;
+    }
+    const size_t length = chain.node_ids.size();
+    const int32_t last_node = length > 0 ? chain.node_ids.back() : kNoChild;
+    // Short runs are not worth a stored record: a re-visit re-walks them in
+    // a handful of O(1) steps anyway. Only runs of at least kMinChainLength
+    // nodes are kept for merge-based derivation.
+    constexpr size_t kMinChainLength = 4;
+    if (length >= kMinChainLength) {
+      dag_[frame->node].chain_id = static_cast<int32_t>(chains_.size());
+      chains_.push_back(std::move(chain));
+    }
+    if (end == End::kComplete) {
+      ReportAt(final_node, q, mnode);
+      return false;
+    }
+    if (end == End::kKilled) return false;
+    BWTK_DCHECK_GT(length, 0u);  // entry had child_count == 1
+    frame->node = last_node;
+    frame->depth += static_cast<uint32_t>(length);
+    frame->mismatches = q;
+    frame->mnode = mnode;
+    return true;
+  }
+
+  // Re-entry into a stored chain at a (usually different) alignment j: the
+  // chain's mismatch structure against r[j..] is derived from the stored
+  // array (vs r[i..]) and R_ij — the paper's node-creation over D[u'].
+  // Offsets beyond the derivation horizon (the i > j case) fall back to
+  // direct comparison; a chain shorter than the pattern remainder resumes
+  // real search steps afterwards (the extension step).
+  bool DerivedChainWalk(Frame* frame) {
+    const Chain& chain = chains_[dag_[frame->node].chain_id];
+    const size_t i = static_cast<size_t>(chain.first_alignment);
+    const size_t j = frame->depth;
+    const size_t lambda = chain.node_ids.size();
+    const size_t need = m_ - j;
+    ++stats_.derived_runs;
+
+    static const MismatchArray kEmptyArray;
+    const MismatchArray* rij = &kEmptyArray;
+    size_t horizon = lambda;
+    if (i != j) {
+      rij = &GetRij(i, j);
+      horizon = std::min(horizon, m_ - std::max(i, j));
+    }
+    horizon = std::min(horizon, need);
+    const size_t limit = std::min(need, lambda);
+
+    int32_t q = frame->mismatches;
+    int32_t mnode = frame->mnode;
+    size_t last_event = 0;
+    bool killed = false;
+    auto on_mismatch = [&](size_t t) {
+      if (t > last_event + 1) mnode = mtree_.AddMatching(mnode);
+      ++q;
+      mnode = mtree_.AddMismatching(mnode, chain.symbols[t - 1],
+                                    static_cast<int32_t>(j + t - 1));
+      last_event = t;
+      if (q > k_) {
+        mtree_.MarkLeaf();
+        ++stats_.budget_pruned;
+        killed = true;
+      } else if (TauCuts(j + t, q)) {
+        mtree_.MarkLeaf();
+        ++stats_.tau_pruned;
+        killed = true;
+      }
+    };
+
+    // Merge the two mismatch arrays (Proposition 1): offsets present in
+    // only one are mismatches outright; common offsets compare the chain
+    // character against r[j + t - 1].
+    size_t p = 0;
+    size_t s = 0;
+    const MismatchArray& mm = chain.mm_vs_first;
+    while (!killed) {
+      const size_t t1 =
+          p < mm.size() ? static_cast<size_t>(mm[p]) : SIZE_MAX;
+      const size_t t2 =
+          s < rij->size() ? static_cast<size_t>((*rij)[s]) : SIZE_MAX;
+      const size_t t = std::min(t1, t2);
+      if (t > horizon) break;
+      if (t1 == t2) {
+        if (chain.symbols[t - 1] != r_[j + t - 1]) on_mismatch(t);
+        ++p;
+        ++s;
+      } else if (t1 < t2) {
+        on_mismatch(t);
+        ++p;
+      } else {
+        on_mismatch(t);
+        ++s;
+      }
+    }
+    // Beyond the horizon the derivation is blind: compare directly.
+    for (size_t t = horizon + 1; t <= limit && !killed; ++t) {
+      ++stats_.stree_nodes;
+      if (chain.symbols[t - 1] != r_[j + t - 1]) on_mismatch(t);
+    }
+    if (killed) return false;
+    if (need <= lambda) {
+      if (need > last_event) mnode = mtree_.AddMatching(mnode);
+      ReportAt(chain.node_ids[need - 1], q, mnode);
+      return false;
+    }
+    if (lambda > last_event) mnode = mtree_.AddMatching(mnode);
+    frame->node = chain.node_ids.back();
+    frame->depth = static_cast<uint32_t>(j + lambda);
+    frame->mismatches = q;
+    frame->mnode = mnode;
+    return true;
+  }
+
+  // True when the τ(i) lower bound proves no occurrence can complete from
+  // pattern position `next_pos` with `q` mismatches already spent.
+  bool TauCuts(size_t next_pos, int32_t q) const {
+    return use_tau_ && next_pos < tau_.size() && k_ - q < tau_[next_pos];
+  }
+
+  // R_ij: mismatch offsets between r[i..] and r[j..] over their overlap,
+  // computed exactly with kangaroo jumps and cached per (i, j).
+  const MismatchArray& GetRij(size_t i, size_t j) {
+    const uint64_t key = static_cast<uint64_t>(i) * (m_ + 1) + j;
+    const auto it = rij_cache_.find(key);
+    if (it != rij_cache_.end()) return it->second;
+    if (!pattern_lcp_.has_value()) {
+      auto built = PatternLcp::Build(r_);
+      BWTK_CHECK(built.ok()) << built.status().ToString();
+      pattern_lcp_ = std::move(built).value();
+    }
+    const size_t overlap = m_ - std::max(i, j);
+    return rij_cache_
+        .emplace(key, pattern_lcp_->MismatchesBetween(i, j, overlap, overlap))
+        .first->second;
+  }
+
+  void ReportAt(int32_t node, int32_t mismatches, int32_t mnode = -1) {
+    (void)mnode;
+    ++stats_.completed_paths;
+    mtree_.MarkLeaf();
+    for (const size_t pos : index_.Locate(dag_[node].range, m_)) {
+      results_.push_back({pos, mismatches});
+    }
+  }
+
+  const FmIndex& index_;
+  const std::vector<DnaCode>& r_;
+  const size_t m_;
+  const int32_t k_;
+  const AlgorithmAOptions::Reuse reuse_;
+  const bool use_tau_;
+  std::vector<int32_t> tau_;
+
+  std::vector<DagNode> dag_;
+  RangeMap node_of_range_;
+  std::vector<Chain> chains_;
+  std::unordered_map<uint64_t, MismatchArray> rij_cache_;
+  std::optional<PatternLcp> pattern_lcp_;
+  MTree mtree_;
+  std::vector<Frame> stack_;
+  std::vector<Occurrence> results_;
+  SearchStats stats_;
+};
+
+}  // namespace
+
+std::vector<Occurrence> AlgorithmA::Search(const std::vector<DnaCode>& pattern,
+                                           int32_t k,
+                                           SearchStats* stats) const {
+  SearchContext context(*index_, pattern, k, options_);
+  context.Run();
+  if (stats != nullptr) *stats = context.stats();
+  return std::move(context.results());
+}
+
+}  // namespace bwtk

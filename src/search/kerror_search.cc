@@ -1,0 +1,138 @@
+#include "search/kerror_search.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace bwtk {
+
+namespace {
+
+// Packs a backtracking state for the visited set. Depth participates
+// because two spelled strings of different lengths can share a rank range
+// (unary paths of the conceptual suffix trie).
+struct StateKey {
+  uint64_t range_bits;
+  uint32_t consumed;
+  uint32_t depth;
+  int32_t edits;
+
+  bool operator==(const StateKey&) const = default;
+};
+
+struct StateKeyHash {
+  size_t operator()(const StateKey& key) const {
+    uint64_t h = key.range_bits * 0x9e3779b97f4a7c15ULL;
+    h ^= (static_cast<uint64_t>(key.consumed) << 32) ^
+         (static_cast<uint64_t>(key.depth) << 8) ^
+         static_cast<uint64_t>(key.edits);
+    h *= 0xff51afd7ed558ccdULL;
+    return static_cast<size_t>(h ^ (h >> 32));
+  }
+};
+
+}  // namespace
+
+std::vector<EditOccurrence> KErrorSearch::Search(
+    const std::vector<DnaCode>& pattern, int32_t k) const {
+  std::vector<EditOccurrence> results;
+  const size_t m = pattern.size();
+  if (m == 0 || k < 0) return results;
+
+  struct Frame {
+    FmIndex::Range range;
+    uint32_t consumed;  // pattern characters used
+    uint32_t depth;     // text characters matched (range depth)
+    int32_t edits;
+  };
+  std::vector<Frame> stack;
+  std::unordered_set<StateKey, StateKeyHash> visited;
+  auto push = [&](const Frame& frame) {
+    if (frame.edits > k || frame.range.empty()) return;
+    const StateKey key{(static_cast<uint64_t>(
+                            static_cast<uint32_t>(frame.range.lo))
+                        << 32) |
+                           static_cast<uint32_t>(frame.range.hi),
+                       frame.consumed, frame.depth, frame.edits};
+    if (visited.insert(key).second) stack.push_back(frame);
+  };
+  push({index_->WholeRange(), 0, 0, 0});
+
+  // Best (edits, length) per reported start position.
+  std::unordered_map<size_t, EditOccurrence> best;
+  while (!stack.empty()) {
+    const Frame frame = stack.back();
+    stack.pop_back();
+    if (frame.consumed == m) {
+      if (frame.depth == 0) continue;  // empty substring: not an occurrence
+      for (const size_t pos : index_->Locate(frame.range, frame.depth)) {
+        const EditOccurrence candidate{pos, frame.depth, frame.edits};
+        const auto it = best.find(pos);
+        if (it == best.end() ||
+            std::tie(candidate.edits, candidate.length) <
+                std::tie(it->second.edits, it->second.length)) {
+          best[pos] = candidate;
+        }
+      }
+      continue;
+    }
+    // Deletion: the pattern character has no counterpart in the text.
+    push({frame.range, frame.consumed + 1, frame.depth, frame.edits + 1});
+    // Extension by each symbol: as a match/substitution (consuming the
+    // pattern character) and as an insertion (not consuming it).
+    FmIndex::Range next[kDnaAlphabetSize];
+    index_->ExtendAll(frame.range, next);
+    const DnaCode expected = pattern[frame.consumed];
+    for (DnaCode c = 0; c < kDnaAlphabetSize; ++c) {
+      if (next[c].empty()) continue;
+      push({next[c], frame.consumed + 1, frame.depth + 1,
+            frame.edits + (c == expected ? 0 : 1)});
+      push({next[c], frame.consumed, frame.depth + 1, frame.edits + 1});
+    }
+  }
+
+  results.reserve(best.size());
+  for (const auto& [pos, occurrence] : best) results.push_back(occurrence);
+  std::sort(results.begin(), results.end());
+  return results;
+}
+
+std::vector<EditOccurrence> KErrorSearchNaive(
+    const std::vector<DnaCode>& text, const std::vector<DnaCode>& pattern,
+    int32_t k) {
+  std::vector<EditOccurrence> results;
+  const size_t m = pattern.size();
+  const size_t n = text.size();
+  if (m == 0 || k < 0) return results;
+  for (size_t start = 0; start < n; ++start) {
+    const size_t max_len =
+        std::min(n - start, m + static_cast<size_t>(k));
+    // dp[j] = edit distance between pattern[0..i) and text[start..start+j).
+    std::vector<int32_t> dp(max_len + 1);
+    std::vector<int32_t> prev(max_len + 1);
+    for (size_t j = 0; j <= max_len; ++j) prev[j] = static_cast<int32_t>(j);
+    for (size_t i = 1; i <= m; ++i) {
+      dp[0] = static_cast<int32_t>(i);
+      for (size_t j = 1; j <= max_len; ++j) {
+        const int32_t substitution =
+            prev[j - 1] + (pattern[i - 1] != text[start + j - 1] ? 1 : 0);
+        dp[j] = std::min({substitution, prev[j] + 1, dp[j - 1] + 1});
+      }
+      std::swap(dp, prev);
+    }
+    // prev now holds distances for the full pattern against every length.
+    EditOccurrence found{start, 0, k + 1};
+    for (size_t len = 1; len <= max_len; ++len) {
+      if (prev[len] < found.edits) {
+        found.edits = prev[len];
+        found.length = len;
+      }
+    }
+    if (found.edits <= k) results.push_back(found);
+  }
+  return results;
+}
+
+}  // namespace bwtk

@@ -1,0 +1,60 @@
+// String matching with k errors (Levenshtein distance) over the FM-index —
+// the sibling problem of Section II's taxonomy ("when the distance function
+// is the Levenshtein distance, the problem is known as the string matching
+// with k errors"). Implemented as S-tree backtracking with an edit budget:
+// besides the substitution branches of the k-mismatch search, the walk may
+// consume a pattern character without extending the index range (deletion
+// from the text's view) or extend the range without consuming the pattern
+// (insertion), each costing one edit.
+
+#ifndef BWTK_SEARCH_KERROR_SEARCH_H_
+#define BWTK_SEARCH_KERROR_SEARCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "alphabet/dna.h"
+#include "bwt/fm_index.h"
+#include "search/match.h"
+
+namespace bwtk {
+
+/// One approximate occurrence under edit distance.
+struct EditOccurrence {
+  /// Start position in the target of the matched substring.
+  size_t position = 0;
+  /// Length of the matched substring (m - k .. m + k).
+  size_t length = 0;
+  /// Edit distance between the pattern and target[position .. +length).
+  int32_t edits = 0;
+
+  bool operator==(const EditOccurrence&) const = default;
+  auto operator<=>(const EditOccurrence&) const = default;
+};
+
+/// FM-index backtracking search under the Levenshtein distance.
+class KErrorSearch {
+ public:
+  /// `index` must outlive the searcher.
+  explicit KErrorSearch(const FmIndex* index) : index_(index) {}
+
+  /// All occurrences of `pattern` within edit distance `k`, deduplicated to
+  /// the best (fewest-edit, then shortest) alignment per start position and
+  /// sorted by position. Intended for small k (the backtracking state space
+  /// grows steeply with the budget).
+  std::vector<EditOccurrence> Search(const std::vector<DnaCode>& pattern,
+                                     int32_t k) const;
+
+ private:
+  const FmIndex* index_;  // not owned
+};
+
+/// Oracle: banded dynamic programming over every window (O(nmk)); used by
+/// tests and available for verification.
+std::vector<EditOccurrence> KErrorSearchNaive(
+    const std::vector<DnaCode>& text, const std::vector<DnaCode>& pattern,
+    int32_t k);
+
+}  // namespace bwtk
+
+#endif  // BWTK_SEARCH_KERROR_SEARCH_H_

@@ -1,0 +1,69 @@
+// Shared result and statistics types for the k-mismatch search engines.
+
+#ifndef BWTK_SEARCH_MATCH_H_
+#define BWTK_SEARCH_MATCH_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace bwtk {
+
+/// One approximate occurrence of the pattern in the target.
+struct Occurrence {
+  /// Start position in the target (0-based).
+  size_t position = 0;
+  /// Hamming distance between the pattern and target[position ..].
+  int32_t mismatches = 0;
+
+  bool operator==(const Occurrence&) const = default;
+  auto operator<=>(const Occurrence&) const = default;
+};
+
+/// Instrumentation counters filled by the search engines. All counters are
+/// per-Search-call.
+struct SearchStats {
+  /// S-tree nodes materialized (pairs <x, [α, β]> pushed).
+  uint64_t stree_nodes = 0;
+  /// Calls to the FM-index search()/Extend() primitive (rank work).
+  uint64_t extend_calls = 0;
+  /// Paths terminated at full pattern length (reported ranges).
+  uint64_t completed_paths = 0;
+  /// Branches cut by the τ(i) heuristic (BWT-baseline only).
+  uint64_t tau_pruned = 0;
+  /// Branches cut by the mismatch budget.
+  uint64_t budget_pruned = 0;
+
+  // --- Algorithm A specific ---------------------------------------------
+  /// M-tree nodes created (matching <-,0> + mismatching <x,i>).
+  uint64_t mtree_nodes = 0;
+  /// M-tree leaves: the paper's n' (Table 2).
+  uint64_t mtree_leaves = 0;
+  /// Hash-table hits: nodes whose subtree was derived, not re-searched.
+  uint64_t reused_nodes = 0;
+  /// Match-run skips performed via merged mismatch arrays.
+  uint64_t derived_runs = 0;
+
+  SearchStats& operator+=(const SearchStats& other) {
+    stree_nodes += other.stree_nodes;
+    extend_calls += other.extend_calls;
+    completed_paths += other.completed_paths;
+    tau_pruned += other.tau_pruned;
+    budget_pruned += other.budget_pruned;
+    mtree_nodes += other.mtree_nodes;
+    mtree_leaves += other.mtree_leaves;
+    reused_nodes += other.reused_nodes;
+    derived_runs += other.derived_runs;
+    return *this;
+  }
+};
+
+/// Canonical ordering applied before returning results so the engines are
+/// output-comparable: by position, then mismatch count.
+inline void NormalizeOccurrences(std::vector<Occurrence>* occurrences) {
+  std::sort(occurrences->begin(), occurrences->end());
+}
+
+}  // namespace bwtk
+
+#endif  // BWTK_SEARCH_MATCH_H_

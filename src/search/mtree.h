@@ -1,0 +1,87 @@
+// The mismatching tree D of Section IV.D (Definition 4).
+//
+// For every mismatching S-tree node <x, [α, β]> (compared against r[i]) the
+// M-tree holds a node <x, i>; every maximal match sub-path (Definition 3)
+// collapses into a single matching node <-, 0>. Because a pattern position
+// matches exactly one character, a matching node never has a matching child
+// — consecutive matches always merge — so the tree's size is proportional
+// to the number of *mismatches* on the explored paths, not their lengths.
+// The leaf count of this tree is the paper's n' (Table 2), the quantity its
+// O(kn' + n + m log m) bound is stated in.
+
+#ifndef BWTK_SEARCH_MTREE_H_
+#define BWTK_SEARCH_MTREE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "alphabet/dna.h"
+
+namespace bwtk {
+
+/// Mismatching tree, grown by the Algorithm A traversal.
+class MTree {
+ public:
+  static constexpr int32_t kMatching = -1;  // pattern_pos of a <-, 0> node
+
+  struct Node {
+    int32_t parent = -1;
+    /// Pattern position of the mismatch for <x, i> nodes; kMatching for
+    /// collapsed match-run nodes.
+    int32_t pattern_pos = kMatching;
+    /// The mismatching character x (meaningful only when pattern_pos >= 0).
+    DnaCode symbol = 0;
+
+    bool matching() const { return pattern_pos == kMatching; }
+  };
+
+  /// Creates the virtual root (a matching node, per the paper's u0).
+  MTree() {
+    nodes_.reserve(1 << 12);
+    nodes_.push_back(Node{});
+  }
+
+  int32_t root() const { return 0; }
+
+  /// Appends a matching child of `parent`, merging into `parent` when it is
+  /// itself a matching node (Definition 4's collapse rule).
+  int32_t AddMatching(int32_t parent) {
+    if (nodes_[parent].matching()) return parent;
+    nodes_.push_back(Node{parent, kMatching, 0});
+    return static_cast<int32_t>(nodes_.size() - 1);
+  }
+
+  /// Appends a mismatching node <symbol, pattern_pos> under `parent`.
+  int32_t AddMismatching(int32_t parent, DnaCode symbol, int32_t pattern_pos) {
+    nodes_.push_back(Node{parent, pattern_pos, symbol});
+    return static_cast<int32_t>(nodes_.size() - 1);
+  }
+
+  /// Records the termination of one search path (the path's B_l array is
+  /// complete). Counts toward n'.
+  void MarkLeaf() { ++leaf_count_; }
+
+  const Node& node(int32_t id) const { return nodes_[id]; }
+  size_t node_count() const { return nodes_.size(); }
+  uint64_t leaf_count() const { return leaf_count_; }
+
+  /// Mismatch pattern positions along the path from the root to `id`
+  /// (the path's B_l array, Section IV.A), oldest first.
+  std::vector<int32_t> PathMismatchPositions(int32_t id) const {
+    std::vector<int32_t> out;
+    for (int32_t cur = id; cur > 0; cur = nodes_[cur].parent) {
+      if (!nodes_[cur].matching()) out.push_back(nodes_[cur].pattern_pos);
+    }
+    std::reverse(out.begin(), out.end());
+    return out;
+  }
+
+ private:
+  std::vector<Node> nodes_;
+  uint64_t leaf_count_ = 0;
+};
+
+}  // namespace bwtk
+
+#endif  // BWTK_SEARCH_MTREE_H_

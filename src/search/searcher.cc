@@ -1,0 +1,43 @@
+#include "search/searcher.h"
+
+namespace bwtk {
+
+Result<KMismatchSearcher> KMismatchSearcher::Build(
+    const std::vector<DnaCode>& genome) {
+  return Build(genome, FmIndex::Options());
+}
+
+Result<KMismatchSearcher> KMismatchSearcher::Build(
+    const std::vector<DnaCode>& genome, const FmIndex::Options& options) {
+  if (genome.empty()) {
+    return Status::InvalidArgument("genome must not be empty");
+  }
+  BWTK_ASSIGN_OR_RETURN(auto index, FmIndex::Build(genome, options));
+  return KMismatchSearcher(std::move(index));
+}
+
+Result<KMismatchSearcher> KMismatchSearcher::Build(std::string_view genome) {
+  BWTK_ASSIGN_OR_RETURN(auto codes, EncodeDna(genome));
+  return Build(codes);
+}
+
+Result<KMismatchSearcher> KMismatchSearcher::FromIndexFile(
+    const std::string& path) {
+  BWTK_ASSIGN_OR_RETURN(auto index, FmIndex::LoadFromFile(path));
+  return KMismatchSearcher(std::move(index));
+}
+
+std::vector<Occurrence> KMismatchSearcher::Search(
+    const std::vector<DnaCode>& pattern, int32_t k,
+    SearchStats* stats) const {
+  const AlgorithmA engine(&index_);
+  return engine.Search(pattern, k, stats);
+}
+
+Result<std::vector<Occurrence>> KMismatchSearcher::Search(
+    std::string_view pattern, int32_t k, SearchStats* stats) const {
+  BWTK_ASSIGN_OR_RETURN(auto codes, EncodeDna(pattern));
+  return Search(codes, k, stats);
+}
+
+}  // namespace bwtk

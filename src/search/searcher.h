@@ -1,0 +1,70 @@
+// KMismatchSearcher — the library's front door.
+//
+// Wraps index construction, persistence, and the Algorithm A search engine
+// behind one object:
+//
+//   auto searcher = KMismatchSearcher::Build(genome_codes).value();
+//   auto hits = searcher.Search("acgtacgt...", /*k=*/3).value();
+//
+// The lower-level engines (STreeSearch, AlgorithmA, the baselines/ family)
+// remain directly usable for benchmarking and research.
+
+#ifndef BWTK_SEARCH_SEARCHER_H_
+#define BWTK_SEARCH_SEARCHER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "alphabet/dna.h"
+#include "bwt/fm_index.h"
+#include "search/algorithm_a.h"
+#include "search/match.h"
+#include "util/status.h"
+
+namespace bwtk {
+
+/// High-level k-mismatch search over one indexed target sequence.
+class KMismatchSearcher {
+ public:
+  /// Indexes `genome` with default FM-index options.
+  static Result<KMismatchSearcher> Build(const std::vector<DnaCode>& genome);
+
+  /// Indexes `genome` with explicit FM-index options.
+  static Result<KMismatchSearcher> Build(const std::vector<DnaCode>& genome,
+                                         const FmIndex::Options& options);
+
+  /// Indexes an ASCII DNA string (a/c/g/t, either case).
+  static Result<KMismatchSearcher> Build(std::string_view genome);
+
+  /// Loads a previously saved index (see SaveIndex).
+  static Result<KMismatchSearcher> FromIndexFile(const std::string& path);
+
+  KMismatchSearcher(KMismatchSearcher&&) = default;
+  KMismatchSearcher& operator=(KMismatchSearcher&&) = default;
+
+  /// All occurrences of `pattern` in the genome with at most `k` mismatches,
+  /// sorted by position.
+  std::vector<Occurrence> Search(const std::vector<DnaCode>& pattern,
+                                 int32_t k,
+                                 SearchStats* stats = nullptr) const;
+
+  /// ASCII convenience overload; fails on non-DNA characters.
+  Result<std::vector<Occurrence>> Search(std::string_view pattern, int32_t k,
+                                         SearchStats* stats = nullptr) const;
+
+  /// Persists the index for later FromIndexFile.
+  Status SaveIndex(const std::string& path) const { return index_.SaveToFile(path); }
+
+  size_t genome_size() const { return index_.text_size(); }
+  const FmIndex& index() const { return index_; }
+
+ private:
+  explicit KMismatchSearcher(FmIndex index) : index_(std::move(index)) {}
+
+  FmIndex index_;
+};
+
+}  // namespace bwtk
+
+#endif  // BWTK_SEARCH_SEARCHER_H_

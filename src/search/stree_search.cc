@@ -1,0 +1,65 @@
+#include "search/stree_search.h"
+
+#include "search/tau_heuristic.h"
+#include "util/logging.h"
+
+namespace bwtk {
+
+std::vector<Occurrence> STreeSearch::Search(
+    const std::vector<DnaCode>& pattern, int32_t k,
+    SearchStats* stats) const {
+  SearchStats local_stats;
+  std::vector<Occurrence> results;
+  const size_t m = pattern.size();
+  if (m == 0 || m > index_->text_size()) {
+    if (stats != nullptr) *stats = local_stats;
+    return results;
+  }
+
+  std::vector<int32_t> tau;
+  if (options_.use_tau) tau = ComputeTau(*index_, pattern);
+
+  struct Frame {
+    FmIndex::Range range;
+    uint32_t depth;       // characters consumed
+    int32_t mismatches;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({index_->WholeRange(), 0, 0});
+  while (!stack.empty()) {
+    const Frame frame = stack.back();
+    stack.pop_back();
+    if (frame.depth == m) {
+      ++local_stats.completed_paths;
+      for (const size_t pos : index_->Locate(frame.range, m)) {
+        results.push_back({pos, frame.mismatches});
+      }
+      continue;
+    }
+    const DnaCode expected = pattern[frame.depth];
+    FmIndex::Range children[kDnaAlphabetSize];
+    index_->ExtendAll(frame.range, children);
+    local_stats.extend_calls += kDnaAlphabetSize;
+    for (DnaCode c = 0; c < kDnaAlphabetSize; ++c) {
+      const FmIndex::Range next = children[c];
+      if (next.empty()) continue;
+      ++local_stats.stree_nodes;
+      const int32_t mismatches = frame.mismatches + (c != expected ? 1 : 0);
+      if (mismatches > k) {
+        ++local_stats.budget_pruned;
+        continue;
+      }
+      if (options_.use_tau && k - mismatches < tau[frame.depth + 1]) {
+        ++local_stats.tau_pruned;
+        continue;
+      }
+      stack.push_back({next, frame.depth + 1, mismatches});
+    }
+  }
+
+  NormalizeOccurrences(&results);
+  if (stats != nullptr) *stats = local_stats;
+  return results;
+}
+
+}  // namespace bwtk

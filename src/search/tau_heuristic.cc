@@ -1,0 +1,35 @@
+#include "search/tau_heuristic.h"
+
+namespace bwtk {
+
+std::vector<int32_t> ComputeTau(const FmIndex& index,
+                                const std::vector<DnaCode>& pattern) {
+  const size_t m = pattern.size();
+  std::vector<int32_t> tau(m + 1, 0);
+  // first_absent_end[i] = smallest j such that r[i..j] does not occur in s
+  // (exclusive end j+1 stored), or m+1 when r[i..m) occurs in full.
+  // τ then satisfies τ(i) = 1 + τ(first_absent_end[i] + 1) and is filled
+  // right to left with memoization.
+  std::vector<size_t> absent_end(m, m + 1);
+  for (size_t i = 0; i < m; ++i) {
+    FmIndex::Range range = index.WholeRange();
+    for (size_t j = i; j < m; ++j) {
+      range = index.Extend(range, pattern[j]);
+      if (range.empty()) {
+        absent_end[i] = j;  // r[i..j] inclusive is absent
+        break;
+      }
+    }
+  }
+  for (size_t i = m; i-- > 0;) {
+    if (absent_end[i] > m) {
+      tau[i] = 0;  // the whole suffix occurs in s
+    } else {
+      const size_t next = absent_end[i] + 1;
+      tau[i] = 1 + (next >= m ? 0 : tau[next]);
+    }
+  }
+  return tau;
+}
+
+}  // namespace bwtk

@@ -1,0 +1,27 @@
+// The τ(i) cut-off heuristic of the BWT baseline [34] (Section IV.A).
+//
+// τ(i) counts the consecutive, disjoint substrings of r[i..m) that do not
+// occur anywhere in the target s. Any occurrence of r[i..m) with fewer than
+// τ(i) mismatches is impossible (each absent substring forces at least one
+// mismatch), so a search path with remaining budget b stops as soon as
+// b < τ(i).
+
+#ifndef BWTK_SEARCH_TAU_HEURISTIC_H_
+#define BWTK_SEARCH_TAU_HEURISTIC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "alphabet/dna.h"
+#include "bwt/fm_index.h"
+
+namespace bwtk {
+
+/// Computes τ(i) for all suffixes: tau[i] applies to r[i..m), tau[m] = 0.
+/// Uses the FM-index for the substring-occurrence probes.
+std::vector<int32_t> ComputeTau(const FmIndex& index,
+                                const std::vector<DnaCode>& pattern);
+
+}  // namespace bwtk
+
+#endif  // BWTK_SEARCH_TAU_HEURISTIC_H_

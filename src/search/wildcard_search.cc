@@ -1,0 +1,84 @@
+#include "search/wildcard_search.h"
+
+#include <algorithm>
+
+namespace bwtk {
+
+Result<std::vector<DnaCode>> ParseWildcardPattern(std::string_view pattern) {
+  std::vector<DnaCode> out;
+  out.reserve(pattern.size());
+  for (size_t i = 0; i < pattern.size(); ++i) {
+    const char c = pattern[i];
+    if (c == '?' || c == '.' || c == 'n' || c == 'N') {
+      out.push_back(kWildcardCode);
+    } else if (IsDnaChar(c)) {
+      out.push_back(CharToCode(c));
+    } else {
+      return Status::InvalidArgument("invalid pattern character '" +
+                                     std::string(1, c) + "' at offset " +
+                                     std::to_string(i));
+    }
+  }
+  return out;
+}
+
+std::vector<Occurrence> WildcardSearch::Search(
+    const std::vector<DnaCode>& pattern, int32_t k) const {
+  std::vector<Occurrence> results;
+  const size_t m = pattern.size();
+  if (m == 0 || m > index_->text_size() || k < 0) return results;
+
+  struct Frame {
+    FmIndex::Range range;
+    uint32_t depth;
+    int32_t mismatches;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({index_->WholeRange(), 0, 0});
+  while (!stack.empty()) {
+    const Frame frame = stack.back();
+    stack.pop_back();
+    if (frame.depth == m) {
+      for (const size_t pos : index_->Locate(frame.range, m)) {
+        results.push_back({pos, frame.mismatches});
+      }
+      continue;
+    }
+    const DnaCode expected = pattern[frame.depth];
+    FmIndex::Range next[kDnaAlphabetSize];
+    index_->ExtendAll(frame.range, next);
+    for (DnaCode c = 0; c < kDnaAlphabetSize; ++c) {
+      if (next[c].empty()) continue;
+      int32_t mismatches = frame.mismatches;
+      if (expected != kWildcardCode && c != expected) {
+        if (++mismatches > k) continue;
+      }
+      stack.push_back({next[c], frame.depth + 1, mismatches});
+    }
+  }
+  NormalizeOccurrences(&results);
+  return results;
+}
+
+std::vector<Occurrence> WildcardSearchNaive(const std::vector<DnaCode>& text,
+                                            const std::vector<DnaCode>& pattern,
+                                            int32_t k) {
+  std::vector<Occurrence> results;
+  const size_t m = pattern.size();
+  if (m == 0 || m > text.size() || k < 0) return results;
+  for (size_t pos = 0; pos + m <= text.size(); ++pos) {
+    int32_t mismatches = 0;
+    bool viable = true;
+    for (size_t i = 0; i < m; ++i) {
+      if (pattern[i] == kWildcardCode) continue;
+      if (text[pos + i] != pattern[i] && ++mismatches > k) {
+        viable = false;
+        break;
+      }
+    }
+    if (viable) results.push_back({pos, mismatches});
+  }
+  return results;
+}
+
+}  // namespace bwtk

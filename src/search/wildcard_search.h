@@ -1,0 +1,51 @@
+// Matching with Don't-Care symbols (the third inexact-matching flavour of
+// the paper's Section II): the pattern may contain wildcard positions that
+// match any base, optionally combined with a mismatch budget on the
+// concrete positions. Over the FM-index a wildcard is simply a zero-cost
+// branch to all four symbols, so this composes directly with the S-tree
+// enumeration.
+
+#ifndef BWTK_SEARCH_WILDCARD_SEARCH_H_
+#define BWTK_SEARCH_WILDCARD_SEARCH_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "alphabet/dna.h"
+#include "bwt/fm_index.h"
+#include "search/match.h"
+#include "util/status.h"
+
+namespace bwtk {
+
+/// Wildcard symbol inside a wildcard pattern.
+inline constexpr DnaCode kWildcardCode = 0xff;
+
+/// Parses "ac?t" / "acntg"-style patterns ('?', 'n', 'N', '.' = wildcard).
+Result<std::vector<DnaCode>> ParseWildcardPattern(std::string_view pattern);
+
+/// FM-index search for patterns containing wildcards.
+class WildcardSearch {
+ public:
+  /// `index` must outlive the searcher.
+  explicit WildcardSearch(const FmIndex* index) : index_(index) {}
+
+  /// All occurrences of `pattern` where every concrete position matches up
+  /// to `k` mismatches and wildcard positions match anything; `mismatches`
+  /// in the result counts only concrete-position mismatches. Sorted.
+  std::vector<Occurrence> Search(const std::vector<DnaCode>& pattern,
+                                 int32_t k = 0) const;
+
+ private:
+  const FmIndex* index_;  // not owned
+};
+
+/// Oracle scanner for tests.
+std::vector<Occurrence> WildcardSearchNaive(const std::vector<DnaCode>& text,
+                                            const std::vector<DnaCode>& pattern,
+                                            int32_t k);
+
+}  // namespace bwtk
+
+#endif  // BWTK_SEARCH_WILDCARD_SEARCH_H_

@@ -1,0 +1,72 @@
+#include "simulate/genome_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bwtk {
+
+Result<std::vector<DnaCode>> GenerateGenome(const GenomeOptions& options) {
+  if (options.length == 0) {
+    return Status::InvalidArgument("genome length must be positive");
+  }
+  if (options.gc_content < 0.0 || options.gc_content > 1.0 ||
+      options.repeat_fraction < 0.0 || options.repeat_fraction >= 1.0 ||
+      options.repeat_divergence < 0.0 || options.repeat_divergence > 1.0) {
+    return Status::InvalidArgument("genome option out of range");
+  }
+  Rng rng(options.seed);
+  const double at = (1.0 - options.gc_content) / 2.0;
+  const double gc = options.gc_content / 2.0;
+  const std::vector<double> base_weights = {at, gc, gc, at};  // a c g t
+
+  std::vector<DnaCode> genome;
+  genome.reserve(options.length);
+  // Phase 1: random backbone with the requested composition.
+  const size_t backbone =
+      static_cast<size_t>(options.length * (1.0 - options.repeat_fraction));
+  for (size_t i = 0; i < backbone; ++i) {
+    genome.push_back(static_cast<DnaCode>(rng.NextWeighted(base_weights)));
+  }
+  // Phase 2: fill the remainder with diverged copies of earlier segments —
+  // the dispersed-repeat structure real genomes have.
+  while (genome.size() < options.length) {
+    const size_t remaining = options.length - genome.size();
+    const size_t len = std::min(
+        remaining,
+        std::max<size_t>(
+            16, static_cast<size_t>(rng.NextInRange(
+                    static_cast<int64_t>(options.repeat_length / 2),
+                    static_cast<int64_t>(options.repeat_length * 3 / 2)))));
+    const size_t source = static_cast<size_t>(rng.NextBounded(genome.size()));
+    for (size_t i = 0; i < len; ++i) {
+      DnaCode c = genome[(source + i) % genome.size()];
+      if (rng.NextBool(options.repeat_divergence)) {
+        c = static_cast<DnaCode>((c + 1 + rng.NextBounded(3)) & 3);
+      }
+      genome.push_back(c);
+    }
+  }
+  genome.resize(options.length);
+  return genome;
+}
+
+std::vector<GenomePreset> Table1Presets(double scale) {
+  // Table 1 of the paper: genome sizes in base pairs.
+  const std::vector<std::pair<std::string, size_t>> table1 = {
+      {"rat_Rnor6", 2909701677ULL},
+      {"zebrafish_GRCz10", 1464443456ULL},
+      {"rat_chr1", 290094217ULL},
+      {"c_elegans_WBcel235", 100272607ULL},
+      {"c_merolae_ASM9120v1", 16728967ULL},
+  };
+  std::vector<GenomePreset> presets;
+  presets.reserve(table1.size());
+  for (const auto& [name, size] : table1) {
+    const size_t scaled = std::max<size_t>(
+        1 << 14, static_cast<size_t>(std::llround(size * scale)));
+    presets.push_back({name, size, scaled});
+  }
+  return presets;
+}
+
+}  // namespace bwtk

@@ -1,0 +1,53 @@
+// Synthetic genome generation.
+//
+// The paper's evaluation runs on five real genomes (Table 1) that are not
+// redistributable here; this generator produces stand-ins with the
+// properties that drive the algorithms' behaviour: alphabet, length, GC
+// composition, and repeat structure (tandem and dispersed repeats are what
+// create the repeated S-tree pairs that Algorithm A exploits).
+
+#ifndef BWTK_SIMULATE_GENOME_GENERATOR_H_
+#define BWTK_SIMULATE_GENOME_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "alphabet/dna.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace bwtk {
+
+/// Knobs for the synthetic genome model.
+struct GenomeOptions {
+  size_t length = 1 << 20;
+  /// Fraction of G+C bases (real genomes: 0.35-0.6).
+  double gc_content = 0.41;
+  /// Fraction of the genome covered by copied (dispersed) repeats.
+  double repeat_fraction = 0.3;
+  /// Mean length of one dispersed repeat copy.
+  size_t repeat_length = 300;
+  /// Per-base divergence applied to each repeat copy.
+  double repeat_divergence = 0.02;
+  uint64_t seed = 42;
+};
+
+/// Generates one synthetic chromosome under `options`.
+Result<std::vector<DnaCode>> GenerateGenome(const GenomeOptions& options);
+
+/// A named preset mirroring the *relative* scale of the paper's Table 1
+/// genomes (sizes are scaled down uniformly so the largest fits in RAM;
+/// the scale factor is applied to the Table 1 base-pair counts).
+struct GenomePreset {
+  std::string name;
+  size_t paper_size_bp;  // size reported in Table 1
+  size_t scaled_size_bp;
+};
+
+/// The five Table 1 genomes at `scale` (e.g. 1.0/256 of the real sizes).
+std::vector<GenomePreset> Table1Presets(double scale);
+
+}  // namespace bwtk
+
+#endif  // BWTK_SIMULATE_GENOME_GENERATOR_H_

@@ -1,0 +1,57 @@
+#include "simulate/read_simulator.h"
+
+namespace bwtk {
+
+Result<std::vector<SimulatedRead>> SimulateReads(
+    const std::vector<DnaCode>& genome, const ReadSimOptions& options) {
+  if (options.read_length == 0) {
+    return Status::InvalidArgument("read_length must be positive");
+  }
+  if (options.read_length > genome.size()) {
+    return Status::InvalidArgument("read_length exceeds genome size");
+  }
+  Rng rng(options.seed);
+  std::vector<SimulatedRead> reads;
+  reads.reserve(options.read_count);
+  const size_t windows = genome.size() - options.read_length + 1;
+  for (size_t i = 0; i < options.read_count; ++i) {
+    SimulatedRead read;
+    read.origin = static_cast<size_t>(rng.NextBounded(windows));
+    read.sequence.assign(genome.begin() + read.origin,
+                         genome.begin() + read.origin + options.read_length);
+    read.reverse_strand = options.both_strands && rng.NextBool(0.5);
+    if (read.reverse_strand) {
+      read.sequence = ReverseComplement(read.sequence);
+    }
+    for (DnaCode& base : read.sequence) {
+      // Mutation and sequencing error are independent substitution events;
+      // either replaces the base with one of the three other symbols.
+      if (rng.NextBool(options.mutation_rate) ||
+          rng.NextBool(options.error_rate)) {
+        base = static_cast<DnaCode>((base + 1 + rng.NextBounded(3)) & 3);
+        ++read.substitutions;
+      }
+    }
+    reads.push_back(std::move(read));
+  }
+  return reads;
+}
+
+std::vector<FastqRecord> ToFastq(const std::vector<SimulatedRead>& reads,
+                                 const std::string& name_prefix) {
+  std::vector<FastqRecord> records;
+  records.reserve(reads.size());
+  for (size_t i = 0; i < reads.size(); ++i) {
+    FastqRecord record;
+    record.name = name_prefix + "_" + std::to_string(i) + ":" +
+                  std::to_string(reads[i].origin) + ":" +
+                  (reads[i].reverse_strand ? "-" : "+") + ":" +
+                  std::to_string(reads[i].substitutions);
+    record.sequence = reads[i].sequence;
+    record.quality.assign(record.sequence.size(), 'I');  // Phred 40
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+}  // namespace bwtk

@@ -1,0 +1,59 @@
+// wgsim-like read simulation.
+//
+// The paper's reads were produced by wgsim (SAMtools) "with a default model
+// for single reads simulation". This simulator reproduces that model's
+// relevant features: reads sampled uniformly from the genome, drawn from
+// either strand, with independent per-base mutation (polymorphism) and
+// sequencing-error substitutions — exactly the mismatch sources the
+// k-mismatch search is meant to absorb.
+
+#ifndef BWTK_SIMULATE_READ_SIMULATOR_H_
+#define BWTK_SIMULATE_READ_SIMULATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "alphabet/dna.h"
+#include "alphabet/fastq.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace bwtk {
+
+/// Knobs matching wgsim's single-end defaults where applicable.
+struct ReadSimOptions {
+  size_t read_length = 100;
+  size_t read_count = 50;
+  /// Per-base polymorphism (wgsim -r, default 0.001).
+  double mutation_rate = 0.001;
+  /// Per-base sequencing error (wgsim -e, default 0.02).
+  double error_rate = 0.02;
+  /// Sample from the reverse strand with probability 0.5, as wgsim does.
+  bool both_strands = true;
+  uint64_t seed = 7;
+};
+
+/// One simulated read plus its ground truth.
+struct SimulatedRead {
+  std::vector<DnaCode> sequence;
+  /// Start of the source window on the forward strand.
+  size_t origin = 0;
+  /// True if the read was reverse-complemented.
+  bool reverse_strand = false;
+  /// Substitutions actually applied (mutations + errors).
+  int32_t substitutions = 0;
+};
+
+/// Samples `options.read_count` reads from `genome`.
+Result<std::vector<SimulatedRead>> SimulateReads(
+    const std::vector<DnaCode>& genome, const ReadSimOptions& options);
+
+/// Converts simulated reads to FASTQ records (constant quality, ground
+/// truth encoded in the read name as name:origin:strand:subs).
+std::vector<FastqRecord> ToFastq(const std::vector<SimulatedRead>& reads,
+                                 const std::string& name_prefix);
+
+}  // namespace bwtk
+
+#endif  // BWTK_SIMULATE_READ_SIMULATOR_H_

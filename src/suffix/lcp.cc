@@ -1,0 +1,61 @@
+#include "suffix/lcp.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace bwtk {
+
+std::vector<SaIndex> BuildLcpArrayKasai(const std::vector<uint32_t>& text,
+                                        const std::vector<SaIndex>& sa) {
+  const size_t n = sa.size();  // == text.size() + 1 (includes sentinel)
+  BWTK_CHECK_EQ(n, text.size() + 1);
+  std::vector<SaIndex> rank = InvertSuffixArray(sa);
+  std::vector<SaIndex> lcp(n, 0);
+  SaIndex h = 0;
+  for (size_t i = 0; i < text.size(); ++i) {
+    const SaIndex r = rank[i];
+    if (r > 0) {
+      const size_t j = static_cast<size_t>(sa[r - 1]);
+      size_t a = i + static_cast<size_t>(h);
+      size_t b = j + static_cast<size_t>(h);
+      while (a < text.size() && b < text.size() && text[a] == text[b]) {
+        ++a;
+        ++b;
+        ++h;
+      }
+      lcp[r] = h;
+      if (h > 0) --h;
+    } else {
+      h = 0;
+    }
+  }
+  return lcp;
+}
+
+Result<LcpIndex> LcpIndex::Build(std::vector<uint32_t> text,
+                                 uint32_t alphabet_size) {
+  LcpIndex index;
+  BWTK_ASSIGN_OR_RETURN(index.sa_, BuildSuffixArray(text, alphabet_size));
+  index.lcp_ = BuildLcpArrayKasai(text, index.sa_);
+  index.rank_ = InvertSuffixArray(index.sa_);
+  index.rmq_.Reset(index.lcp_);
+  index.text_ = std::move(text);
+  return index;
+}
+
+SaIndex LcpIndex::Lcp(size_t a, size_t b) const {
+  BWTK_DCHECK_LE(a, text_.size());
+  BWTK_DCHECK_LE(b, text_.size());
+  if (a == b) return static_cast<SaIndex>(text_.size() - a);
+  if (a == text_.size() || b == text_.size()) return 0;
+  SaIndex ra = rank_[a];
+  SaIndex rb = rank_[b];
+  if (ra > rb) std::swap(ra, rb);
+  // LCP of two suffixes is the min of adjacent LCPs strictly between their
+  // ranks in the suffix array.
+  return rmq_.Min(static_cast<size_t>(ra) + 1, static_cast<size_t>(rb));
+}
+
+}  // namespace bwtk

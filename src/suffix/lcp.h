@@ -1,0 +1,55 @@
+// Longest-common-prefix machinery.
+//
+// LcpIndex bundles a suffix array, its inverse, the Kasai LCP array, and a
+// sparse-table RMQ so that the LCP of *any* two suffixes is an O(1) query.
+// This powers the "kangaroo jumps" used to build the paper's R_i mismatch
+// tables (Section IV.B) and the Galil–Giancarlo style online baseline.
+
+#ifndef BWTK_SUFFIX_LCP_H_
+#define BWTK_SUFFIX_LCP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "suffix/rmq.h"
+#include "suffix/suffix_array.h"
+#include "util/status.h"
+
+namespace bwtk {
+
+/// Kasai et al. linear-time LCP array. `lcp[i]` = LCP of suffixes SA[i-1]
+/// and SA[i] (and lcp[0] = 0). `sa` must include the sentinel entry
+/// (SA[0] == text.size()).
+std::vector<SaIndex> BuildLcpArrayKasai(const std::vector<uint32_t>& text,
+                                        const std::vector<SaIndex>& sa);
+
+/// O(1) LCP queries between arbitrary suffixes of one text.
+class LcpIndex {
+ public:
+  /// Empty index; assign from Build() before use.
+  LcpIndex() = default;
+
+  /// Builds SA + inverse + LCP + RMQ for `text` (generic symbols).
+  static Result<LcpIndex> Build(std::vector<uint32_t> text,
+                                uint32_t alphabet_size);
+
+  /// Length of the longest common prefix of text[a..) and text[b..).
+  /// Positions may equal text.size() (empty suffix -> 0).
+  SaIndex Lcp(size_t a, size_t b) const;
+
+  size_t text_size() const { return text_.size(); }
+  const std::vector<uint32_t>& text() const { return text_; }
+  const std::vector<SaIndex>& suffix_array() const { return sa_; }
+  const std::vector<SaIndex>& lcp_array() const { return lcp_; }
+
+ private:
+  std::vector<uint32_t> text_;
+  std::vector<SaIndex> sa_;
+  std::vector<SaIndex> rank_;
+  std::vector<SaIndex> lcp_;
+  RangeMinQuery<SaIndex> rmq_;
+};
+
+}  // namespace bwtk
+
+#endif  // BWTK_SUFFIX_LCP_H_

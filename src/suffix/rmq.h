@@ -1,0 +1,94 @@
+// Range-minimum queries with linear space: values are grouped into fixed
+// blocks, a sparse table is kept over block minima only, and partial blocks
+// are scanned directly. Queries cost O(kBlockSize) — effectively constant —
+// while space stays O(n), which matters because LcpIndex instantiates this
+// over genome-length LCP arrays.
+
+#ifndef BWTK_SUFFIX_RMQ_H_
+#define BWTK_SUFFIX_RMQ_H_
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace bwtk {
+
+/// Immutable range-minimum structure over a vector of comparable values.
+template <typename T>
+class RangeMinQuery {
+ public:
+  static constexpr size_t kBlockSize = 32;
+
+  RangeMinQuery() = default;
+
+  explicit RangeMinQuery(std::vector<T> values) { Reset(std::move(values)); }
+
+  /// Rebuilds over `values`.
+  void Reset(std::vector<T> values) {
+    values_ = std::move(values);
+    levels_.clear();
+    const size_t blocks = (values_.size() + kBlockSize - 1) / kBlockSize;
+    std::vector<T> block_min(blocks);
+    for (size_t b = 0; b < blocks; ++b) {
+      const size_t lo = b * kBlockSize;
+      const size_t hi = std::min(values_.size(), lo + kBlockSize);
+      T best = values_[lo];
+      for (size_t i = lo + 1; i < hi; ++i) best = std::min(best, values_[i]);
+      block_min[b] = best;
+    }
+    // Sparse table over block minima.
+    levels_.push_back(std::move(block_min));
+    for (size_t span = 2; span <= blocks; span *= 2) {
+      const std::vector<T>& prev = levels_.back();
+      std::vector<T> next(blocks - span + 1);
+      for (size_t i = 0; i + span <= blocks; ++i) {
+        next[i] = std::min(prev[i], prev[i + span / 2]);
+      }
+      levels_.push_back(std::move(next));
+    }
+  }
+
+  size_t size() const { return values_.size(); }
+
+  /// Minimum of values[lo..hi], inclusive. Requires lo <= hi < size().
+  T Min(size_t lo, size_t hi) const {
+    BWTK_DCHECK_LE(lo, hi);
+    BWTK_DCHECK_LT(hi, size());
+    const size_t first_block = lo / kBlockSize;
+    const size_t last_block = hi / kBlockSize;
+    if (first_block == last_block) return ScanMin(lo, hi);
+    // Partial blocks at both ends.
+    T best = ScanMin(lo, (first_block + 1) * kBlockSize - 1);
+    best = std::min(best, ScanMin(last_block * kBlockSize, hi));
+    // Whole blocks strictly between, via the sparse table.
+    if (first_block + 1 < last_block) {
+      best = std::min(best, BlockMin(first_block + 1, last_block - 1));
+    }
+    return best;
+  }
+
+ private:
+  T ScanMin(size_t lo, size_t hi) const {
+    T best = values_[lo];
+    for (size_t i = lo + 1; i <= hi; ++i) best = std::min(best, values_[i]);
+    return best;
+  }
+
+  T BlockMin(size_t lo, size_t hi) const {
+    const size_t width = hi - lo + 1;
+    const int level = std::bit_width(width) - 1;  // floor(log2(width))
+    const size_t span = size_t{1} << level;
+    return std::min(levels_[level][lo], levels_[level][hi + 1 - span]);
+  }
+
+  std::vector<T> values_;
+  // levels_[k][b] = min of block minima b .. b + 2^k - 1.
+  std::vector<std::vector<T>> levels_;
+};
+
+}  // namespace bwtk
+
+#endif  // BWTK_SUFFIX_RMQ_H_

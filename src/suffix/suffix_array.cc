@@ -1,0 +1,244 @@
+#include "suffix/suffix_array.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace bwtk {
+
+namespace {
+
+constexpr SaIndex kEmpty = -1;
+
+// ---------------------------------------------------------------------------
+// SA-IS (Nong, Zhang & Chan, "Two Efficient Algorithms for Linear Time Suffix
+// Array Construction"). Operates on a text whose final symbol is the unique
+// minimum (value 0); recursion reduces to the sorted order of LMS substrings.
+// ---------------------------------------------------------------------------
+
+// counts[c] = multiplicity of symbol c.
+void CountSymbols(const uint32_t* t, size_t n, uint32_t alphabet,
+                  std::vector<SaIndex>* counts) {
+  counts->assign(alphabet, 0);
+  for (size_t i = 0; i < n; ++i) ++(*counts)[t[i]];
+}
+
+// buckets[c] = first slot of bucket c (ends=false) or one past its last slot
+// (ends=true).
+void ComputeBuckets(const std::vector<SaIndex>& counts,
+                    std::vector<SaIndex>* buckets, bool ends) {
+  buckets->resize(counts.size());
+  SaIndex sum = 0;
+  for (size_t c = 0; c < counts.size(); ++c) {
+    sum += counts[c];
+    (*buckets)[c] = ends ? sum : sum - counts[c];
+  }
+}
+
+inline bool IsLms(const std::vector<bool>& is_s, size_t i) {
+  return i > 0 && is_s[i] && !is_s[i - 1];
+}
+
+// Given LMS suffixes already placed in `sa`, induce the order of all L-type
+// then all S-type suffixes.
+void InduceSort(const uint32_t* t, size_t n, const std::vector<bool>& is_s,
+                const std::vector<SaIndex>& counts, std::vector<SaIndex>* sa) {
+  std::vector<SaIndex> buckets;
+  // Left-to-right pass places L-type suffixes at bucket fronts.
+  ComputeBuckets(counts, &buckets, /*ends=*/false);
+  for (size_t i = 0; i < n; ++i) {
+    const SaIndex j = (*sa)[i];
+    if (j > 0 && !is_s[j - 1]) {
+      (*sa)[buckets[t[j - 1]]++] = j - 1;
+    }
+  }
+  // Right-to-left pass places S-type suffixes at bucket ends.
+  ComputeBuckets(counts, &buckets, /*ends=*/true);
+  for (size_t i = n; i-- > 0;) {
+    const SaIndex j = (*sa)[i];
+    if (j > 0 && is_s[j - 1]) {
+      (*sa)[--buckets[t[j - 1]]] = j - 1;
+    }
+  }
+}
+
+// Core recursion. `t[n-1]` must be the unique minimal symbol (0).
+void SaIsImpl(const uint32_t* t, size_t n, uint32_t alphabet,
+              std::vector<SaIndex>* sa) {
+  sa->assign(n, kEmpty);
+  if (n == 0) return;
+  if (n == 1) {
+    (*sa)[0] = 0;
+    return;
+  }
+
+  // Classify suffixes: S-type if smaller than its right neighbour suffix.
+  std::vector<bool> is_s(n);
+  is_s[n - 1] = true;
+  for (size_t i = n - 1; i-- > 0;) {
+    is_s[i] = t[i] < t[i + 1] || (t[i] == t[i + 1] && is_s[i + 1]);
+  }
+
+  std::vector<SaIndex> counts;
+  CountSymbols(t, n, alphabet, &counts);
+
+  // Stage 1: approximate — drop LMS suffixes into bucket ends in text order,
+  // then induce. This sorts the LMS *substrings*.
+  {
+    std::vector<SaIndex> buckets;
+    ComputeBuckets(counts, &buckets, /*ends=*/true);
+    for (size_t i = 1; i < n; ++i) {
+      if (IsLms(is_s, i)) (*sa)[--buckets[t[i]]] = static_cast<SaIndex>(i);
+    }
+  }
+  InduceSort(t, n, is_s, counts, sa);
+
+  // Collect LMS positions in the order they now appear in `sa`.
+  std::vector<SaIndex> lms_sorted;
+  for (size_t i = 0; i < n; ++i) {
+    const SaIndex j = (*sa)[i];
+    if (j != kEmpty && IsLms(is_s, static_cast<size_t>(j))) {
+      lms_sorted.push_back(j);
+    }
+  }
+  const size_t num_lms = lms_sorted.size();
+
+  // Name the LMS substrings. Two LMS substrings are equal iff they have the
+  // same length and characters (their interior types are then forced).
+  std::vector<SaIndex> name_of(n, kEmpty);
+  SaIndex next_name = 0;
+  SaIndex prev = kEmpty;
+  auto lms_end = [&](size_t start) {
+    size_t j = start + 1;
+    while (j < n && !IsLms(is_s, j)) ++j;
+    return j;  // position of next LMS (or n); substring is [start, j]
+  };
+  for (const SaIndex pos : lms_sorted) {
+    bool same = false;
+    if (prev != kEmpty) {
+      const size_t end_a = lms_end(static_cast<size_t>(prev));
+      const size_t end_b = lms_end(static_cast<size_t>(pos));
+      if (end_a - static_cast<size_t>(prev) ==
+          end_b - static_cast<size_t>(pos)) {
+        same = true;
+        const size_t len = end_b - static_cast<size_t>(pos);
+        for (size_t d = 0; d <= len; ++d) {
+          const size_t a = static_cast<size_t>(prev) + d;
+          const size_t b = static_cast<size_t>(pos) + d;
+          if (a >= n || b >= n || t[a] != t[b]) {
+            same = false;
+            break;
+          }
+        }
+      }
+    }
+    if (!same) ++next_name;
+    name_of[pos] = next_name - 1;
+    prev = pos;
+  }
+
+  // Reduced problem: names of LMS substrings in text order.
+  std::vector<SaIndex> lms_positions;
+  lms_positions.reserve(num_lms);
+  std::vector<uint32_t> reduced;
+  reduced.reserve(num_lms);
+  for (size_t i = 1; i < n; ++i) {
+    if (IsLms(is_s, i)) {
+      lms_positions.push_back(static_cast<SaIndex>(i));
+      reduced.push_back(static_cast<uint32_t>(name_of[i]));
+    }
+  }
+
+  // Exact order of LMS suffixes: direct if names are unique, else recurse.
+  std::vector<SaIndex> lms_order(num_lms);
+  if (static_cast<size_t>(next_name) == num_lms) {
+    for (size_t i = 0; i < num_lms; ++i) lms_order[reduced[i]] = i;
+  } else {
+    std::vector<SaIndex> sub_sa;
+    SaIsImpl(reduced.data(), num_lms, static_cast<uint32_t>(next_name),
+             &sub_sa);
+    lms_order = std::move(sub_sa);
+  }
+
+  // Stage 2: exact — place LMS suffixes in their true order, then induce.
+  sa->assign(n, kEmpty);
+  {
+    std::vector<SaIndex> buckets;
+    ComputeBuckets(counts, &buckets, /*ends=*/true);
+    for (size_t i = num_lms; i-- > 0;) {
+      const SaIndex pos = lms_positions[lms_order[i]];
+      (*sa)[--buckets[t[pos]]] = pos;
+    }
+  }
+  InduceSort(t, n, is_s, counts, sa);
+}
+
+}  // namespace
+
+Result<std::vector<SaIndex>> BuildSuffixArray(
+    const std::vector<uint32_t>& text, uint32_t alphabet_size) {
+  if (text.size() >=
+      static_cast<size_t>(std::numeric_limits<SaIndex>::max()) - 1) {
+    return Status::InvalidArgument("text too long for 32-bit suffix array");
+  }
+  for (size_t i = 0; i < text.size(); ++i) {
+    if (text[i] >= alphabet_size) {
+      return Status::InvalidArgument("symbol " + std::to_string(text[i]) +
+                                     " at offset " + std::to_string(i) +
+                                     " outside alphabet of size " +
+                                     std::to_string(alphabet_size));
+    }
+  }
+  // Augment: shift symbols up by one and append the 0 sentinel so the core
+  // precondition (unique minimal final symbol) holds.
+  const size_t n = text.size() + 1;
+  std::vector<uint32_t> augmented(n);
+  for (size_t i = 0; i + 1 < n; ++i) augmented[i] = text[i] + 1;
+  augmented[n - 1] = 0;
+  std::vector<SaIndex> sa;
+  SaIsImpl(augmented.data(), n, alphabet_size + 1, &sa);
+  return sa;
+}
+
+Result<std::vector<SaIndex>> BuildSuffixArrayDna(
+    const std::vector<DnaCode>& text) {
+  std::vector<uint32_t> widened(text.begin(), text.end());
+  return BuildSuffixArray(widened, kDnaAlphabetSize);
+}
+
+std::vector<SaIndex> BuildSuffixArrayNaive(const std::vector<uint32_t>& text) {
+  const size_t n = text.size() + 1;
+  std::vector<SaIndex> sa(n);
+  for (size_t i = 0; i < n; ++i) sa[i] = static_cast<SaIndex>(i);
+  std::sort(sa.begin(), sa.end(), [&](SaIndex a, SaIndex b) {
+    // Compare suffixes text[a..) and text[b..); the shorter one (which hits
+    // the virtual sentinel first) sorts earlier on a tie.
+    size_t i = a;
+    size_t j = b;
+    while (i < text.size() && j < text.size()) {
+      if (text[i] != text[j]) return text[i] < text[j];
+      ++i;
+      ++j;
+    }
+    return i > j;  // suffix that ran out first (larger start) is smaller
+  });
+  return sa;
+}
+
+std::vector<SaIndex> BuildSuffixArrayNaiveDna(
+    const std::vector<DnaCode>& text) {
+  std::vector<uint32_t> widened(text.begin(), text.end());
+  return BuildSuffixArrayNaive(widened);
+}
+
+std::vector<SaIndex> InvertSuffixArray(const std::vector<SaIndex>& sa) {
+  std::vector<SaIndex> rank(sa.size());
+  for (size_t i = 0; i < sa.size(); ++i) {
+    BWTK_CHECK_LT(static_cast<size_t>(sa[i]), sa.size());
+    rank[sa[i]] = static_cast<SaIndex>(i);
+  }
+  return rank;
+}
+
+}  // namespace bwtk

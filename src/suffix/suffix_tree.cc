@@ -1,0 +1,177 @@
+#include "suffix/suffix_tree.h"
+
+#include <limits>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace bwtk {
+
+SaIndex SuffixTree::NewNode(SaIndex start, SaIndex end) {
+  nodes_.emplace_back();
+  Node& node = nodes_.back();
+  node.start = start;
+  node.end = end;
+  node.suffix_link = 0;  // default link to root
+  return static_cast<SaIndex>(nodes_.size() - 1);
+}
+
+SaIndex SuffixTree::EdgeLength(SaIndex id, SaIndex pos) const {
+  const Node& node = nodes_[id];
+  const SaIndex end = node.end == kOpenEnd ? pos + 1 : node.end;
+  return end - node.start;
+}
+
+void SuffixTree::ExtendWith(SaIndex pos) {
+  ++remaining_;
+  SaIndex last_new_node = kNoNode;
+  while (remaining_ > 0) {
+    if (active_length_ == 0) active_edge_ = pos;
+    const uint8_t edge_symbol = text_[active_edge_];
+    SaIndex child = nodes_[active_node_].children[edge_symbol];
+    if (child == kNoNode) {
+      // Rule 2: new leaf directly off the active node.
+      nodes_[active_node_].children[edge_symbol] = NewNode(pos, kOpenEnd);
+      if (last_new_node != kNoNode) {
+        nodes_[last_new_node].suffix_link = active_node_;
+        last_new_node = kNoNode;
+      }
+    } else {
+      const SaIndex edge_len = EdgeLength(child, pos);
+      if (active_length_ >= edge_len) {
+        // Walk down: the active point lies beyond this edge.
+        active_edge_ += edge_len;
+        active_length_ -= edge_len;
+        active_node_ = child;
+        continue;
+      }
+      if (text_[nodes_[child].start + active_length_] == text_[pos]) {
+        // Rule 3: the symbol is already present; this phase is done.
+        if (last_new_node != kNoNode && active_node_ != 0) {
+          nodes_[last_new_node].suffix_link = active_node_;
+          last_new_node = kNoNode;
+        }
+        ++active_length_;
+        break;
+      }
+      // Rule 2 with split: the edge diverges mid-label.
+      const SaIndex split =
+          NewNode(nodes_[child].start, nodes_[child].start + active_length_);
+      nodes_[active_node_].children[edge_symbol] = split;
+      const SaIndex leaf = NewNode(pos, kOpenEnd);
+      nodes_[split].children[text_[pos]] = leaf;
+      nodes_[child].start += active_length_;
+      nodes_[split].children[text_[nodes_[child].start]] = child;
+      if (last_new_node != kNoNode) {
+        nodes_[last_new_node].suffix_link = split;
+      }
+      last_new_node = split;
+    }
+    --remaining_;
+    if (active_node_ == 0 && active_length_ > 0) {
+      --active_length_;
+      active_edge_ = pos - remaining_ + 1;
+    } else if (active_node_ != 0) {
+      active_node_ = nodes_[active_node_].suffix_link;
+    }
+  }
+}
+
+void SuffixTree::AssignSuffixIndices() {
+  const SaIndex n = static_cast<SaIndex>(text_.size());
+  // Close open leaf edges and assign suffix indices with an iterative DFS
+  // carrying the string depth.
+  struct Frame {
+    SaIndex id;
+    SaIndex depth;  // string depth *above* this node's edge
+  };
+  std::vector<Frame> stack;
+  stack.push_back({0, 0});
+  while (!stack.empty()) {
+    const Frame frame = stack.back();
+    stack.pop_back();
+    Node& node = nodes_[frame.id];
+    SaIndex depth = frame.depth;
+    if (frame.id != 0) {
+      if (node.end == kOpenEnd) node.end = n;
+      depth += node.end - node.start;
+    }
+    bool has_child = false;
+    for (const SaIndex child : node.children) {
+      if (child != kNoNode) {
+        has_child = true;
+        stack.push_back({child, depth});
+      }
+    }
+    if (!has_child && frame.id != 0) {
+      node.suffix_index = n - depth;
+    }
+  }
+}
+
+Result<SuffixTree> SuffixTree::Build(const std::vector<DnaCode>& text) {
+  if (text.size() >=
+      static_cast<size_t>(std::numeric_limits<SaIndex>::max()) - 2) {
+    return Status::InvalidArgument("text too long for 32-bit suffix tree");
+  }
+  SuffixTree tree;
+  tree.text_.reserve(text.size() + 1);
+  for (const DnaCode c : text) {
+    BWTK_CHECK_LT(c, kDnaAlphabetSize);
+    tree.text_.push_back(c);
+  }
+  tree.text_.push_back(kSentinelSymbol);
+  tree.nodes_.reserve(2 * tree.text_.size());
+  tree.NewNode(0, 0);  // root (id 0); its start/end are unused
+  for (size_t pos = 0; pos < tree.text_.size(); ++pos) {
+    tree.ExtendWith(static_cast<SaIndex>(pos));
+  }
+  tree.AssignSuffixIndices();
+  return tree;
+}
+
+std::vector<SaIndex> SuffixTree::FindExact(
+    const std::vector<DnaCode>& pattern) const {
+  std::vector<SaIndex> out;
+  SaIndex node_id = 0;
+  size_t matched = 0;
+  while (matched < pattern.size()) {
+    const SaIndex child = nodes_[node_id].children[pattern[matched]];
+    if (child == kNoNode) return out;
+    const Node& edge = nodes_[child];
+    for (SaIndex p = edge.start; p < edge.end && matched < pattern.size();
+         ++p, ++matched) {
+      if (text_[p] != pattern[matched]) return out;
+    }
+    node_id = child;
+  }
+  CollectLeaves(node_id, &out);
+  // Drop positions whose occurrence would run past the original text (the
+  // sentinel leaf can never match a nonempty DNA pattern, but guard anyway).
+  std::vector<SaIndex> filtered;
+  filtered.reserve(out.size());
+  for (const SaIndex p : out) {
+    if (static_cast<size_t>(p) + pattern.size() <= text_size()) {
+      filtered.push_back(p);
+    }
+  }
+  return filtered;
+}
+
+void SuffixTree::CollectLeaves(SaIndex id, std::vector<SaIndex>* out) const {
+  std::vector<SaIndex> stack = {id};
+  while (!stack.empty()) {
+    const SaIndex cur = stack.back();
+    stack.pop_back();
+    const Node& node = nodes_[cur];
+    if (node.is_leaf()) {
+      out->push_back(node.suffix_index);
+      continue;
+    }
+    for (const SaIndex child : node.children) {
+      if (child != kNoNode) stack.push_back(child);
+    }
+  }
+}
+
+}  // namespace bwtk

@@ -1,0 +1,93 @@
+// Ukkonen suffix tree.
+//
+// This is the index substrate for the Cole-style baseline (the paper's
+// "Cole's" competitor builds a suffix tree over the target and brute-force
+// searches it, Section V). It is deliberately a plain pointer-machine
+// suffix tree so the space comparison against the BWT index in
+// bench_index_build mirrors the paper's Section II discussion.
+
+#ifndef BWTK_SUFFIX_SUFFIX_TREE_H_
+#define BWTK_SUFFIX_SUFFIX_TREE_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "alphabet/dna.h"
+#include "suffix/suffix_array.h"
+#include "util/status.h"
+
+namespace bwtk {
+
+/// Suffix tree over a DNA text terminated by an internal sentinel symbol.
+/// Built online with Ukkonen's algorithm in O(n) time.
+class SuffixTree {
+ public:
+  /// Internal alphabet: DNA codes 0..3 plus the sentinel symbol 4.
+  static constexpr int kTreeAlphabet = kDnaAlphabetSize + 1;
+  static constexpr uint8_t kSentinelSymbol = kDnaAlphabetSize;
+  static constexpr SaIndex kNoNode = -1;
+
+  struct Node {
+    /// Edge label: text [start, end) on the edge from the parent.
+    SaIndex start = 0;
+    SaIndex end = 0;
+    SaIndex suffix_link = kNoNode;
+    /// For leaves: the starting position of the suffix this leaf spells
+    /// (in the sentinel-terminated text). kNoNode for internal nodes.
+    SaIndex suffix_index = kNoNode;
+    std::array<SaIndex, kTreeAlphabet> children;
+
+    Node() { children.fill(kNoNode); }
+    bool is_leaf() const { return suffix_index != kNoNode; }
+  };
+
+  /// Builds the tree for `text` (sentinel appended internally).
+  static Result<SuffixTree> Build(const std::vector<DnaCode>& text);
+
+  /// Root node id (always 0).
+  SaIndex root() const { return 0; }
+  const Node& node(SaIndex id) const { return nodes_[id]; }
+  size_t node_count() const { return nodes_.size(); }
+
+  /// Sentinel-terminated text the edge labels refer to (symbols 0..4).
+  const std::vector<uint8_t>& text() const { return text_; }
+  /// Length of the original text (without sentinel).
+  size_t text_size() const { return text_.size() - 1; }
+
+  /// All starting positions of exact occurrences of `pattern`, unsorted.
+  std::vector<SaIndex> FindExact(const std::vector<DnaCode>& pattern) const;
+
+  /// Appends the suffix indices of every leaf below `id` (including `id`
+  /// itself if it is a leaf) to `out`.
+  void CollectLeaves(SaIndex id, std::vector<SaIndex>* out) const;
+
+  /// Approximate heap footprint in bytes (the number the paper's suffix
+  /// tree vs BWT space comparison is about).
+  size_t MemoryUsage() const {
+    return nodes_.capacity() * sizeof(Node) + text_.capacity();
+  }
+
+ private:
+  SuffixTree() = default;
+
+  // Ukkonen machinery (used only during Build).
+  SaIndex NewNode(SaIndex start, SaIndex end);
+  SaIndex EdgeLength(SaIndex id, SaIndex pos) const;
+  void ExtendWith(SaIndex pos);
+  void AssignSuffixIndices();
+
+  std::vector<uint8_t> text_;
+  std::vector<Node> nodes_;
+
+  // Active point state during construction.
+  SaIndex active_node_ = 0;
+  SaIndex active_edge_ = 0;
+  SaIndex active_length_ = 0;
+  SaIndex remaining_ = 0;
+  static constexpr SaIndex kOpenEnd = INT32_MAX;
+};
+
+}  // namespace bwtk
+
+#endif  // BWTK_SUFFIX_SUFFIX_TREE_H_

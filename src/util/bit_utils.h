@@ -1,0 +1,46 @@
+// Word-level bit manipulation shared by the packed-sequence and rank
+// structures.
+
+#ifndef BWTK_UTIL_BIT_UTILS_H_
+#define BWTK_UTIL_BIT_UTILS_H_
+
+#include <bit>
+#include <cstdint>
+
+namespace bwtk {
+
+/// Number of set bits in `x`.
+inline int Popcount64(uint64_t x) { return std::popcount(x); }
+
+/// Rounds `x` up to the next multiple of `multiple` (a power of two).
+inline uint64_t RoundUpPow2(uint64_t x, uint64_t multiple) {
+  return (x + multiple - 1) & ~(multiple - 1);
+}
+
+/// Ceiling division for unsigned values.
+inline uint64_t CeilDiv(uint64_t a, uint64_t b) { return (a + b - 1) / b; }
+
+/// Counts occurrences of the 2-bit symbol `code` among the first
+/// `prefix_len` (<= 32) 2-bit slots of `word`. Slot i occupies bits
+/// [2i, 2i+1], slot 0 in the least significant bits.
+///
+/// This is the inner loop of the BWT rankall structure: we XOR the word with
+/// a mask that turns the target code into 00 in every slot, then detect
+/// all-zero slots with one popcount.
+inline int Count2BitSymbols(uint64_t word, unsigned code,
+                            unsigned prefix_len) {
+  if (prefix_len == 0) return 0;
+  // Replicate `code` into all 32 slots.
+  const uint64_t pattern = code * 0x5555555555555555ULL;
+  uint64_t diff = word ^ pattern;  // slot == 00 iff symbol matched
+  // A slot matches iff both its bits are zero in `diff`.
+  uint64_t match = ~(diff | (diff >> 1)) & 0x5555555555555555ULL;
+  if (prefix_len < 32) {
+    match &= (uint64_t{1} << (2 * prefix_len)) - 1;
+  }
+  return Popcount64(match);
+}
+
+}  // namespace bwtk
+
+#endif  // BWTK_UTIL_BIT_UTILS_H_

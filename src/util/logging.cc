@@ -1,0 +1,47 @@
+#include "util/logging.h"
+
+#include <cstdio>
+
+namespace bwtk {
+
+namespace {
+
+LogLevel g_log_level = LogLevel::kInfo;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_log_level = level; }
+LogLevel GetLogLevel() { return g_log_level; }
+
+namespace internal_logging {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line, bool fatal)
+    : level_(level), fatal_(fatal) {
+  stream_ << "[" << LevelName(level) << " " << file << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  if (fatal_ || level_ >= g_log_level) {
+    std::fputs(stream_.str().c_str(), stderr);
+    std::fputc('\n', stderr);
+  }
+  if (fatal_) std::abort();
+}
+
+}  // namespace internal_logging
+
+}  // namespace bwtk

@@ -1,0 +1,79 @@
+// Minimal leveled logging and checked assertions for bwtk.
+//
+// BWTK_CHECK* macros are always on (they guard index invariants whose
+// violation would silently corrupt search results); BWTK_DCHECK* compile out
+// in NDEBUG builds.
+
+#ifndef BWTK_UTIL_LOGGING_H_
+#define BWTK_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace bwtk {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+namespace internal_logging {
+
+/// Accumulates a message and emits it (to stderr) on destruction.
+/// `fatal` messages abort the process after emission.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line, bool fatal = false);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  bool fatal_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+
+/// Messages below `level` are suppressed. Default: kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+#define BWTK_LOG(level)                                                  \
+  ::bwtk::internal_logging::LogMessage(::bwtk::LogLevel::k##level,       \
+                                       __FILE__, __LINE__)               \
+      .stream()
+
+#define BWTK_CHECK(cond)                                                   \
+  if (!(cond))                                                             \
+  ::bwtk::internal_logging::LogMessage(::bwtk::LogLevel::kError, __FILE__, \
+                                       __LINE__, /*fatal=*/true)           \
+          .stream()                                                        \
+      << "Check failed: " #cond " "
+
+#define BWTK_CHECK_EQ(a, b) BWTK_CHECK((a) == (b))
+#define BWTK_CHECK_NE(a, b) BWTK_CHECK((a) != (b))
+#define BWTK_CHECK_LT(a, b) BWTK_CHECK((a) < (b))
+#define BWTK_CHECK_LE(a, b) BWTK_CHECK((a) <= (b))
+#define BWTK_CHECK_GT(a, b) BWTK_CHECK((a) > (b))
+#define BWTK_CHECK_GE(a, b) BWTK_CHECK((a) >= (b))
+
+#ifdef NDEBUG
+#define BWTK_DCHECK(cond) \
+  while (false) BWTK_CHECK(cond)
+#else
+#define BWTK_DCHECK(cond) BWTK_CHECK(cond)
+#endif
+
+#define BWTK_DCHECK_EQ(a, b) BWTK_DCHECK((a) == (b))
+#define BWTK_DCHECK_NE(a, b) BWTK_DCHECK((a) != (b))
+#define BWTK_DCHECK_LT(a, b) BWTK_DCHECK((a) < (b))
+#define BWTK_DCHECK_LE(a, b) BWTK_DCHECK((a) <= (b))
+#define BWTK_DCHECK_GT(a, b) BWTK_DCHECK((a) > (b))
+#define BWTK_DCHECK_GE(a, b) BWTK_DCHECK((a) >= (b))
+
+}  // namespace bwtk
+
+#endif  // BWTK_UTIL_LOGGING_H_

@@ -1,0 +1,78 @@
+#include "util/random.h"
+
+#include "util/logging.h"
+
+namespace bwtk {
+
+namespace {
+
+inline uint64_t Rotl(uint64_t x, int s) { return (x << s) | (x >> (64 - s)); }
+
+// splitmix64, used only to expand the seed into the full generator state.
+inline uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& word : state_) word = SplitMix64(&sm);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  BWTK_CHECK_GT(bound, 0u);
+  // Rejection sampling over the largest multiple of `bound` below 2^64.
+  const uint64_t threshold = -bound % bound;
+  for (;;) {
+    const uint64_t x = Next();
+    if (x >= threshold) return x % bound;
+  }
+}
+
+int64_t Rng::NextInRange(int64_t lo, int64_t hi) {
+  BWTK_CHECK_LE(lo, hi);
+  return lo + static_cast<int64_t>(
+                  NextBounded(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double Rng::NextDouble() {
+  // 53 high bits -> [0, 1) with full double precision.
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::NextBool(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+size_t Rng::NextWeighted(const std::vector<double>& weights) {
+  BWTK_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) total += w;
+  BWTK_CHECK_GT(total, 0.0);
+  double x = NextDouble() * total;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    x -= weights[i];
+    if (x < 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace bwtk

@@ -1,0 +1,48 @@
+// Deterministic pseudo-random number generation for simulators, tests and
+// benchmarks. A fixed, seedable generator keeps workloads reproducible
+// across runs and machines (std::mt19937 distributions are not guaranteed
+// to be portable across standard library implementations, so distribution
+// logic lives here too).
+
+#ifndef BWTK_UTIL_RANDOM_H_
+#define BWTK_UTIL_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace bwtk {
+
+/// xoshiro256** generator: small state, excellent statistical quality,
+/// identical streams on every platform for a given seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform in [0, bound). `bound` must be > 0. Uses rejection sampling so
+  /// the result is exactly uniform.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Bernoulli trial with success probability `p` (clamped to [0,1]).
+  bool NextBool(double p);
+
+  /// Picks an index in [0, weights.size()) with probability proportional to
+  /// weights[i]. Requires a non-empty vector with a positive sum.
+  size_t NextWeighted(const std::vector<double>& weights);
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace bwtk
+
+#endif  // BWTK_UTIL_RANDOM_H_

@@ -1,0 +1,157 @@
+// Error handling for bwtk: a lightweight Status / Result<T> pair in the
+// style used by database engines (Arrow, RocksDB, LevelDB). The library does
+// not throw exceptions; every fallible operation returns a Status or a
+// Result<T>, and callers are expected to check before use.
+
+#ifndef BWTK_UTIL_STATUS_H_
+#define BWTK_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace bwtk {
+
+/// Machine-readable failure category carried by a Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kIoError,
+  kCorruption,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Returns a stable human-readable name for `code` ("OK", "InvalidArgument",
+/// ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// The outcome of a fallible operation: either OK, or a code plus message.
+///
+/// Statuses are cheap to copy when OK (no allocation) and must be consumed:
+/// call ok() before relying on any result the operation produced.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<Code>: <message>"; intended for logs and test failures.
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// A value or an error. Result<T> is the return type of fallible functions
+/// that produce a value; access to the value requires ok().
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value: `return some_t;`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit from a non-OK status: `return Status::IoError(...);`.
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {
+    assert(!status_.ok() && "Result from Status requires a failure status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// The contained value. Requires ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` when this holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+// Propagates a non-OK status to the caller. Usage:
+//   BWTK_RETURN_IF_ERROR(DoThing());
+#define BWTK_RETURN_IF_ERROR(expr)            \
+  do {                                        \
+    ::bwtk::Status bwtk_status__ = (expr);    \
+    if (!bwtk_status__.ok()) return bwtk_status__; \
+  } while (false)
+
+// Unwraps a Result into `lhs`, propagating errors. Usage:
+//   BWTK_ASSIGN_OR_RETURN(auto index, FmIndex::Build(text));
+#define BWTK_ASSIGN_OR_RETURN(lhs, expr)                       \
+  BWTK_ASSIGN_OR_RETURN_IMPL_(                                 \
+      BWTK_STATUS_CONCAT_(bwtk_result__, __LINE__), lhs, expr)
+
+#define BWTK_STATUS_CONCAT_INNER_(a, b) a##b
+#define BWTK_STATUS_CONCAT_(a, b) BWTK_STATUS_CONCAT_INNER_(a, b)
+#define BWTK_ASSIGN_OR_RETURN_IMPL_(result, lhs, expr) \
+  auto result = (expr);                                \
+  if (!result.ok()) return result.status();            \
+  lhs = std::move(result).value()
+
+}  // namespace bwtk
+
+#endif  // BWTK_UTIL_STATUS_H_

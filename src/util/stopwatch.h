@@ -1,0 +1,32 @@
+// Wall-clock timing for the benchmark harness and examples.
+
+#ifndef BWTK_UTIL_STOPWATCH_H_
+#define BWTK_UTIL_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace bwtk {
+
+/// Measures elapsed wall time from construction or the last Restart().
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace bwtk
+
+#endif  // BWTK_UTIL_STOPWATCH_H_

@@ -1,0 +1,226 @@
+#include <gtest/gtest.h>
+
+#include "baselines/naive_search.h"
+#include "bwt/fm_index.h"
+#include "search/algorithm_a.h"
+#include "search/stree_search.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace bwtk {
+namespace {
+
+using Reuse = AlgorithmAOptions::Reuse;
+using ::bwtk::testing::Codes;
+using ::bwtk::testing::PeriodicDna;
+using ::bwtk::testing::RandomDna;
+using ::bwtk::testing::RandomDnaBiased;
+using ::bwtk::testing::SampleWithFlips;
+
+TEST(AlgorithmATest, PaperWorkedExample) {
+  // r = tcaca, s = acagaca, k = 2 (Fig. 3/7): occurrences at 0-based
+  // positions 0 and 2, both with 2 mismatches.
+  const auto index = FmIndex::Build(Codes("acagaca")).value();
+  const AlgorithmA searcher(&index);
+  SearchStats stats;
+  const auto hits = searcher.Search(Codes("tcaca"), 2, &stats);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0], (Occurrence{0, 2}));
+  EXPECT_EQ(hits[1], (Occurrence{2, 2}));
+  // The mismatching tree must exist and have recorded terminated paths.
+  EXPECT_GT(stats.mtree_nodes, 0u);
+  EXPECT_GT(stats.mtree_leaves, 0u);
+}
+
+TEST(AlgorithmATest, ExactMatchKZero) {
+  const auto index = FmIndex::Build(Codes("acagaca")).value();
+  const AlgorithmA searcher(&index);
+  const auto hits = searcher.Search(Codes("aca"), 0);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].position, 0u);
+  EXPECT_EQ(hits[1].position, 4u);
+}
+
+TEST(AlgorithmATest, KLargerThanPatternMatchesEverywhere) {
+  const auto index = FmIndex::Build(Codes("acgtacgt")).value();
+  const AlgorithmA searcher(&index);
+  const auto hits = searcher.Search(Codes("ttt"), 3);
+  EXPECT_EQ(hits.size(), 6u);  // every window qualifies
+}
+
+TEST(AlgorithmATest, DegenerateInputs) {
+  const auto index = FmIndex::Build(Codes("acgt")).value();
+  const AlgorithmA searcher(&index);
+  EXPECT_TRUE(searcher.Search({}, 1).empty());
+  EXPECT_TRUE(searcher.Search(Codes("aacgtacgt"), 1).empty());
+  EXPECT_TRUE(searcher.Search(Codes("ac"), -1).empty());
+}
+
+struct CaseParam {
+  int seed;
+  Reuse reuse;
+};
+
+class AlgorithmARandomTest : public ::testing::TestWithParam<CaseParam> {};
+
+TEST_P(AlgorithmARandomTest, MatchesNaiveOnMixedWorkloads) {
+  Rng rng(5000 + GetParam().seed);
+  // Cycle through text flavors: uniform, repetitive, low-entropy — the
+  // repetitive ones exercise the reuse machinery hardest.
+  const size_t n = 300 + rng.NextBounded(900);
+  std::vector<DnaCode> text;
+  switch (GetParam().seed % 3) {
+    case 0:
+      text = RandomDna(n, &rng);
+      break;
+    case 1:
+      text = PeriodicDna(n, 5 + rng.NextBounded(10), 0.05, &rng);
+      break;
+    default:
+      text = RandomDnaBiased(n, 2, &rng);
+      break;
+  }
+  const auto index = FmIndex::Build(text).value();
+  const AlgorithmA searcher(&index, {.reuse = GetParam().reuse});
+  const NaiveSearch oracle(&text);
+  for (int trial = 0; trial < 6; ++trial) {
+    const size_t m = 5 + rng.NextBounded(30);
+    const int32_t k = static_cast<int32_t>(rng.NextBounded(5));
+    const size_t pos = rng.NextBounded(n - m);
+    const auto pattern = trial % 3 == 2
+                             ? RandomDna(m, &rng)
+                             : SampleWithFlips(text, pos, m, k, &rng);
+    EXPECT_EQ(searcher.Search(pattern, k), oracle.Search(pattern, k))
+        << "m=" << m << " k=" << k << " trial=" << trial;
+  }
+}
+
+std::string ReuseName(Reuse reuse) {
+  switch (reuse) {
+    case Reuse::kNone:
+      return "none";
+    case Reuse::kInterval:
+      return "interval";
+    case Reuse::kFull:
+      return "full";
+  }
+  return "?";
+}
+
+std::vector<CaseParam> AllCases() {
+  std::vector<CaseParam> cases;
+  for (int seed = 0; seed < 12; ++seed) {
+    for (const Reuse reuse : {Reuse::kNone, Reuse::kInterval, Reuse::kFull}) {
+      cases.push_back({seed, reuse});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AlgorithmARandomTest, ::testing::ValuesIn(AllCases()),
+    [](const ::testing::TestParamInfo<CaseParam>& info) {
+      return "seed" + std::to_string(info.param.seed) + "_" +
+             ReuseName(info.param.reuse);
+    });
+
+TEST(AlgorithmATest, AllReuseLevelsAgree) {
+  Rng rng(91);
+  const auto text = PeriodicDna(1500, 12, 0.08, &rng);
+  const auto index = FmIndex::Build(text).value();
+  const AlgorithmA none(&index, {.reuse = Reuse::kNone});
+  const AlgorithmA interval(&index, {.reuse = Reuse::kInterval});
+  const AlgorithmA full(&index, {.reuse = Reuse::kFull});
+  for (int trial = 0; trial < 10; ++trial) {
+    const size_t m = 10 + rng.NextBounded(40);
+    const size_t pos = rng.NextBounded(text.size() - m);
+    const int32_t k = static_cast<int32_t>(rng.NextBounded(5));
+    const auto pattern = SampleWithFlips(text, pos, m, k, &rng);
+    const auto expected = none.Search(pattern, k);
+    EXPECT_EQ(interval.Search(pattern, k), expected);
+    EXPECT_EQ(full.Search(pattern, k), expected);
+  }
+}
+
+TEST(AlgorithmATest, AgreesWithSTreeBaseline) {
+  Rng rng(92);
+  const auto text = RandomDna(2500, &rng);
+  const auto index = FmIndex::Build(text).value();
+  const AlgorithmA algorithm_a(&index);
+  const STreeSearch baseline(&index);
+  for (int trial = 0; trial < 10; ++trial) {
+    const size_t m = 8 + rng.NextBounded(40);
+    const size_t pos = rng.NextBounded(text.size() - m);
+    const int32_t k = static_cast<int32_t>(rng.NextBounded(4));
+    const auto pattern = SampleWithFlips(text, pos, m, k, &rng);
+    EXPECT_EQ(algorithm_a.Search(pattern, k), baseline.Search(pattern, k));
+  }
+}
+
+TEST(AlgorithmATest, ReuseSavesRankOperations) {
+  // On a repetitive text the memoized search must issue strictly fewer
+  // Extend (search()) calls than the memo-less one.
+  Rng rng(93);
+  const auto text = PeriodicDna(4000, 9, 0.02, &rng);
+  const auto index = FmIndex::Build(text).value();
+  const AlgorithmA none(&index, {.reuse = Reuse::kNone});
+  const AlgorithmA full(&index, {.reuse = Reuse::kFull});
+  const auto pattern = SampleWithFlips(text, 123, 40, 3, &rng);
+  SearchStats stats_none;
+  SearchStats stats_full;
+  const auto expected = none.Search(pattern, 4, &stats_none);
+  EXPECT_EQ(full.Search(pattern, 4, &stats_full), expected);
+  EXPECT_LT(stats_full.extend_calls, stats_none.extend_calls);
+  EXPECT_GT(stats_full.reused_nodes, 0u);
+}
+
+TEST(AlgorithmATest, DerivedRunsHappenOnRepetitiveText) {
+  Rng rng(94);
+  const auto text = PeriodicDna(3000, 7, 0.01, &rng);
+  const auto index = FmIndex::Build(text).value();
+  const AlgorithmA searcher(&index);
+  const auto pattern = SampleWithFlips(text, 77, 35, 2, &rng);
+  SearchStats stats;
+  searcher.Search(pattern, 3, &stats);
+  EXPECT_GT(stats.derived_runs, 0u);
+}
+
+TEST(AlgorithmATest, MTreeLeavesBoundedByTerminatedPaths) {
+  Rng rng(95);
+  const auto text = RandomDna(1200, &rng);
+  const auto index = FmIndex::Build(text).value();
+  const AlgorithmA searcher(&index);
+  const auto pattern = SampleWithFlips(text, 50, 25, 2, &rng);
+  SearchStats stats;
+  searcher.Search(pattern, 3, &stats);
+  // Every completed or pruned path is one M-tree leaf; leaves include
+  // dead ends, so they dominate completed + budget-pruned.
+  EXPECT_GE(stats.mtree_leaves,
+            stats.completed_paths + stats.budget_pruned);
+  EXPECT_GT(stats.mtree_nodes, 0u);
+}
+
+TEST(AlgorithmATest, HighKOnShortPattern) {
+  // k >= m: every position within range matches with <= m mismatches.
+  Rng rng(96);
+  const auto text = RandomDna(300, &rng);
+  const auto index = FmIndex::Build(text).value();
+  const AlgorithmA searcher(&index);
+  const NaiveSearch oracle(&text);
+  const auto pattern = RandomDna(4, &rng);
+  EXPECT_EQ(searcher.Search(pattern, 4), oracle.Search(pattern, 4));
+  EXPECT_EQ(searcher.Search(pattern, 4).size(), text.size() - 3);
+}
+
+TEST(AlgorithmATest, WholeTextAsPattern) {
+  Rng rng(97);
+  const auto text = RandomDna(120, &rng);
+  const auto index = FmIndex::Build(text).value();
+  const AlgorithmA searcher(&index);
+  const auto hits = searcher.Search(text, 2);
+  ASSERT_FALSE(hits.empty());
+  EXPECT_EQ(hits[0], (Occurrence{0, 0}));
+}
+
+}  // namespace
+}  // namespace bwtk

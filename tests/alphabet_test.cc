@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "alphabet/dna.h"
+#include "alphabet/packed_sequence.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace bwtk {
+namespace {
+
+using ::bwtk::testing::Codes;
+using ::bwtk::testing::RandomDna;
+
+TEST(DnaTest, CharCodeRoundTrip) {
+  const std::string chars = "acgt";
+  for (size_t i = 0; i < chars.size(); ++i) {
+    EXPECT_EQ(CharToCode(chars[i]), static_cast<DnaCode>(i));
+    EXPECT_EQ(CodeToChar(static_cast<DnaCode>(i)), chars[i]);
+    EXPECT_TRUE(IsDnaChar(chars[i]));
+  }
+}
+
+TEST(DnaTest, UppercaseAccepted) {
+  EXPECT_EQ(CharToCode('A'), CharToCode('a'));
+  EXPECT_EQ(CharToCode('T'), CharToCode('t'));
+  EXPECT_TRUE(IsDnaChar('G'));
+}
+
+TEST(DnaTest, NonDnaRejected) {
+  EXPECT_FALSE(IsDnaChar('n'));
+  EXPECT_FALSE(IsDnaChar('$'));
+  EXPECT_FALSE(IsDnaChar(' '));
+  EXPECT_FALSE(IsDnaChar('\0'));
+}
+
+TEST(DnaTest, EncodeValidatesInput) {
+  auto good = EncodeDna("acgtACGT");
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good->size(), 8u);
+  auto bad = EncodeDna("acgnt");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(bad.status().message().find("offset 3"), std::string::npos);
+}
+
+TEST(DnaTest, DecodeInvertsEncode) {
+  const std::string text = "gattacagattaca";
+  EXPECT_EQ(DecodeDna(EncodeDna(text).value()), text);
+}
+
+TEST(DnaTest, ComplementPairs) {
+  EXPECT_EQ(ComplementCode(CharToCode('a')), CharToCode('t'));
+  EXPECT_EQ(ComplementCode(CharToCode('c')), CharToCode('g'));
+  EXPECT_EQ(ComplementCode(CharToCode('g')), CharToCode('c'));
+  EXPECT_EQ(ComplementCode(CharToCode('t')), CharToCode('a'));
+}
+
+TEST(DnaTest, ReverseComplement) {
+  EXPECT_EQ(DecodeDna(ReverseComplement(Codes("aacgt"))), "acgtt");
+  // Involution: rc(rc(x)) == x.
+  Rng rng(3);
+  const auto random = RandomDna(257, &rng);
+  EXPECT_EQ(ReverseComplement(ReverseComplement(random)), random);
+}
+
+TEST(PackedSequenceTest, EmptySequence) {
+  PackedSequence seq;
+  EXPECT_TRUE(seq.empty());
+  EXPECT_EQ(seq.size(), 0u);
+  EXPECT_TRUE(seq.Unpack().empty());
+}
+
+TEST(PackedSequenceTest, RoundTripsRandomContent) {
+  Rng rng(17);
+  for (const size_t length : {1u, 31u, 32u, 33u, 64u, 1000u}) {
+    const auto codes = RandomDna(length, &rng);
+    const PackedSequence seq(codes);
+    ASSERT_EQ(seq.size(), length);
+    EXPECT_EQ(seq.Unpack(), codes);
+    for (size_t i = 0; i < length; ++i) EXPECT_EQ(seq.at(i), codes[i]);
+  }
+}
+
+TEST(PackedSequenceTest, PushBackMatchesBulkBuild) {
+  Rng rng(19);
+  const auto codes = RandomDna(100, &rng);
+  PackedSequence incremental;
+  for (const DnaCode c : codes) incremental.push_back(c);
+  EXPECT_EQ(incremental.Unpack(), codes);
+  EXPECT_EQ(incremental.size(), codes.size());
+}
+
+TEST(PackedSequenceTest, SetOverwrites) {
+  PackedSequence seq(Codes("aaaaaaaa"));
+  seq.set(3, CharToCode('t'));
+  seq.set(0, CharToCode('g'));
+  EXPECT_EQ(seq.ToString(), "gaataaaa");
+}
+
+TEST(PackedSequenceTest, SliceClampsAndExtracts) {
+  const PackedSequence seq(Codes("acgtacgt"));
+  EXPECT_EQ(DecodeDna(seq.Slice(2, 3)), "gta");
+  EXPECT_EQ(DecodeDna(seq.Slice(6, 100)), "gt");  // clamped
+  EXPECT_TRUE(seq.Slice(8, 1).empty());
+  EXPECT_TRUE(seq.Slice(100, 1).empty());
+}
+
+TEST(PackedSequenceTest, WordAdoptionConstructor) {
+  const auto codes = Codes("acgtacgtacgt");
+  const PackedSequence original(codes);
+  const PackedSequence adopted(original.words(), codes.size());
+  EXPECT_EQ(adopted.Unpack(), codes);
+}
+
+TEST(PackedSequenceTest, ToStringMatchesDecode) {
+  Rng rng(23);
+  const auto codes = RandomDna(77, &rng);
+  EXPECT_EQ(PackedSequence(codes).ToString(), DecodeDna(codes));
+}
+
+}  // namespace
+}  // namespace bwtk

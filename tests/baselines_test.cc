@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "baselines/aho_corasick.h"
+#include "baselines/amir_search.h"
+#include "baselines/cole_search.h"
+#include "baselines/kangaroo_search.h"
+#include "baselines/naive_search.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace bwtk {
+namespace {
+
+using ::bwtk::testing::Codes;
+using ::bwtk::testing::PeriodicDna;
+using ::bwtk::testing::RandomDna;
+using ::bwtk::testing::SampleWithFlips;
+
+// --- Aho-Corasick -----------------------------------------------------------
+
+TEST(AhoCorasickTest, FindsAllPatternOccurrences) {
+  const AhoCorasick automaton({Codes("aca"), Codes("ga"), Codes("a")});
+  const auto text = Codes("acagaca");
+  std::multimap<size_t, size_t> hits;  // end -> pattern
+  automaton.Scan(text, [&](size_t end, size_t id) { hits.emplace(end, id); });
+  // "a" at ends 1,3,5,7; "aca" at ends 3,7; "ga" at end 5.
+  EXPECT_EQ(hits.count(1), 1u);
+  EXPECT_EQ(hits.count(3), 2u);
+  EXPECT_EQ(hits.count(5), 2u);
+  EXPECT_EQ(hits.count(7), 2u);
+  EXPECT_EQ(hits.size(), 7u);
+}
+
+TEST(AhoCorasickTest, OverlappingAndNestedPatterns) {
+  const AhoCorasick automaton({Codes("aaa"), Codes("aa")});
+  const auto text = Codes("aaaa");
+  int aaa_hits = 0;
+  int aa_hits = 0;
+  automaton.Scan(text, [&](size_t, size_t id) {
+    (id == 0 ? aaa_hits : aa_hits)++;
+  });
+  EXPECT_EQ(aaa_hits, 2);
+  EXPECT_EQ(aa_hits, 3);
+}
+
+TEST(AhoCorasickTest, EmptyPatternSetIsSilent) {
+  const AhoCorasick automaton({});
+  int hits = 0;
+  automaton.Scan(Codes("acgtacgt"), [&](size_t, size_t) { ++hits; });
+  EXPECT_EQ(hits, 0);
+}
+
+TEST(AhoCorasickTest, RandomPropertyAgainstNaive) {
+  Rng rng(37);
+  const auto text = PeriodicDna(600, 4, 0.2, &rng);
+  std::vector<std::vector<DnaCode>> patterns;
+  for (int i = 0; i < 12; ++i) {
+    patterns.push_back(RandomDna(1 + rng.NextBounded(6), &rng));
+  }
+  const AhoCorasick automaton(patterns);
+  std::vector<std::vector<size_t>> got(patterns.size());
+  automaton.Scan(text, [&](size_t end, size_t id) {
+    got[id].push_back(end - patterns[id].size());
+  });
+  for (size_t id = 0; id < patterns.size(); ++id) {
+    std::vector<size_t> expected;
+    for (size_t pos = 0; pos + patterns[id].size() <= text.size(); ++pos) {
+      if (std::equal(patterns[id].begin(), patterns[id].end(),
+                     text.begin() + pos)) {
+        expected.push_back(pos);
+      }
+    }
+    std::sort(got[id].begin(), got[id].end());
+    EXPECT_EQ(got[id], expected) << "pattern " << id;
+  }
+}
+
+// --- Amir filter-and-verify -------------------------------------------------
+
+TEST(AmirSearchTest, MatchesNaiveOnFixedCase) {
+  const auto text = Codes("ccacacagaagcc");
+  const AmirSearch amir(&text);
+  const NaiveSearch oracle(&text);
+  const auto pattern = Codes("aaaaacaaac");
+  EXPECT_EQ(amir.Search(pattern, 4), oracle.Search(pattern, 4));
+}
+
+TEST(AmirSearchTest, StatsShowFiltering) {
+  Rng rng(41);
+  const auto text = RandomDna(5000, &rng);
+  const AmirSearch amir(&text);
+  const auto pattern = SampleWithFlips(text, 100, 60, 2, &rng);
+  AmirStats stats;
+  const auto hits = amir.Search(pattern, 2, &stats);
+  EXPECT_FALSE(hits.empty());
+  EXPECT_GT(stats.blocks, 0u);
+  // The filter must discard the overwhelming majority of windows.
+  EXPECT_LT(stats.candidates, text.size() / 10);
+  EXPECT_EQ(stats.verified_matches, hits.size());
+}
+
+class BaselineRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BaselineRandomTest, AmirMatchesNaive) {
+  Rng rng(6000 + GetParam());
+  const size_t n = 200 + rng.NextBounded(800);
+  const auto text = GetParam() % 2 == 0 ? RandomDna(n, &rng)
+                                        : PeriodicDna(n, 6, 0.1, &rng);
+  const AmirSearch amir(&text);
+  const NaiveSearch oracle(&text);
+  for (int trial = 0; trial < 6; ++trial) {
+    const size_t m = 4 + rng.NextBounded(40);
+    const int32_t k = static_cast<int32_t>(rng.NextBounded(6));
+    const size_t pos = rng.NextBounded(n - m);
+    const auto pattern = trial % 3 == 0
+                             ? RandomDna(m, &rng)
+                             : SampleWithFlips(text, pos, m, k, &rng);
+    EXPECT_EQ(amir.Search(pattern, k), oracle.Search(pattern, k))
+        << "m=" << m << " k=" << k;
+  }
+}
+
+TEST_P(BaselineRandomTest, KangarooMatchesNaive) {
+  Rng rng(7000 + GetParam());
+  const size_t n = 200 + rng.NextBounded(600);
+  const auto text = GetParam() % 2 == 0 ? RandomDna(n, &rng)
+                                        : PeriodicDna(n, 9, 0.05, &rng);
+  const KangarooSearch kangaroo(&text);
+  const NaiveSearch oracle(&text);
+  for (int trial = 0; trial < 4; ++trial) {
+    const size_t m = 4 + rng.NextBounded(30);
+    const int32_t k = static_cast<int32_t>(rng.NextBounded(5));
+    const size_t pos = rng.NextBounded(n - m);
+    const auto pattern = trial % 3 == 0
+                             ? RandomDna(m, &rng)
+                             : SampleWithFlips(text, pos, m, k, &rng);
+    EXPECT_EQ(kangaroo.Search(pattern, k).value(), oracle.Search(pattern, k))
+        << "m=" << m << " k=" << k;
+  }
+}
+
+TEST_P(BaselineRandomTest, ColeMatchesNaive) {
+  Rng rng(8000 + GetParam());
+  const size_t n = 200 + rng.NextBounded(600);
+  const auto text = GetParam() % 2 == 0 ? RandomDna(n, &rng)
+                                        : PeriodicDna(n, 7, 0.1, &rng);
+  const auto cole = ColeSearch::Build(text).value();
+  const NaiveSearch oracle(&text);
+  for (int trial = 0; trial < 6; ++trial) {
+    const size_t m = 4 + rng.NextBounded(30);
+    const int32_t k = static_cast<int32_t>(rng.NextBounded(4));
+    const size_t pos = rng.NextBounded(n - m);
+    const auto pattern = trial % 3 == 0
+                             ? RandomDna(m, &rng)
+                             : SampleWithFlips(text, pos, m, k, &rng);
+    EXPECT_EQ(cole.Search(pattern, k), oracle.Search(pattern, k))
+        << "m=" << m << " k=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BaselineRandomTest, ::testing::Range(0, 10));
+
+// --- Shared edge cases ------------------------------------------------------
+
+TEST(BaselinesTest, EdgeInputsAllEmpty) {
+  const auto text = Codes("acgtac");
+  const AmirSearch amir(&text);
+  const KangarooSearch kangaroo(&text);
+  const auto cole = ColeSearch::Build(text).value();
+  const NaiveSearch naive(&text);
+  for (const auto& pattern :
+       {std::vector<DnaCode>{}, Codes("acgtacgtacgt")}) {
+    EXPECT_TRUE(naive.Search(pattern, 2).empty());
+    EXPECT_TRUE(amir.Search(pattern, 2).empty());
+    EXPECT_TRUE(kangaroo.Search(pattern, 2).value().empty());
+    EXPECT_TRUE(cole.Search(pattern, 2).empty());
+  }
+}
+
+TEST(BaselinesTest, PaperWorkedExampleAcrossEngines) {
+  const auto text = Codes("acagaca");
+  const auto pattern = Codes("tcaca");
+  const std::vector<Occurrence> expected = {{0, 2}, {2, 2}};
+  const AmirSearch amir(&text);
+  const KangarooSearch kangaroo(&text);
+  const auto cole = ColeSearch::Build(text).value();
+  const NaiveSearch naive(&text);
+  EXPECT_EQ(naive.Search(pattern, 2), expected);
+  EXPECT_EQ(amir.Search(pattern, 2), expected);
+  EXPECT_EQ(kangaroo.Search(pattern, 2).value(), expected);
+  EXPECT_EQ(cole.Search(pattern, 2), expected);
+}
+
+TEST(BaselinesTest, KZeroIsExactMatch) {
+  const auto text = Codes("acagaca");
+  const auto pattern = Codes("aca");
+  const std::vector<Occurrence> expected = {{0, 0}, {4, 0}};
+  const AmirSearch amir(&text);
+  const auto cole = ColeSearch::Build(text).value();
+  EXPECT_EQ(amir.Search(pattern, 0), expected);
+  EXPECT_EQ(cole.Search(pattern, 0), expected);
+}
+
+}  // namespace
+}  // namespace bwtk

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "bwt/bwt.h"
+#include "bwt/occ_table.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace bwtk {
+namespace {
+
+using ::bwtk::testing::Codes;
+using ::bwtk::testing::PeriodicDna;
+using ::bwtk::testing::RandomDna;
+
+// Renders the BWT with its sentinel for readable assertions.
+std::string BwtToString(const Bwt& bwt) {
+  std::string out;
+  for (size_t i = 0; i < bwt.codes.size(); ++i) {
+    out.push_back(i == bwt.sentinel_row ? '$' : CodeToChar(bwt.codes.at(i)));
+  }
+  return out;
+}
+
+TEST(BwtTest, PaperExample) {
+  // Section III.A: s = acagaca$, BWT(s) = acg$caaa (Fig. 1(b)).
+  const auto bwt = BwtFromText(Codes("acagaca")).value();
+  EXPECT_EQ(BwtToString(bwt), "acg$caaa");
+  EXPECT_EQ(bwt.sentinel_row, 3u);
+}
+
+TEST(BwtTest, SingleCharacter) {
+  const auto bwt = BwtFromText(Codes("c")).value();
+  EXPECT_EQ(BwtToString(bwt), "c$");
+}
+
+TEST(BwtTest, InvertRoundTripsFixed) {
+  for (const char* text : {"acagaca", "tcacg", "aaaa", "acgtacgtacgt", "t"}) {
+    const auto codes = Codes(text);
+    const auto bwt = BwtFromText(codes).value();
+    EXPECT_EQ(InvertBwt(bwt), codes) << text;
+  }
+}
+
+class BwtRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BwtRandomTest, InvertRoundTripsRandom) {
+  Rng rng(600 + GetParam());
+  const size_t length = 1 + rng.NextBounded(500);
+  const auto text = GetParam() % 2 == 0 ? RandomDna(length, &rng)
+                                        : PeriodicDna(length, 4, 0.1, &rng);
+  const auto bwt = BwtFromText(text).value();
+  EXPECT_EQ(InvertBwt(bwt), text);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BwtRandomTest, ::testing::Range(0, 16));
+
+// Oracle: count symbol occurrences in L[0..pos) by scanning.
+uint32_t NaiveRank(const Bwt& bwt, DnaCode c, size_t pos) {
+  uint32_t count = 0;
+  for (size_t i = 0; i < pos; ++i) {
+    if (i == bwt.sentinel_row) continue;
+    count += bwt.codes.at(i) == c;
+  }
+  return count;
+}
+
+class OccTableRateTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(OccTableRateTest, RankMatchesNaiveAtEveryPosition) {
+  Rng rng(77);
+  const auto text = RandomDna(700, &rng);
+  const auto bwt = BwtFromText(text).value();
+  const auto occ = OccTable::Build(&bwt, GetParam()).value();
+  for (size_t pos = 0; pos <= bwt.codes.size(); ++pos) {
+    for (DnaCode c = 0; c < kDnaAlphabetSize; ++c) {
+      ASSERT_EQ(occ.Rank(c, pos), NaiveRank(bwt, c, pos))
+          << "rate=" << GetParam() << " c=" << int(c) << " pos=" << pos;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, OccTableRateTest,
+                         ::testing::Values(32u, 64u, 128u, 256u));
+
+TEST(OccTableTest, RankAllAgreesWithRank) {
+  Rng rng(79);
+  const auto text = RandomDna(513, &rng);
+  const auto bwt = BwtFromText(text).value();
+  const auto occ = OccTable::Build(&bwt).value();
+  for (size_t pos = 0; pos <= bwt.codes.size(); ++pos) {
+    uint32_t all[kDnaAlphabetSize];
+    occ.RankAll(pos, all);
+    for (DnaCode c = 0; c < kDnaAlphabetSize; ++c) {
+      ASSERT_EQ(all[c], occ.Rank(c, pos)) << "pos=" << pos << " c=" << int(c);
+    }
+  }
+}
+
+TEST(OccTableTest, TotalsSumToTextSize) {
+  Rng rng(78);
+  const auto text = RandomDna(333, &rng);
+  const auto bwt = BwtFromText(text).value();
+  const auto occ = OccTable::Build(&bwt).value();
+  uint32_t total = 0;
+  for (DnaCode c = 0; c < kDnaAlphabetSize; ++c) total += occ.Total(c);
+  EXPECT_EQ(total, text.size());  // sentinel not counted
+}
+
+TEST(OccTableTest, RejectsBadRate) {
+  const auto bwt = BwtFromText(Codes("acgt")).value();
+  EXPECT_FALSE(OccTable::Build(&bwt, 0).ok());
+  EXPECT_FALSE(OccTable::Build(&bwt, 48).ok());
+  EXPECT_FALSE(OccTable::Build(nullptr, 64).ok());
+}
+
+TEST(OccTableTest, SentinelRowNeverCounted) {
+  const auto bwt = BwtFromText(Codes("acagaca")).value();
+  const auto occ = OccTable::Build(&bwt).value();
+  // BWT is acg$caaa; sentinel at row 3 stores a placeholder that must not
+  // surface as an 'a'.
+  EXPECT_EQ(occ.Rank(0, 4), 1u);   // only row 0 is 'a'
+  EXPECT_EQ(occ.Rank(0, 8), 4u);   // rows 0, 5, 6, 7
+  EXPECT_EQ(occ.Total(0), 4u);
+}
+
+}  // namespace
+}  // namespace bwtk

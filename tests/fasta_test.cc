@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "alphabet/fasta.h"
+#include "alphabet/fastq.h"
+
+namespace bwtk {
+namespace {
+
+TEST(FastaTest, ParsesSingleRecord) {
+  auto records = ParseFastaString(">chr1 test chromosome\nacgt\nACGT\n");
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 1u);
+  EXPECT_EQ((*records)[0].name, "chr1");
+  EXPECT_EQ((*records)[0].description, "test chromosome");
+  EXPECT_EQ(DecodeDna((*records)[0].sequence), "acgtacgt");
+}
+
+TEST(FastaTest, ParsesMultipleRecords) {
+  auto records = ParseFastaString(">a\nac\ngt\n>b\ntttt\n>c\ng\n");
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 3u);
+  EXPECT_EQ(DecodeDna((*records)[0].sequence), "acgt");
+  EXPECT_EQ(DecodeDna((*records)[1].sequence), "tttt");
+  EXPECT_EQ(DecodeDna((*records)[2].sequence), "g");
+}
+
+TEST(FastaTest, HandlesCrlfAndBlankLinesAndComments) {
+  auto records =
+      ParseFastaString(">x desc\r\n;legacy comment\r\nacgt\r\n\r\nacgt\r\n");
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ(DecodeDna((*records)[0].sequence), "acgtacgt");
+}
+
+TEST(FastaTest, RejectsAmbiguityByDefault) {
+  auto records = ParseFastaString(">x\nacgnt\n");
+  ASSERT_FALSE(records.ok());
+  EXPECT_EQ(records.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FastaTest, AmbiguityPolicies) {
+  FastaParseOptions replace;
+  replace.ambiguity = AmbiguityPolicy::kReplaceWithA;
+  auto replaced = ParseFastaString(">x\nacgNt\n", replace);
+  ASSERT_TRUE(replaced.ok());
+  EXPECT_EQ(DecodeDna((*replaced)[0].sequence), "acgat");
+
+  FastaParseOptions skip;
+  skip.ambiguity = AmbiguityPolicy::kSkip;
+  auto skipped = ParseFastaString(">x\nacgNt\n", skip);
+  ASSERT_TRUE(skipped.ok());
+  EXPECT_EQ(DecodeDna((*skipped)[0].sequence), "acgt");
+}
+
+TEST(FastaTest, RejectsHeaderlessSequence) {
+  auto records = ParseFastaString("acgt\n");
+  ASSERT_FALSE(records.ok());
+}
+
+TEST(FastaTest, RejectsEmptyName) {
+  auto records = ParseFastaString(">\nacgt\n");
+  ASSERT_FALSE(records.ok());
+}
+
+TEST(FastaTest, WriteParseRoundTrip) {
+  std::vector<FastaRecord> records(2);
+  records[0].name = "alpha";
+  records[0].description = "first";
+  records[0].sequence = EncodeDna("acgtacgtacgtacgtacgtacgt").value();
+  records[1].name = "beta";
+  records[1].sequence = EncodeDna("tt").value();
+
+  std::ostringstream out;
+  ASSERT_TRUE(WriteFasta(out, records, /*line_width=*/10).ok());
+  auto parsed = ParseFastaString(out.str());
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->size(), 2u);
+  EXPECT_EQ((*parsed)[0].name, "alpha");
+  EXPECT_EQ((*parsed)[0].description, "first");
+  EXPECT_EQ((*parsed)[0].sequence, records[0].sequence);
+  EXPECT_EQ((*parsed)[1].sequence, records[1].sequence);
+}
+
+TEST(FastaTest, WriteRejectsNonPositiveWidth) {
+  std::ostringstream out;
+  EXPECT_FALSE(WriteFasta(out, {}, 0).ok());
+}
+
+TEST(FastaTest, MissingFileIsIoError) {
+  auto records = ReadFastaFile("/nonexistent/genome.fa");
+  ASSERT_FALSE(records.ok());
+  EXPECT_EQ(records.status().code(), StatusCode::kIoError);
+}
+
+TEST(FastqTest, ParsesRecord) {
+  auto records = ParseFastqString("@read1 extra\nacgt\n+\nIIII\n");
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 1u);
+  EXPECT_EQ((*records)[0].name, "read1");
+  EXPECT_EQ(DecodeDna((*records)[0].sequence), "acgt");
+  EXPECT_EQ((*records)[0].quality, "IIII");
+}
+
+TEST(FastqTest, ReplacesAmbiguousBases) {
+  auto records = ParseFastqString("@r\nacgN\n+\nIIII\n");
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ(DecodeDna((*records)[0].sequence), "acga");
+}
+
+TEST(FastqTest, RejectsTruncatedRecord) {
+  EXPECT_FALSE(ParseFastqString("@r\nacgt\n+\n").ok());
+  EXPECT_FALSE(ParseFastqString("@r\nacgt\n").ok());
+}
+
+TEST(FastqTest, RejectsLengthMismatch) {
+  EXPECT_FALSE(ParseFastqString("@r\nacgt\n+\nIII\n").ok());
+}
+
+TEST(FastqTest, RejectsBadSeparators) {
+  EXPECT_FALSE(ParseFastqString("r\nacgt\n+\nIIII\n").ok());
+  EXPECT_FALSE(ParseFastqString("@r\nacgt\nx\nIIII\n").ok());
+}
+
+TEST(FastqTest, WriteParseRoundTrip) {
+  std::vector<FastqRecord> records(1);
+  records[0].name = "sim_0:12:+:1";
+  records[0].sequence = EncodeDna("ttaacc").value();
+  records[0].quality = "IIIIII";
+  std::ostringstream out;
+  ASSERT_TRUE(WriteFastq(out, records).ok());
+  auto parsed = ParseFastqString(out.str());
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->size(), 1u);
+  EXPECT_EQ((*parsed)[0].name, records[0].name);
+  EXPECT_EQ((*parsed)[0].sequence, records[0].sequence);
+  EXPECT_EQ((*parsed)[0].quality, records[0].quality);
+}
+
+}  // namespace
+}  // namespace bwtk

@@ -1,0 +1,167 @@
+// End-to-end cross-engine validation: generate a genome, simulate reads the
+// way the paper's evaluation does, and require every engine in the library
+// to produce byte-identical occurrence lists on every read.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "alphabet/fasta.h"
+#include "alphabet/fastq.h"
+#include "baselines/amir_search.h"
+#include "baselines/cole_search.h"
+#include "baselines/kangaroo_search.h"
+#include "baselines/naive_search.h"
+#include "bwt/fm_index.h"
+#include "search/algorithm_a.h"
+#include "search/searcher.h"
+#include "search/stree_search.h"
+#include "simulate/genome_generator.h"
+#include "simulate/read_simulator.h"
+
+namespace bwtk {
+namespace {
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    GenomeOptions genome_options;
+    genome_options.length = 60000;
+    genome_options.repeat_fraction = 0.35;
+    genome_options.seed = 2024;
+    genome_ = new std::vector<DnaCode>(GenerateGenome(genome_options).value());
+    index_ = new FmIndex(FmIndex::Build(*genome_).value());
+  }
+
+  static void TearDownTestSuite() {
+    delete index_;
+    delete genome_;
+    index_ = nullptr;
+    genome_ = nullptr;
+  }
+
+  static std::vector<DnaCode>* genome_;
+  static FmIndex* index_;
+};
+
+std::vector<DnaCode>* IntegrationTest::genome_ = nullptr;
+FmIndex* IntegrationTest::index_ = nullptr;
+
+TEST_F(IntegrationTest, AllEnginesAgreeOnSimulatedReads) {
+  ReadSimOptions read_options;
+  read_options.read_length = 70;
+  read_options.read_count = 12;
+  read_options.mutation_rate = 0.01;
+  read_options.error_rate = 0.02;
+  read_options.both_strands = false;
+  read_options.seed = 99;
+  const auto reads = SimulateReads(*genome_, read_options).value();
+
+  const NaiveSearch naive(genome_);
+  const AmirSearch amir(genome_);
+  const KangarooSearch kangaroo(genome_);
+  const auto cole = ColeSearch::Build(*genome_).value();
+  const STreeSearch stree(index_);
+  const AlgorithmA algorithm_a(index_);
+
+  for (const auto& read : reads) {
+    for (const int32_t k : {0, 2, 4}) {
+      const auto expected = naive.Search(read.sequence, k);
+      EXPECT_EQ(stree.Search(read.sequence, k), expected) << "stree k=" << k;
+      EXPECT_EQ(algorithm_a.Search(read.sequence, k), expected)
+          << "A k=" << k;
+      EXPECT_EQ(amir.Search(read.sequence, k), expected) << "amir k=" << k;
+      EXPECT_EQ(kangaroo.Search(read.sequence, k).value(), expected)
+          << "kangaroo k=" << k;
+      EXPECT_EQ(cole.Search(read.sequence, k), expected) << "cole k=" << k;
+    }
+  }
+}
+
+TEST_F(IntegrationTest, ReadsWithKSubstitutionsAreAlwaysFound) {
+  ReadSimOptions read_options;
+  read_options.read_length = 100;
+  read_options.read_count = 25;
+  read_options.mutation_rate = 0.02;
+  read_options.error_rate = 0.01;
+  read_options.both_strands = true;
+  read_options.seed = 7;
+  const auto reads = SimulateReads(*genome_, read_options).value();
+  const AlgorithmA algorithm_a(index_);
+  for (const auto& read : reads) {
+    const auto query = read.reverse_strand
+                           ? ReverseComplement(read.sequence)
+                           : read.sequence;
+    const auto hits = algorithm_a.Search(query, read.substitutions);
+    const bool found =
+        std::any_of(hits.begin(), hits.end(), [&](const Occurrence& h) {
+          return h.position == read.origin;
+        });
+    EXPECT_TRUE(found) << "origin " << read.origin;
+  }
+}
+
+TEST_F(IntegrationTest, FileRoundTripPipeline) {
+  // genome -> FASTA file -> parse -> index -> reads -> FASTQ file -> parse
+  // -> search: the full example-application pipeline.
+  const std::string dir = ::testing::TempDir();
+  const std::string fasta_path = dir + "/bwtk_it_genome.fa";
+  const std::string fastq_path = dir + "/bwtk_it_reads.fq";
+  const std::string index_path = dir + "/bwtk_it.idx";
+
+  std::vector<FastaRecord> records(1);
+  records[0].name = "synthetic_chr";
+  records[0].sequence = *genome_;
+  ASSERT_TRUE(WriteFastaFile(fasta_path, records).ok());
+
+  const auto parsed = ReadFastaFile(fasta_path).value();
+  ASSERT_EQ(parsed.size(), 1u);
+  ASSERT_EQ(parsed[0].sequence, *genome_);
+
+  const auto searcher = KMismatchSearcher::Build(parsed[0].sequence).value();
+  ASSERT_TRUE(searcher.SaveIndex(index_path).ok());
+  const auto reloaded = KMismatchSearcher::FromIndexFile(index_path).value();
+
+  const auto reads =
+      SimulateReads(*genome_, {.read_length = 64, .read_count = 6,
+                               .both_strands = false, .seed = 123})
+          .value();
+  ASSERT_TRUE(WriteFastqFile(fastq_path, ToFastq(reads, "it")).ok());
+  const auto fastq = ReadFastqFile(fastq_path).value();
+  ASSERT_EQ(fastq.size(), reads.size());
+
+  for (size_t i = 0; i < fastq.size(); ++i) {
+    const auto hits = reloaded.Search(fastq[i].sequence, 3);
+    const auto direct = searcher.Search(reads[i].sequence, 3);
+    EXPECT_EQ(hits, direct);
+  }
+
+  std::remove(fasta_path.c_str());
+  std::remove(fastq_path.c_str());
+  std::remove(index_path.c_str());
+}
+
+TEST_F(IntegrationTest, StatisticsScaleWithK) {
+  // The S-tree (and hence the M-tree) grows with k — the effect behind the
+  // paper's Fig. 11(a)/Table 2.
+  const auto reads = SimulateReads(*genome_, {.read_length = 50,
+                                              .read_count = 3, .seed = 55})
+                         .value();
+  const AlgorithmA algorithm_a(index_);
+  uint64_t previous_leaves = 0;
+  for (const int32_t k : {0, 1, 2, 3, 4}) {
+    SearchStats total;
+    for (const auto& read : reads) {
+      SearchStats stats;
+      algorithm_a.Search(read.sequence, k, &stats);
+      total += stats;
+    }
+    EXPECT_GE(total.mtree_leaves, previous_leaves);
+    previous_leaves = total.mtree_leaves;
+  }
+  EXPECT_GT(previous_leaves, 0u);
+}
+
+}  // namespace
+}  // namespace bwtk

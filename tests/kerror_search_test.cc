@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "bwt/fm_index.h"
+#include "search/kerror_search.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace bwtk {
+namespace {
+
+using ::bwtk::testing::Codes;
+using ::bwtk::testing::PeriodicDna;
+using ::bwtk::testing::RandomDna;
+using ::bwtk::testing::SampleWithFlips;
+
+TEST(KErrorSearchTest, ExactMatchIsZeroEdits) {
+  const auto text = Codes("acagaca");
+  const auto index = FmIndex::Build(text).value();
+  const KErrorSearch searcher(&index);
+  const auto hits = searcher.Search(Codes("aca"), 0);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0], (EditOccurrence{0, 3, 0}));
+  EXPECT_EQ(hits[1], (EditOccurrence{4, 3, 0}));
+}
+
+TEST(KErrorSearchTest, FindsInsertionsAndDeletions) {
+  // Target contains "acgGta" where the pattern is "acgta": one inserted g.
+  const auto text = Codes("ttacggtatt");
+  const auto index = FmIndex::Build(text).value();
+  const KErrorSearch searcher(&index);
+  const auto hits = searcher.Search(Codes("acgta"), 1);
+  bool found = false;
+  for (const auto& hit : hits) {
+    // The alignment starting at position 2 must need exactly one edit.
+    if (hit.position == 2) {
+      EXPECT_EQ(hit.edits, 1);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(KErrorSearchTest, DegenerateInputs) {
+  const auto index = FmIndex::Build(Codes("acgt")).value();
+  const KErrorSearch searcher(&index);
+  EXPECT_TRUE(searcher.Search({}, 2).empty());
+  EXPECT_TRUE(searcher.Search(Codes("ac"), -1).empty());
+}
+
+class KErrorRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(KErrorRandomTest, MatchesBandedDpOracle) {
+  Rng rng(9000 + GetParam());
+  const size_t n = 60 + rng.NextBounded(160);
+  const auto text = GetParam() % 2 == 0 ? RandomDna(n, &rng)
+                                        : PeriodicDna(n, 6, 0.15, &rng);
+  const auto index = FmIndex::Build(text).value();
+  const KErrorSearch searcher(&index);
+  for (int trial = 0; trial < 4; ++trial) {
+    const size_t m = 4 + rng.NextBounded(12);
+    const int32_t k = static_cast<int32_t>(rng.NextBounded(3));
+    const size_t pos = rng.NextBounded(n - m);
+    const auto pattern = trial % 2 == 0
+                             ? RandomDna(m, &rng)
+                             : SampleWithFlips(text, pos, m, k, &rng);
+    EXPECT_EQ(searcher.Search(pattern, k),
+              KErrorSearchNaive(text, pattern, k))
+        << "m=" << m << " k=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, KErrorRandomTest, ::testing::Range(0, 14));
+
+TEST(KErrorSearchTest, EditDistanceSubsumesHamming) {
+  // Every k-mismatch occurrence is also a k-error occurrence.
+  Rng rng(77);
+  const auto text = RandomDna(300, &rng);
+  const auto index = FmIndex::Build(text).value();
+  const KErrorSearch searcher(&index);
+  const auto pattern = SampleWithFlips(text, 50, 20, 2, &rng);
+  const auto edit_hits = searcher.Search(pattern, 2);
+  bool covers = false;
+  for (const auto& hit : edit_hits) covers |= (hit.position == 50);
+  EXPECT_TRUE(covers);
+}
+
+}  // namespace
+}  // namespace bwtk

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "suffix/lcp.h"
+#include "suffix/rmq.h"
+#include "suffix/suffix_array.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace bwtk {
+namespace {
+
+using ::bwtk::testing::PeriodicDna;
+using ::bwtk::testing::RandomDna;
+
+int32_t NaiveLcp(const std::vector<uint32_t>& text, size_t a, size_t b) {
+  int32_t len = 0;
+  while (a < text.size() && b < text.size() && text[a] == text[b]) {
+    ++a;
+    ++b;
+    ++len;
+  }
+  return len;
+}
+
+std::vector<uint32_t> Widen(const std::vector<DnaCode>& codes) {
+  return std::vector<uint32_t>(codes.begin(), codes.end());
+}
+
+TEST(RmqTest, MatchesScanOnRandomData) {
+  Rng rng(41);
+  std::vector<int32_t> values(500);
+  for (auto& v : values) v = static_cast<int32_t>(rng.NextBounded(1000));
+  RangeMinQuery<int32_t> rmq(values);
+  for (int trial = 0; trial < 2000; ++trial) {
+    size_t lo = rng.NextBounded(values.size());
+    size_t hi = rng.NextBounded(values.size());
+    if (lo > hi) std::swap(lo, hi);
+    const int32_t expected =
+        *std::min_element(values.begin() + lo, values.begin() + hi + 1);
+    EXPECT_EQ(rmq.Min(lo, hi), expected) << lo << ".." << hi;
+  }
+}
+
+TEST(RmqTest, SingleElementAndFullRange) {
+  RangeMinQuery<int32_t> rmq({5, 3, 9});
+  EXPECT_EQ(rmq.Min(0, 0), 5);
+  EXPECT_EQ(rmq.Min(1, 1), 3);
+  EXPECT_EQ(rmq.Min(0, 2), 3);
+  EXPECT_EQ(rmq.Min(2, 2), 9);
+}
+
+TEST(RmqTest, SizeSpanningManyBlocks) {
+  std::vector<int32_t> values(10 * RangeMinQuery<int32_t>::kBlockSize + 7);
+  for (size_t i = 0; i < values.size(); ++i) {
+    values[i] = static_cast<int32_t>(values.size() - i);
+  }
+  RangeMinQuery<int32_t> rmq(values);
+  EXPECT_EQ(rmq.Min(0, values.size() - 1), 1);
+  EXPECT_EQ(rmq.Min(0, 0), static_cast<int32_t>(values.size()));
+}
+
+TEST(KasaiTest, MatchesNaiveAdjacentLcps) {
+  Rng rng(43);
+  const auto text = Widen(PeriodicDna(300, 7, 0.1, &rng));
+  const auto sa = BuildSuffixArray(text, 4).value();
+  const auto lcp = BuildLcpArrayKasai(text, sa);
+  ASSERT_EQ(lcp.size(), sa.size());
+  EXPECT_EQ(lcp[0], 0);
+  for (size_t i = 1; i < sa.size(); ++i) {
+    EXPECT_EQ(lcp[i], NaiveLcp(text, sa[i - 1], sa[i])) << i;
+  }
+}
+
+class LcpIndexRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LcpIndexRandomTest, ArbitraryPairQueriesMatchNaive) {
+  Rng rng(500 + GetParam());
+  const size_t length = 20 + rng.NextBounded(300);
+  const auto text =
+      Widen(GetParam() % 2 == 0 ? RandomDna(length, &rng)
+                                : PeriodicDna(length, 5, 0.05, &rng));
+  auto index = LcpIndex::Build(text, 4).value();
+  for (int trial = 0; trial < 200; ++trial) {
+    const size_t a = rng.NextBounded(length + 1);
+    const size_t b = rng.NextBounded(length + 1);
+    EXPECT_EQ(index.Lcp(a, b), NaiveLcp(text, a, b)) << a << "," << b;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, LcpIndexRandomTest, ::testing::Range(0, 10));
+
+TEST(LcpIndexTest, IdenticalPositionsGiveSuffixLength) {
+  auto index = LcpIndex::Build({0, 1, 2, 3, 0, 1}, 4).value();
+  EXPECT_EQ(index.Lcp(2, 2), 4);
+  EXPECT_EQ(index.Lcp(6, 6), 0);
+}
+
+TEST(LcpIndexTest, SentinelPositionsGiveZero) {
+  auto index = LcpIndex::Build({0, 0, 0}, 4).value();
+  EXPECT_EQ(index.Lcp(3, 0), 0);
+  EXPECT_EQ(index.Lcp(0, 3), 0);
+}
+
+}  // namespace
+}  // namespace bwtk

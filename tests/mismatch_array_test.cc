@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <span>
+
+#include "mismatch/kangaroo.h"
+#include "mismatch/mismatch_array.h"
+#include "mismatch/zbox.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace bwtk {
+namespace {
+
+using ::bwtk::testing::Codes;
+using ::bwtk::testing::PeriodicDna;
+using ::bwtk::testing::RandomDna;
+using ::bwtk::testing::RandomDnaBiased;
+
+std::vector<int32_t> NaiveZ(const std::vector<DnaCode>& s) {
+  std::vector<int32_t> z(s.size(), 0);
+  if (s.empty()) return z;
+  z[0] = static_cast<int32_t>(s.size());
+  for (size_t i = 1; i < s.size(); ++i) {
+    while (i + z[i] < s.size() && s[z[i]] == s[i + z[i]]) ++z[i];
+  }
+  return z;
+}
+
+TEST(ZboxTest, FixedCases) {
+  EXPECT_EQ(ComputeZArray(Codes("aaaa")), (std::vector<int32_t>{4, 3, 2, 1}));
+  EXPECT_EQ(ComputeZArray(Codes("acac")), (std::vector<int32_t>{4, 0, 2, 0}));
+  EXPECT_EQ(ComputeZArray(std::vector<DnaCode>{}), (std::vector<int32_t>{}));
+}
+
+class ZboxRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ZboxRandomTest, MatchesNaive) {
+  Rng rng(100 + GetParam());
+  const auto s = GetParam() % 2 == 0
+                     ? RandomDna(1 + rng.NextBounded(300), &rng)
+                     : PeriodicDna(1 + rng.NextBounded(300), 3, 0.1, &rng);
+  EXPECT_EQ(ComputeZArray(s), NaiveZ(s));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ZboxRandomTest, ::testing::Range(0, 16));
+
+TEST(PatternLcpTest, MismatchesBetweenMatchesNaive) {
+  Rng rng(11);
+  const auto pattern = PeriodicDna(200, 7, 0.15, &rng);
+  const auto lcp = PatternLcp::Build(pattern).value();
+  const std::span<const DnaCode> span(pattern);
+  for (int trial = 0; trial < 200; ++trial) {
+    const size_t a = rng.NextBounded(pattern.size());
+    const size_t b = rng.NextBounded(pattern.size());
+    const size_t len = pattern.size() - std::max(a, b);
+    const size_t cap = 1 + rng.NextBounded(8);
+    EXPECT_EQ(lcp.MismatchesBetween(a, b, len, cap),
+              MismatchPositionsNaive(span.subspan(a, len),
+                                     span.subspan(b, len), cap))
+        << a << "," << b;
+  }
+}
+
+TEST(HammingTest, CappedDistance) {
+  const auto a = Codes("acgtacgt");
+  const auto b = Codes("aagtacga");
+  EXPECT_EQ(HammingDistanceCapped(a, b, 8), 2);
+  EXPECT_EQ(HammingDistanceCapped(a, b, 1), 2);  // exceeds: cap + 1
+  EXPECT_EQ(HammingDistanceCapped(a, b, 0), 1);  // early exit
+  EXPECT_EQ(HammingDistanceCapped(a, a, 0), 0);
+}
+
+TEST(ShiftMismatchTableTest, PaperFigure4Example) {
+  // r = tcacg (Fig. 4): R_1 compares tcac with cacg -> all four positions
+  // mismatch; R_4 compares t with g -> position 1.
+  const auto table = ShiftMismatchTable::Build(Codes("tcacg"), 3).value();
+  EXPECT_EQ(table.Shift(1), (MismatchArray{1, 2, 3, 4}));
+  EXPECT_EQ(table.Shift(4), (MismatchArray{1}));
+  EXPECT_EQ(table.Shift(2), MismatchPositionsNaive(Codes("tca"), Codes("acg"),
+                                                   table.capacity()));
+}
+
+TEST(ShiftMismatchTableTest, CapacityIsKPlusTwo) {
+  // All-mismatch shifts must be truncated at k + 2 entries (the paper keeps
+  // k + 2 "rather than k + 1" for correct derivations).
+  const auto table =
+      ShiftMismatchTable::Build(Codes("tgtgtgtgtgtg"), 1).value();
+  EXPECT_EQ(table.capacity(), 3u);
+  EXPECT_EQ(table.Shift(1).size(), 3u);  // odd shift of tgtg...: all differ
+}
+
+class ShiftTableRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ShiftTableRandomTest, AllShiftsMatchNaive) {
+  Rng rng(300 + GetParam());
+  const size_t m = 5 + rng.NextBounded(120);
+  const auto r =
+      GetParam() % 2 == 0 ? RandomDna(m, &rng) : PeriodicDna(m, 4, 0.1, &rng);
+  const int32_t k = static_cast<int32_t>(rng.NextBounded(6));
+  const auto table = ShiftMismatchTable::Build(r, k).value();
+  const std::span<const DnaCode> span(r);
+  for (size_t i = 1; i < m; ++i) {
+    EXPECT_EQ(table.Shift(i),
+              MismatchPositionsNaive(span.first(m - i), span.subspan(i),
+                                     table.capacity()))
+        << "shift " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ShiftTableRandomTest, ::testing::Range(0, 12));
+
+TEST(ShiftMismatchTableTest, SuffixMismatchesMatchesNaive) {
+  Rng rng(55);
+  const auto r = PeriodicDna(90, 6, 0.2, &rng);
+  const auto table = ShiftMismatchTable::Build(r, 4).value();
+  const std::span<const DnaCode> span(r);
+  for (int trial = 0; trial < 100; ++trial) {
+    const size_t i = rng.NextBounded(r.size());
+    const size_t j = rng.NextBounded(r.size());
+    const size_t overlap = r.size() - std::max(i, j);
+    EXPECT_EQ(table.SuffixMismatches(i, j, overlap),
+              MismatchPositionsNaive(span.subspan(i, overlap),
+                                     span.subspan(j, overlap), overlap));
+  }
+}
+
+TEST(ShiftMismatchTableTest, RejectsNegativeK) {
+  EXPECT_FALSE(ShiftMismatchTable::Build(Codes("acgt"), -1).ok());
+}
+
+// --- merge() (Proposition 1) -----------------------------------------------
+
+TEST(MergeTest, PaperSectionIVBShape) {
+  // The Section IV.B construction: alpha = tcacg, beta = its shift by one,
+  // gamma = its shift by two; merging mm(alpha,beta) and mm(alpha,gamma)
+  // must equal the directly computed mm(beta,gamma).
+  const auto alpha = Codes("tcacg");
+  const auto beta = Codes("cacg");
+  const auto gamma = Codes("acg");
+  const auto a1 = MismatchPositionsNaive(alpha, beta, 6);
+  const auto a2 = MismatchPositionsNaive(alpha, gamma, 6);
+  const auto merged = MergeMismatchArrays(a1, a2, beta, gamma,
+                                          /*a1_exhaustive=*/true,
+                                          /*a2_exhaustive=*/true, 6);
+  EXPECT_EQ(merged.horizon, kUnboundedHorizon);
+  // Offsets 1..3 are real character mismatches; offset 4 is the "one of
+  // them does not exist" case the paper's definition also reports.
+  EXPECT_EQ(merged.positions, (MismatchArray{1, 2, 3, 4}));
+}
+
+class MergeRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MergeRandomTest, ExhaustiveInputsGiveExactResult) {
+  Rng rng(700 + GetParam());
+  const size_t len = 3 + rng.NextBounded(60);
+  const auto alpha = RandomDnaBiased(len, 3, &rng);
+  const auto beta = RandomDnaBiased(len, 3, &rng);
+  const auto gamma = RandomDnaBiased(len, 3, &rng);
+  const auto a1 = MismatchPositionsNaive(alpha, beta, len);
+  const auto a2 = MismatchPositionsNaive(alpha, gamma, len);
+  const auto merged =
+      MergeMismatchArrays(a1, a2, beta, gamma, true, true, len);
+  EXPECT_EQ(merged.positions, MismatchPositionsNaive(beta, gamma, len));
+}
+
+TEST_P(MergeRandomTest, TruncatedInputsRespectHorizon) {
+  Rng rng(800 + GetParam());
+  const size_t len = 20 + rng.NextBounded(60);
+  const auto alpha = RandomDnaBiased(len, 2, &rng);
+  const auto beta = RandomDnaBiased(len, 2, &rng);
+  const auto gamma = RandomDnaBiased(len, 2, &rng);
+  const size_t cap = 2 + rng.NextBounded(5);
+  const auto a1 = MismatchPositionsNaive(alpha, beta, cap);
+  const auto a2 = MismatchPositionsNaive(alpha, gamma, cap);
+  const bool a1_full = a1.size() < cap;  // fewer than cap => exhaustive
+  const bool a2_full = a2.size() < cap;
+  const auto merged =
+      MergeMismatchArrays(a1, a2, beta, gamma, a1_full, a2_full, len);
+  const auto truth = MismatchPositionsNaive(beta, gamma, len);
+  // Soundness: every reported position is a true mismatch.
+  for (const int32_t pos : merged.positions) {
+    EXPECT_NE(std::find(truth.begin(), truth.end(), pos), truth.end()) << pos;
+  }
+  // Completeness up to the horizon.
+  for (const int32_t pos : truth) {
+    if (pos <= merged.horizon) {
+      EXPECT_NE(std::find(merged.positions.begin(), merged.positions.end(),
+                          pos),
+                merged.positions.end())
+          << pos << " horizon=" << merged.horizon;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MergeRandomTest, ::testing::Range(0, 30));
+
+TEST(MergeTest, EmptyInputsMeanEqualStrings) {
+  const auto merged = MergeMismatchArrays({}, {}, Codes("acgt"), Codes("acgt"),
+                                          true, true, 4);
+  EXPECT_TRUE(merged.positions.empty());
+  EXPECT_EQ(merged.horizon, kUnboundedHorizon);
+}
+
+TEST(MergeTest, MaxCountTruncatesOutput) {
+  const auto alpha = Codes("cccc");
+  const auto beta = Codes("aaaa");
+  const auto gamma = Codes("tttt");
+  const auto a1 = MismatchPositionsNaive(alpha, beta, 6);
+  const auto a2 = MismatchPositionsNaive(alpha, gamma, 6);
+  const auto merged = MergeMismatchArrays(a1, a2, beta, gamma, true, true, 2);
+  EXPECT_EQ(merged.positions, (MismatchArray{1, 2}));
+}
+
+}  // namespace
+}  // namespace bwtk

@@ -1,0 +1,58 @@
+#include <gtest/gtest.h>
+
+#include "search/mtree.h"
+
+namespace bwtk {
+namespace {
+
+TEST(MTreeTest, RootIsMatching) {
+  MTree tree;
+  EXPECT_EQ(tree.node_count(), 1u);
+  EXPECT_TRUE(tree.node(tree.root()).matching());
+  EXPECT_EQ(tree.leaf_count(), 0u);
+}
+
+TEST(MTreeTest, MatchingMergesIntoMatchingParent) {
+  // Definition 4's collapse rule: a maximal match run is one node.
+  MTree tree;
+  const int32_t first = tree.AddMatching(tree.root());
+  EXPECT_EQ(first, tree.root());  // merged into the matching root
+  const int32_t mismatch = tree.AddMismatching(first, 2, 3);
+  EXPECT_NE(mismatch, first);
+  const int32_t run = tree.AddMatching(mismatch);
+  EXPECT_NE(run, mismatch);          // new run under a mismatching node
+  EXPECT_EQ(tree.AddMatching(run), run);  // further matches merge
+  EXPECT_EQ(tree.node_count(), 3u);  // root, <g,3>, <-,0>
+}
+
+TEST(MTreeTest, MismatchingNodesAlwaysFresh) {
+  MTree tree;
+  const int32_t a = tree.AddMismatching(tree.root(), 0, 1);
+  const int32_t b = tree.AddMismatching(tree.root(), 1, 1);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(tree.node(a).symbol, 0);
+  EXPECT_EQ(tree.node(b).symbol, 1);
+  EXPECT_EQ(tree.node(a).pattern_pos, 1);
+}
+
+TEST(MTreeTest, PathMismatchPositionsIsTheBlArray) {
+  // Build the path of the paper's B_1 = [1, 4]: mismatches at pattern
+  // positions 1 and 4 with match runs between.
+  MTree tree;
+  int32_t node = tree.AddMismatching(tree.root(), 0, 1);
+  node = tree.AddMatching(node);
+  node = tree.AddMismatching(node, 2, 4);
+  node = tree.AddMatching(node);
+  tree.MarkLeaf();
+  EXPECT_EQ(tree.PathMismatchPositions(node), (std::vector<int32_t>{1, 4}));
+  EXPECT_EQ(tree.leaf_count(), 1u);
+}
+
+TEST(MTreeTest, LeafCountTracksTerminations) {
+  MTree tree;
+  for (int i = 0; i < 5; ++i) tree.MarkLeaf();
+  EXPECT_EQ(tree.leaf_count(), 5u);
+}
+
+}  // namespace
+}  // namespace bwtk

@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "search/searcher.h"
+
+namespace bwtk {
+namespace {
+
+TEST(SearcherTest, BuildFromStringAndSearch) {
+  const auto searcher = KMismatchSearcher::Build("acagaca").value();
+  EXPECT_EQ(searcher.genome_size(), 7u);
+  const auto hits = searcher.Search("tcaca", 2).value();
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0], (Occurrence{0, 2}));
+  EXPECT_EQ(hits[1], (Occurrence{2, 2}));
+}
+
+TEST(SearcherTest, RejectsEmptyGenome) {
+  EXPECT_FALSE(KMismatchSearcher::Build(std::vector<DnaCode>{}).ok());
+  EXPECT_FALSE(KMismatchSearcher::Build("").ok());
+}
+
+TEST(SearcherTest, RejectsNonDnaInputs) {
+  EXPECT_FALSE(KMismatchSearcher::Build("acgnt").ok());
+  const auto searcher = KMismatchSearcher::Build("acgtacgt").value();
+  EXPECT_FALSE(searcher.Search("ac?t", 1).ok());
+}
+
+TEST(SearcherTest, StatsPlumbedThrough) {
+  const auto searcher = KMismatchSearcher::Build("acagacagacag").value();
+  SearchStats stats;
+  const auto hits = searcher.Search("acaga", 1, &stats).value();
+  EXPECT_FALSE(hits.empty());
+  EXPECT_GT(stats.mtree_leaves, 0u);
+}
+
+TEST(SearcherTest, CustomIndexOptions) {
+  FmIndex::Options options;
+  options.checkpoint_rate = 128;
+  options.sa_sample_rate = 4;
+  const auto genome = EncodeDna("acgtacgtacgtacgtacgtacgtacgt").value();
+  const auto searcher = KMismatchSearcher::Build(genome, options).value();
+  EXPECT_EQ(searcher.index().options().checkpoint_rate, 128u);
+  const auto hits = searcher.Search("acgt", 0).value();
+  EXPECT_EQ(hits.size(), 7u);
+}
+
+TEST(SearcherTest, SaveAndReloadIndex) {
+  const std::string path = ::testing::TempDir() + "/bwtk_searcher_test.idx";
+  const auto original =
+      KMismatchSearcher::Build("acagacattacagacatt").value();
+  ASSERT_TRUE(original.SaveIndex(path).ok());
+  const auto reloaded = KMismatchSearcher::FromIndexFile(path).value();
+  EXPECT_EQ(reloaded.genome_size(), original.genome_size());
+  EXPECT_EQ(reloaded.Search("acaga", 1).value(),
+            original.Search("acaga", 1).value());
+  std::remove(path.c_str());
+}
+
+TEST(SearcherTest, FromMissingIndexFileFails) {
+  EXPECT_FALSE(KMismatchSearcher::FromIndexFile("/no/such/file.idx").ok());
+}
+
+}  // namespace
+}  // namespace bwtk

@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "baselines/naive_search.h"
+#include "simulate/genome_generator.h"
+#include "simulate/read_simulator.h"
+
+namespace bwtk {
+namespace {
+
+TEST(GenomeGeneratorTest, ProducesRequestedLength) {
+  GenomeOptions options;
+  options.length = 10000;
+  const auto genome = GenerateGenome(options).value();
+  EXPECT_EQ(genome.size(), 10000u);
+  for (const DnaCode c : genome) EXPECT_LT(c, kDnaAlphabetSize);
+}
+
+TEST(GenomeGeneratorTest, DeterministicPerSeed) {
+  GenomeOptions options;
+  options.length = 5000;
+  options.seed = 11;
+  EXPECT_EQ(GenerateGenome(options).value(), GenerateGenome(options).value());
+  options.seed = 12;
+  EXPECT_NE(GenerateGenome(options).value(),
+            GenerateGenome(GenomeOptions{.length = 5000, .seed = 11}).value());
+}
+
+TEST(GenomeGeneratorTest, RespectsGcContent) {
+  GenomeOptions options;
+  options.length = 200000;
+  options.gc_content = 0.6;
+  options.repeat_fraction = 0.0;
+  const auto genome = GenerateGenome(options).value();
+  size_t gc = 0;
+  for (const DnaCode c : genome) gc += (c == 1 || c == 2);
+  EXPECT_NEAR(static_cast<double>(gc) / genome.size(), 0.6, 0.01);
+}
+
+TEST(GenomeGeneratorTest, RepeatsIncreaseSelfSimilarity) {
+  // A genome with repeats must contain many more repeated 16-mers than a
+  // uniform one of the same size.
+  auto count_duplicate_kmers = [](const std::vector<DnaCode>& genome) {
+    std::vector<uint64_t> kmers;
+    uint64_t value = 0;
+    for (size_t i = 0; i < genome.size(); ++i) {
+      value = ((value << 2) | genome[i]) & 0xffffffffULL;  // 16-mer
+      if (i >= 15) kmers.push_back(value);
+    }
+    std::sort(kmers.begin(), kmers.end());
+    size_t duplicates = 0;
+    for (size_t i = 1; i < kmers.size(); ++i) {
+      duplicates += (kmers[i] == kmers[i - 1]);
+    }
+    return duplicates;
+  };
+  GenomeOptions repetitive;
+  repetitive.length = 100000;
+  repetitive.repeat_fraction = 0.5;
+  GenomeOptions uniform = repetitive;
+  uniform.repeat_fraction = 0.0;
+  EXPECT_GT(count_duplicate_kmers(GenerateGenome(repetitive).value()),
+            10 * count_duplicate_kmers(GenerateGenome(uniform).value()) + 100);
+}
+
+TEST(GenomeGeneratorTest, RejectsBadOptions) {
+  EXPECT_FALSE(GenerateGenome(GenomeOptions{.length = 0}).ok());
+  EXPECT_FALSE(
+      GenerateGenome(GenomeOptions{.length = 10, .gc_content = 1.5}).ok());
+  EXPECT_FALSE(
+      GenerateGenome(GenomeOptions{.length = 10, .repeat_fraction = 1.0})
+          .ok());
+}
+
+TEST(Table1PresetsTest, MirrorsPaperSizes) {
+  const auto presets = Table1Presets(1.0 / 1024);
+  ASSERT_EQ(presets.size(), 5u);
+  EXPECT_EQ(presets[0].name, "rat_Rnor6");
+  EXPECT_EQ(presets[0].paper_size_bp, 2909701677ULL);
+  EXPECT_EQ(presets[4].paper_size_bp, 16728967ULL);
+  // Relative ordering preserved and scaling applied.
+  for (size_t i = 1; i < presets.size(); ++i) {
+    EXPECT_LE(presets[i].scaled_size_bp, presets[i - 1].scaled_size_bp);
+  }
+  EXPECT_NEAR(static_cast<double>(presets[0].scaled_size_bp),
+              2909701677.0 / 1024, 2.0);
+}
+
+TEST(ReadSimulatorTest, ProducesRequestedReads) {
+  const auto genome =
+      GenerateGenome(GenomeOptions{.length = 20000, .seed = 5}).value();
+  ReadSimOptions options;
+  options.read_length = 150;
+  options.read_count = 40;
+  const auto reads = SimulateReads(genome, options).value();
+  ASSERT_EQ(reads.size(), 40u);
+  for (const auto& read : reads) {
+    EXPECT_EQ(read.sequence.size(), 150u);
+    EXPECT_LE(read.origin + 150, genome.size());
+  }
+}
+
+TEST(ReadSimulatorTest, GroundTruthIsConsistent) {
+  // A forward-strand read must occur at its origin with exactly
+  // `substitutions` mismatches.
+  const auto genome =
+      GenerateGenome(GenomeOptions{.length = 30000, .seed = 9}).value();
+  ReadSimOptions options;
+  options.read_length = 80;
+  options.read_count = 30;
+  options.both_strands = false;
+  options.mutation_rate = 0.01;
+  options.error_rate = 0.02;
+  const auto reads = SimulateReads(genome, options).value();
+  const NaiveSearch oracle(&genome);
+  for (const auto& read : reads) {
+    ASSERT_FALSE(read.reverse_strand);
+    const auto hits = oracle.Search(read.sequence, read.substitutions);
+    const bool found = std::any_of(hits.begin(), hits.end(), [&](const auto& h) {
+      return h.position == read.origin && h.mismatches == read.substitutions;
+    });
+    EXPECT_TRUE(found) << "origin " << read.origin;
+  }
+}
+
+TEST(ReadSimulatorTest, BothStrandsAppear) {
+  const auto genome =
+      GenerateGenome(GenomeOptions{.length = 5000, .seed = 2}).value();
+  ReadSimOptions options;
+  options.read_length = 50;
+  options.read_count = 60;
+  const auto reads = SimulateReads(genome, options).value();
+  const size_t reverse = std::count_if(
+      reads.begin(), reads.end(),
+      [](const SimulatedRead& r) { return r.reverse_strand; });
+  EXPECT_GT(reverse, 10u);
+  EXPECT_LT(reverse, 50u);
+}
+
+TEST(ReadSimulatorTest, RejectsBadOptions) {
+  const auto genome =
+      GenerateGenome(GenomeOptions{.length = 100, .seed = 1}).value();
+  EXPECT_FALSE(SimulateReads(genome, {.read_length = 0}).ok());
+  EXPECT_FALSE(SimulateReads(genome, {.read_length = 101}).ok());
+}
+
+TEST(ReadSimulatorTest, FastqExportEncodesGroundTruth) {
+  const auto genome =
+      GenerateGenome(GenomeOptions{.length = 2000, .seed = 3}).value();
+  const auto reads =
+      SimulateReads(genome, {.read_length = 60, .read_count = 5}).value();
+  const auto records = ToFastq(reads, "sim");
+  ASSERT_EQ(records.size(), 5u);
+  for (size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(records[i].sequence, reads[i].sequence);
+    EXPECT_EQ(records[i].quality.size(), reads[i].sequence.size());
+    EXPECT_NE(records[i].name.find(std::to_string(reads[i].origin)),
+              std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace bwtk

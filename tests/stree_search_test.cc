@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include "baselines/naive_search.h"
+#include "bwt/fm_index.h"
+#include "search/stree_search.h"
+#include "search/tau_heuristic.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace bwtk {
+namespace {
+
+using ::bwtk::testing::Codes;
+using ::bwtk::testing::PeriodicDna;
+using ::bwtk::testing::RandomDna;
+using ::bwtk::testing::SampleWithFlips;
+
+TEST(TauHeuristicTest, PaperExample) {
+  // Section IV.A: s = acagaca, r = tcaca. τ(1) = 2 ("both r[1..1] = t and
+  // r[2..4] = cac do not occur in s") and τ(3) = 0 (1-based); our vector is
+  // 0-based, so tau[0] == 2 and tau[2] == 0.
+  const auto index = FmIndex::Build(Codes("acagaca")).value();
+  const auto tau = ComputeTau(index, Codes("tcaca"));
+  ASSERT_EQ(tau.size(), 6u);
+  EXPECT_EQ(tau[0], 2);
+  EXPECT_EQ(tau[2], 0);
+  EXPECT_EQ(tau[5], 0);  // empty suffix
+}
+
+TEST(TauHeuristicTest, FullyPresentPatternGivesZeros) {
+  const auto index = FmIndex::Build(Codes("acagaca")).value();
+  const auto tau = ComputeTau(index, Codes("acag"));
+  for (const int32_t t : tau) EXPECT_EQ(t, 0);
+}
+
+TEST(TauHeuristicTest, IsALowerBoundOnMismatches) {
+  // Against every window of s, the Hamming distance of r[i..] must be at
+  // least tau[i] — the property that makes the pruning safe.
+  Rng rng(21);
+  const auto text = RandomDna(500, &rng);
+  const auto index = FmIndex::Build(text).value();
+  const auto pattern = RandomDna(24, &rng);
+  const auto tau = ComputeTau(index, pattern);
+  for (size_t i = 0; i < pattern.size(); ++i) {
+    const size_t suffix_len = pattern.size() - i;
+    int32_t best = static_cast<int32_t>(suffix_len);
+    for (size_t pos = 0; pos + suffix_len <= text.size(); ++pos) {
+      int32_t distance = 0;
+      for (size_t t = 0; t < suffix_len; ++t) {
+        distance += text[pos + t] != pattern[i + t];
+      }
+      best = std::min(best, distance);
+    }
+    EXPECT_GE(best, tau[i]) << "suffix " << i;
+  }
+}
+
+TEST(STreeSearchTest, PaperWorkedExample) {
+  // Section IV.A / Fig. 3: r = tcaca, s = acagaca, k = 2 -> two occurrences,
+  // s[1..5] and s[3..7] (1-based), both with exactly 2 mismatches.
+  const auto index = FmIndex::Build(Codes("acagaca")).value();
+  const STreeSearch searcher(&index);
+  const auto hits = searcher.Search(Codes("tcaca"), 2);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0], (Occurrence{0, 2}));
+  EXPECT_EQ(hits[1], (Occurrence{2, 2}));
+}
+
+TEST(STreeSearchTest, IntroductionExample) {
+  // Section I: s = ccacacagaagcc, r = aaaaacaaac, k = 4 has an occurrence
+  // at the third position (0-based 2).
+  const auto index = FmIndex::Build(Codes("ccacacagaagcc")).value();
+  const STreeSearch searcher(&index);
+  const auto hits = searcher.Search(Codes("aaaaacaaac"), 4);
+  bool found = false;
+  for (const auto& hit : hits) found |= (hit.position == 2);
+  EXPECT_TRUE(found);
+}
+
+TEST(STreeSearchTest, ExactMatchWithKZero) {
+  const auto index = FmIndex::Build(Codes("acagaca")).value();
+  const STreeSearch searcher(&index);
+  const auto hits = searcher.Search(Codes("aca"), 0);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].position, 0u);
+  EXPECT_EQ(hits[1].position, 4u);
+  EXPECT_EQ(hits[0].mismatches, 0);
+}
+
+TEST(STreeSearchTest, EmptyAndOversizedPatterns) {
+  const auto index = FmIndex::Build(Codes("acgt")).value();
+  const STreeSearch searcher(&index);
+  EXPECT_TRUE(searcher.Search({}, 2).empty());
+  EXPECT_TRUE(searcher.Search(Codes("acgtacgt"), 2).empty());
+}
+
+struct SweepParam {
+  int seed;
+  bool use_tau;
+};
+
+class STreeRandomTest : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(STreeRandomTest, MatchesNaiveScanner) {
+  Rng rng(1000 + GetParam().seed);
+  const size_t n = 200 + rng.NextBounded(600);
+  const auto text = GetParam().seed % 2 == 0
+                        ? RandomDna(n, &rng)
+                        : PeriodicDna(n, 8, 0.1, &rng);
+  const auto index = FmIndex::Build(text).value();
+  STreeOptions options;
+  options.use_tau = GetParam().use_tau;
+  const STreeSearch searcher(&index, options);
+  const NaiveSearch oracle(&text);
+  for (int trial = 0; trial < 8; ++trial) {
+    const size_t m = 6 + rng.NextBounded(20);
+    const int32_t k = static_cast<int32_t>(rng.NextBounded(4));
+    const size_t pos = rng.NextBounded(n - m);
+    const auto pattern = trial % 3 == 2
+                             ? RandomDna(m, &rng)
+                             : SampleWithFlips(text, pos, m, k, &rng);
+    EXPECT_EQ(searcher.Search(pattern, k), oracle.Search(pattern, k))
+        << "m=" << m << " k=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, STreeRandomTest,
+    ::testing::Values(SweepParam{0, true}, SweepParam{1, true},
+                      SweepParam{2, false}, SweepParam{3, false},
+                      SweepParam{4, true}, SweepParam{5, false},
+                      SweepParam{6, true}, SweepParam{7, false}),
+    [](const ::testing::TestParamInfo<SweepParam>& info) {
+      return "seed" + std::to_string(info.param.seed) +
+             (info.param.use_tau ? "_tau" : "_notau");
+    });
+
+TEST(STreeSearchTest, TauPruningOnlyRemovesDeadWork) {
+  // With and without τ the results must be identical, and τ must not
+  // increase the number of search() calls.
+  Rng rng(77);
+  const auto text = RandomDna(2000, &rng);
+  const auto index = FmIndex::Build(text).value();
+  const STreeSearch with_tau(&index, {.use_tau = true});
+  const STreeSearch without_tau(&index, {.use_tau = false});
+  const auto pattern = RandomDna(18, &rng);
+  SearchStats stats_with;
+  SearchStats stats_without;
+  EXPECT_EQ(with_tau.Search(pattern, 3, &stats_with),
+            without_tau.Search(pattern, 3, &stats_without));
+  EXPECT_LE(stats_with.stree_nodes, stats_without.stree_nodes);
+}
+
+TEST(STreeSearchTest, StatsAreFilled) {
+  const auto index = FmIndex::Build(Codes("acagacacagacat")).value();
+  const STreeSearch searcher(&index);
+  SearchStats stats;
+  const auto hits = searcher.Search(Codes("acaga"), 1, &stats);
+  EXPECT_FALSE(hits.empty());
+  EXPECT_GT(stats.stree_nodes, 0u);
+  EXPECT_GT(stats.extend_calls, 0u);
+  EXPECT_GT(stats.completed_paths, 0u);
+}
+
+}  // namespace
+}  // namespace bwtk

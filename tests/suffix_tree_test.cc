@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "suffix/suffix_tree.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace bwtk {
+namespace {
+
+using ::bwtk::testing::Codes;
+using ::bwtk::testing::PeriodicDna;
+using ::bwtk::testing::RandomDna;
+
+std::vector<SaIndex> NaiveFind(const std::vector<DnaCode>& text,
+                               const std::vector<DnaCode>& pattern) {
+  std::vector<SaIndex> out;
+  if (pattern.empty() || pattern.size() > text.size()) return out;
+  for (size_t pos = 0; pos + pattern.size() <= text.size(); ++pos) {
+    if (std::equal(pattern.begin(), pattern.end(), text.begin() + pos)) {
+      out.push_back(static_cast<SaIndex>(pos));
+    }
+  }
+  return out;
+}
+
+std::vector<SaIndex> Sorted(std::vector<SaIndex> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+TEST(SuffixTreeTest, LeafCountEqualsSuffixCount) {
+  const auto text = Codes("acagaca");
+  const auto tree = SuffixTree::Build(text).value();
+  std::vector<SaIndex> leaves;
+  tree.CollectLeaves(tree.root(), &leaves);
+  // One leaf per suffix of text$ (including the sentinel suffix).
+  EXPECT_EQ(leaves.size(), text.size() + 1);
+  std::sort(leaves.begin(), leaves.end());
+  for (size_t i = 0; i < leaves.size(); ++i) {
+    EXPECT_EQ(leaves[i], static_cast<SaIndex>(i));
+  }
+}
+
+TEST(SuffixTreeTest, NodeCountIsLinear) {
+  Rng rng(31);
+  const auto text = RandomDna(1000, &rng);
+  const auto tree = SuffixTree::Build(text).value();
+  // A suffix tree on n+1 leaves has at most 2(n+1) nodes (root included).
+  EXPECT_LE(tree.node_count(), 2 * (text.size() + 1));
+  EXPECT_GE(tree.node_count(), text.size() + 1);
+}
+
+TEST(SuffixTreeTest, FindExactOnFixedText) {
+  const auto text = Codes("acagaca");
+  const auto tree = SuffixTree::Build(text).value();
+  EXPECT_EQ(Sorted(tree.FindExact(Codes("aca"))),
+            (std::vector<SaIndex>{0, 4}));
+  EXPECT_EQ(Sorted(tree.FindExact(Codes("a"))),
+            (std::vector<SaIndex>{0, 2, 4, 6}));
+  EXPECT_EQ(Sorted(tree.FindExact(Codes("acagaca"))),
+            (std::vector<SaIndex>{0}));
+  EXPECT_TRUE(tree.FindExact(Codes("tt")).empty());
+  EXPECT_TRUE(tree.FindExact(Codes("acagacaa")).empty());
+}
+
+class SuffixTreeRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SuffixTreeRandomTest, FindExactMatchesNaive) {
+  Rng rng(800 + GetParam());
+  const size_t length = 30 + rng.NextBounded(400);
+  const auto text = GetParam() % 2 == 0
+                        ? RandomDna(length, &rng)
+                        : PeriodicDna(length, 6, 0.1, &rng);
+  const auto tree = SuffixTree::Build(text).value();
+  for (int trial = 0; trial < 30; ++trial) {
+    // Mix of planted substrings (hits) and random patterns (usually misses).
+    std::vector<DnaCode> pattern;
+    if (trial % 2 == 0) {
+      const size_t len = 1 + rng.NextBounded(12);
+      const size_t pos = rng.NextBounded(length - len);
+      pattern.assign(text.begin() + pos, text.begin() + pos + len);
+    } else {
+      pattern = RandomDna(1 + rng.NextBounded(10), &rng);
+    }
+    EXPECT_EQ(Sorted(tree.FindExact(pattern)), NaiveFind(text, pattern));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SuffixTreeRandomTest, ::testing::Range(0, 12));
+
+TEST(SuffixTreeTest, SingleCharacterText) {
+  const auto tree = SuffixTree::Build(Codes("t")).value();
+  EXPECT_EQ(Sorted(tree.FindExact(Codes("t"))), (std::vector<SaIndex>{0}));
+  EXPECT_TRUE(tree.FindExact(Codes("a")).empty());
+}
+
+TEST(SuffixTreeTest, RepetitiveText) {
+  const auto text = Codes("aaaaaaaa");
+  const auto tree = SuffixTree::Build(text).value();
+  EXPECT_EQ(tree.FindExact(Codes("aaaa")).size(), 5u);
+  EXPECT_EQ(tree.FindExact(Codes("aaaaaaaa")).size(), 1u);
+}
+
+TEST(SuffixTreeTest, MemoryUsageReported) {
+  const auto tree = SuffixTree::Build(Codes("acgtacgt")).value();
+  EXPECT_GT(tree.MemoryUsage(), 0u);
+}
+
+}  // namespace
+}  // namespace bwtk

@@ -1,0 +1,70 @@
+// Shared helpers for the bwtk test suite: deterministic random inputs and
+// tiny oracle implementations.
+
+#ifndef BWTK_TESTS_TEST_UTIL_H_
+#define BWTK_TESTS_TEST_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "alphabet/dna.h"
+#include "util/random.h"
+
+namespace bwtk::testing {
+
+/// Uniform random DNA of the given length.
+inline std::vector<DnaCode> RandomDna(size_t length, Rng* rng) {
+  std::vector<DnaCode> out(length);
+  for (auto& c : out) c = static_cast<DnaCode>(rng->NextBounded(4));
+  return out;
+}
+
+/// Random DNA over a reduced alphabet (more repeats, nastier for indexes).
+inline std::vector<DnaCode> RandomDnaBiased(size_t length, int alphabet,
+                                            Rng* rng) {
+  std::vector<DnaCode> out(length);
+  for (auto& c : out) {
+    c = static_cast<DnaCode>(rng->NextBounded(static_cast<uint64_t>(alphabet)));
+  }
+  return out;
+}
+
+/// A periodic string (abcabc...) with optional random corruption.
+inline std::vector<DnaCode> PeriodicDna(size_t length, size_t period,
+                                        double noise, Rng* rng) {
+  std::vector<DnaCode> base(period);
+  for (auto& c : base) c = static_cast<DnaCode>(rng->NextBounded(4));
+  std::vector<DnaCode> out(length);
+  for (size_t i = 0; i < length; ++i) {
+    out[i] = base[i % period];
+    if (rng->NextBool(noise)) {
+      out[i] = static_cast<DnaCode>((out[i] + 1 + rng->NextBounded(3)) & 3);
+    }
+  }
+  return out;
+}
+
+/// Copies `count` characters starting at `pos` and flips `flips` random
+/// positions — a pattern guaranteed to occur with <= flips mismatches.
+inline std::vector<DnaCode> SampleWithFlips(const std::vector<DnaCode>& text,
+                                            size_t pos, size_t count,
+                                            int flips, Rng* rng) {
+  std::vector<DnaCode> out(text.begin() + pos, text.begin() + pos + count);
+  for (int f = 0; f < flips && !out.empty(); ++f) {
+    const size_t where = static_cast<size_t>(rng->NextBounded(out.size()));
+    out[where] = static_cast<DnaCode>((out[where] + 1 + rng->NextBounded(3)) & 3);
+  }
+  return out;
+}
+
+/// ASCII convenience for literals in tests.
+inline std::vector<DnaCode> Codes(const std::string& s) {
+  std::vector<DnaCode> out;
+  out.reserve(s.size());
+  for (const char c : s) out.push_back(CharToCode(c));
+  return out;
+}
+
+}  // namespace bwtk::testing
+
+#endif  // BWTK_TESTS_TEST_UTIL_H_

@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "util/bit_utils.h"
+#include "util/bit_vector.h"
+#include "util/random.h"
+#include "util/status.h"
+#include "util/stopwatch.h"
+
+namespace bwtk {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoriesCarryCodeAndMessage) {
+  const Status status = Status::InvalidArgument("bad k");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(status.message(), "bad k");
+  EXPECT_EQ(status.ToString(), "InvalidArgument: bad k");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (const StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kIoError, StatusCode::kCorruption, StatusCode::kOutOfRange,
+        StatusCode::kUnimplemented, StatusCode::kInternal}) {
+    EXPECT_STRNE(StatusCodeToString(code), "Unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result = 42;
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 42);
+  EXPECT_EQ(result.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> result = Status::NotFound("missing");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(result.value_or(7), 7);
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  BWTK_ASSIGN_OR_RETURN(const int half, Half(x));
+  return Half(half);
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(*Quarter(8), 2);
+  EXPECT_FALSE(Quarter(6).ok());  // 6/2 = 3 is odd
+  EXPECT_FALSE(Quarter(7).ok());
+}
+
+TEST(RngTest, DeterministicPerSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.Next() == b.Next());
+  EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, BoundedStaysInRange) {
+  Rng rng(5);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t v = rng.NextBounded(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all residues reached
+}
+
+TEST(RngTest, RangeInclusive) {
+  Rng rng(6);
+  for (int i = 0; i < 200; ++i) {
+    const int64_t v = rng.NextInRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+  }
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(7);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RngTest, BoolRespectsProbability) {
+  Rng rng(8);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.NextBool(0.25);
+  EXPECT_NEAR(hits / 10000.0, 0.25, 0.02);
+  EXPECT_FALSE(rng.NextBool(0.0));
+  EXPECT_TRUE(rng.NextBool(1.0));
+}
+
+TEST(RngTest, WeightedFollowsWeights) {
+  Rng rng(9);
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 30000; ++i) {
+    ++counts[rng.NextWeighted({1.0, 2.0, 1.0})];
+  }
+  EXPECT_NEAR(counts[1] / 30000.0, 0.5, 0.02);
+}
+
+TEST(BitUtilsTest, Count2BitSymbols) {
+  // Word encoding codes 0,1,2,3,0,1,2,3,... in consecutive slots.
+  uint64_t word = 0;
+  for (int i = 0; i < 32; ++i) word |= static_cast<uint64_t>(i % 4) << (2 * i);
+  for (unsigned c = 0; c < 4; ++c) {
+    EXPECT_EQ(Count2BitSymbols(word, c, 32), 8) << c;
+    EXPECT_EQ(Count2BitSymbols(word, c, 0), 0) << c;
+  }
+  EXPECT_EQ(Count2BitSymbols(word, 0, 1), 1);
+  EXPECT_EQ(Count2BitSymbols(word, 1, 1), 0);
+  EXPECT_EQ(Count2BitSymbols(word, 3, 4), 1);
+  EXPECT_EQ(Count2BitSymbols(word, 3, 3), 0);
+}
+
+TEST(BitVectorTest, RankMatchesBruteForce) {
+  Rng rng(11);
+  BitVectorRank bits(1000);
+  std::vector<bool> mirror(1000, false);
+  for (int i = 0; i < 300; ++i) {
+    const size_t pos = rng.NextBounded(1000);
+    bits.Set(pos);
+    mirror[pos] = true;
+  }
+  bits.FinalizeRank();
+  uint64_t expected = 0;
+  for (size_t pos = 0; pos <= 1000; ++pos) {
+    EXPECT_EQ(bits.Rank1(pos), expected) << pos;
+    if (pos < 1000) {
+      EXPECT_EQ(bits.Get(pos), mirror[pos]);
+      expected += mirror[pos];
+    }
+  }
+  EXPECT_EQ(bits.OneCount(), expected);
+}
+
+TEST(BitVectorTest, EmptyAndFull) {
+  BitVectorRank empty(0);
+  empty.FinalizeRank();
+  EXPECT_EQ(empty.Rank1(0), 0u);
+
+  BitVectorRank full(129);
+  for (size_t i = 0; i < 129; ++i) full.Set(i);
+  full.FinalizeRank();
+  EXPECT_EQ(full.Rank1(129), 129u);
+  EXPECT_EQ(full.Rank1(64), 64u);
+}
+
+TEST(StopwatchTest, MeasuresForwardTime) {
+  Stopwatch watch;
+  const double first = watch.ElapsedSeconds();
+  EXPECT_GE(first, 0.0);
+  const double second = watch.ElapsedSeconds();
+  EXPECT_GE(second, first);
+  watch.Restart();
+  EXPECT_GE(watch.ElapsedMicros(), 0.0);
+}
+
+}  // namespace
+}  // namespace bwtk

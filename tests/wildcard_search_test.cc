@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "bwt/fm_index.h"
+#include "search/wildcard_search.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace bwtk {
+namespace {
+
+using ::bwtk::testing::Codes;
+using ::bwtk::testing::PeriodicDna;
+using ::bwtk::testing::RandomDna;
+
+TEST(WildcardParseTest, AcceptsWildcardSpellings) {
+  const auto pattern = ParseWildcardPattern("a?g.tN").value();
+  ASSERT_EQ(pattern.size(), 6u);
+  EXPECT_EQ(pattern[0], CharToCode('a'));
+  EXPECT_EQ(pattern[1], kWildcardCode);
+  EXPECT_EQ(pattern[3], kWildcardCode);
+  EXPECT_EQ(pattern[5], kWildcardCode);
+}
+
+TEST(WildcardParseTest, RejectsGarbage) {
+  EXPECT_FALSE(ParseWildcardPattern("ac-g").ok());
+}
+
+TEST(WildcardSearchTest, PureWildcardsMatchEverywhere) {
+  const auto text = Codes("acgtacg");
+  const auto index = FmIndex::Build(text).value();
+  const WildcardSearch searcher(&index);
+  const std::vector<DnaCode> pattern(3, kWildcardCode);
+  EXPECT_EQ(searcher.Search(pattern).size(), 5u);
+}
+
+TEST(WildcardSearchTest, MixedPattern) {
+  const auto text = Codes("acagaca");
+  const auto index = FmIndex::Build(text).value();
+  const WildcardSearch searcher(&index);
+  // a?a matches aca (x2) and aga.
+  const auto hits = searcher.Search(ParseWildcardPattern("a?a").value());
+  ASSERT_EQ(hits.size(), 3u);
+  EXPECT_EQ(hits[0].position, 0u);
+  EXPECT_EQ(hits[1].position, 2u);
+  EXPECT_EQ(hits[2].position, 4u);
+}
+
+TEST(WildcardSearchTest, WildcardsDoNotConsumeMismatchBudget) {
+  const auto text = Codes("acagaca");
+  const auto index = FmIndex::Build(text).value();
+  const WildcardSearch searcher(&index);
+  // t?aca with k=1: the wildcard absorbs position 2 freely, the budget
+  // absorbs the leading t.
+  const auto hits = searcher.Search(ParseWildcardPattern("t?aca").value(), 1);
+  ASSERT_FALSE(hits.empty());
+  for (const auto& hit : hits) EXPECT_LE(hit.mismatches, 1);
+}
+
+class WildcardRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(WildcardRandomTest, MatchesNaiveOracle) {
+  Rng rng(9500 + GetParam());
+  const size_t n = 100 + rng.NextBounded(300);
+  const auto text = GetParam() % 2 == 0 ? RandomDna(n, &rng)
+                                        : PeriodicDna(n, 5, 0.1, &rng);
+  const auto index = FmIndex::Build(text).value();
+  const WildcardSearch searcher(&index);
+  for (int trial = 0; trial < 6; ++trial) {
+    const size_t m = 3 + rng.NextBounded(10);
+    std::vector<DnaCode> pattern = RandomDna(m, &rng);
+    // Sprinkle wildcards.
+    for (auto& c : pattern) {
+      if (rng.NextBool(0.25)) c = kWildcardCode;
+    }
+    const int32_t k = static_cast<int32_t>(rng.NextBounded(3));
+    EXPECT_EQ(searcher.Search(pattern, k),
+              WildcardSearchNaive(text, pattern, k))
+        << "m=" << m << " k=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, WildcardRandomTest, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace bwtk
