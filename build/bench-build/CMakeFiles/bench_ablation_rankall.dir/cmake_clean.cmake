@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_rankall"
+  "../bench/bench_ablation_rankall.pdb"
+  "CMakeFiles/bench_ablation_rankall.dir/bench_ablation_rankall.cc.o"
+  "CMakeFiles/bench_ablation_rankall.dir/bench_ablation_rankall.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_rankall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_reuse"
+  "../bench/bench_ablation_reuse.pdb"
+  "CMakeFiles/bench_ablation_reuse.dir/bench_ablation_reuse.cc.o"
+  "CMakeFiles/bench_ablation_reuse.dir/bench_ablation_reuse.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_reuse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

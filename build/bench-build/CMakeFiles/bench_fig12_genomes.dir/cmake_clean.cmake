@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig12_genomes"
+  "../bench/bench_fig12_genomes.pdb"
+  "CMakeFiles/bench_fig12_genomes.dir/bench_fig12_genomes.cc.o"
+  "CMakeFiles/bench_fig12_genomes.dir/bench_fig12_genomes.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_genomes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

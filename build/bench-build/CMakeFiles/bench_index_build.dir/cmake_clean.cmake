@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_index_build"
+  "../bench/bench_index_build.pdb"
+  "CMakeFiles/bench_index_build.dir/bench_index_build.cc.o"
+  "CMakeFiles/bench_index_build.dir/bench_index_build.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_index_build.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

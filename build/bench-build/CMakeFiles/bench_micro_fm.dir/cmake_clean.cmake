@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_micro_fm"
+  "../bench/bench_micro_fm.pdb"
+  "CMakeFiles/bench_micro_fm.dir/bench_micro_fm.cc.o"
+  "CMakeFiles/bench_micro_fm.dir/bench_micro_fm.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_fm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

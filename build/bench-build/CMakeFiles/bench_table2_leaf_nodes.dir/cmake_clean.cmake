@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_leaf_nodes"
+  "../bench/bench_table2_leaf_nodes.pdb"
+  "CMakeFiles/bench_table2_leaf_nodes.dir/bench_table2_leaf_nodes.cc.o"
+  "CMakeFiles/bench_table2_leaf_nodes.dir/bench_table2_leaf_nodes.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_leaf_nodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snp_scan.dir/snp_scan.cpp.o"
+  "CMakeFiles/snp_scan.dir/snp_scan.cpp.o.d"
+  "snp_scan"
+  "snp_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snp_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

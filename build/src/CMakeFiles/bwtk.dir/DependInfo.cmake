@@ -1,0 +1,48 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/alphabet/dna.cc" "src/CMakeFiles/bwtk.dir/alphabet/dna.cc.o" "gcc" "src/CMakeFiles/bwtk.dir/alphabet/dna.cc.o.d"
+  "/root/repo/src/alphabet/fasta.cc" "src/CMakeFiles/bwtk.dir/alphabet/fasta.cc.o" "gcc" "src/CMakeFiles/bwtk.dir/alphabet/fasta.cc.o.d"
+  "/root/repo/src/alphabet/fastq.cc" "src/CMakeFiles/bwtk.dir/alphabet/fastq.cc.o" "gcc" "src/CMakeFiles/bwtk.dir/alphabet/fastq.cc.o.d"
+  "/root/repo/src/alphabet/packed_sequence.cc" "src/CMakeFiles/bwtk.dir/alphabet/packed_sequence.cc.o" "gcc" "src/CMakeFiles/bwtk.dir/alphabet/packed_sequence.cc.o.d"
+  "/root/repo/src/baselines/aho_corasick.cc" "src/CMakeFiles/bwtk.dir/baselines/aho_corasick.cc.o" "gcc" "src/CMakeFiles/bwtk.dir/baselines/aho_corasick.cc.o.d"
+  "/root/repo/src/baselines/amir_search.cc" "src/CMakeFiles/bwtk.dir/baselines/amir_search.cc.o" "gcc" "src/CMakeFiles/bwtk.dir/baselines/amir_search.cc.o.d"
+  "/root/repo/src/baselines/cole_search.cc" "src/CMakeFiles/bwtk.dir/baselines/cole_search.cc.o" "gcc" "src/CMakeFiles/bwtk.dir/baselines/cole_search.cc.o.d"
+  "/root/repo/src/baselines/kangaroo_search.cc" "src/CMakeFiles/bwtk.dir/baselines/kangaroo_search.cc.o" "gcc" "src/CMakeFiles/bwtk.dir/baselines/kangaroo_search.cc.o.d"
+  "/root/repo/src/baselines/naive_search.cc" "src/CMakeFiles/bwtk.dir/baselines/naive_search.cc.o" "gcc" "src/CMakeFiles/bwtk.dir/baselines/naive_search.cc.o.d"
+  "/root/repo/src/bwt/bwt.cc" "src/CMakeFiles/bwtk.dir/bwt/bwt.cc.o" "gcc" "src/CMakeFiles/bwtk.dir/bwt/bwt.cc.o.d"
+  "/root/repo/src/bwt/fm_index.cc" "src/CMakeFiles/bwtk.dir/bwt/fm_index.cc.o" "gcc" "src/CMakeFiles/bwtk.dir/bwt/fm_index.cc.o.d"
+  "/root/repo/src/bwt/occ_table.cc" "src/CMakeFiles/bwtk.dir/bwt/occ_table.cc.o" "gcc" "src/CMakeFiles/bwtk.dir/bwt/occ_table.cc.o.d"
+  "/root/repo/src/bwt/serialize.cc" "src/CMakeFiles/bwtk.dir/bwt/serialize.cc.o" "gcc" "src/CMakeFiles/bwtk.dir/bwt/serialize.cc.o.d"
+  "/root/repo/src/mismatch/kangaroo.cc" "src/CMakeFiles/bwtk.dir/mismatch/kangaroo.cc.o" "gcc" "src/CMakeFiles/bwtk.dir/mismatch/kangaroo.cc.o.d"
+  "/root/repo/src/mismatch/mismatch_array.cc" "src/CMakeFiles/bwtk.dir/mismatch/mismatch_array.cc.o" "gcc" "src/CMakeFiles/bwtk.dir/mismatch/mismatch_array.cc.o.d"
+  "/root/repo/src/mismatch/zbox.cc" "src/CMakeFiles/bwtk.dir/mismatch/zbox.cc.o" "gcc" "src/CMakeFiles/bwtk.dir/mismatch/zbox.cc.o.d"
+  "/root/repo/src/search/algorithm_a.cc" "src/CMakeFiles/bwtk.dir/search/algorithm_a.cc.o" "gcc" "src/CMakeFiles/bwtk.dir/search/algorithm_a.cc.o.d"
+  "/root/repo/src/search/kerror_search.cc" "src/CMakeFiles/bwtk.dir/search/kerror_search.cc.o" "gcc" "src/CMakeFiles/bwtk.dir/search/kerror_search.cc.o.d"
+  "/root/repo/src/search/searcher.cc" "src/CMakeFiles/bwtk.dir/search/searcher.cc.o" "gcc" "src/CMakeFiles/bwtk.dir/search/searcher.cc.o.d"
+  "/root/repo/src/search/stree_search.cc" "src/CMakeFiles/bwtk.dir/search/stree_search.cc.o" "gcc" "src/CMakeFiles/bwtk.dir/search/stree_search.cc.o.d"
+  "/root/repo/src/search/tau_heuristic.cc" "src/CMakeFiles/bwtk.dir/search/tau_heuristic.cc.o" "gcc" "src/CMakeFiles/bwtk.dir/search/tau_heuristic.cc.o.d"
+  "/root/repo/src/search/wildcard_search.cc" "src/CMakeFiles/bwtk.dir/search/wildcard_search.cc.o" "gcc" "src/CMakeFiles/bwtk.dir/search/wildcard_search.cc.o.d"
+  "/root/repo/src/simulate/genome_generator.cc" "src/CMakeFiles/bwtk.dir/simulate/genome_generator.cc.o" "gcc" "src/CMakeFiles/bwtk.dir/simulate/genome_generator.cc.o.d"
+  "/root/repo/src/simulate/read_simulator.cc" "src/CMakeFiles/bwtk.dir/simulate/read_simulator.cc.o" "gcc" "src/CMakeFiles/bwtk.dir/simulate/read_simulator.cc.o.d"
+  "/root/repo/src/suffix/lcp.cc" "src/CMakeFiles/bwtk.dir/suffix/lcp.cc.o" "gcc" "src/CMakeFiles/bwtk.dir/suffix/lcp.cc.o.d"
+  "/root/repo/src/suffix/suffix_array.cc" "src/CMakeFiles/bwtk.dir/suffix/suffix_array.cc.o" "gcc" "src/CMakeFiles/bwtk.dir/suffix/suffix_array.cc.o.d"
+  "/root/repo/src/suffix/suffix_tree.cc" "src/CMakeFiles/bwtk.dir/suffix/suffix_tree.cc.o" "gcc" "src/CMakeFiles/bwtk.dir/suffix/suffix_tree.cc.o.d"
+  "/root/repo/src/util/logging.cc" "src/CMakeFiles/bwtk.dir/util/logging.cc.o" "gcc" "src/CMakeFiles/bwtk.dir/util/logging.cc.o.d"
+  "/root/repo/src/util/random.cc" "src/CMakeFiles/bwtk.dir/util/random.cc.o" "gcc" "src/CMakeFiles/bwtk.dir/util/random.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/bwtk.dir/util/status.cc.o" "gcc" "src/CMakeFiles/bwtk.dir/util/status.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

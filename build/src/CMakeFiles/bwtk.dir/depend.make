@@ -1,0 +1,2 @@
+# Empty dependencies file for bwtk.
+# This may be replaced when dependencies are built.

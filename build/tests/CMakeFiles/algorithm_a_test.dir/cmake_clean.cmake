@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algorithm_a_test.dir/algorithm_a_test.cc.o"
+  "CMakeFiles/algorithm_a_test.dir/algorithm_a_test.cc.o.d"
+  "algorithm_a_test"
+  "algorithm_a_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algorithm_a_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alphabet_test.dir/alphabet_test.cc.o"
+  "CMakeFiles/alphabet_test.dir/alphabet_test.cc.o.d"
+  "alphabet_test"
+  "alphabet_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alphabet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

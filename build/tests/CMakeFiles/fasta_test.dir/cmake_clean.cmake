@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fasta_test.dir/fasta_test.cc.o"
+  "CMakeFiles/fasta_test.dir/fasta_test.cc.o.d"
+  "fasta_test"
+  "fasta_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fasta_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

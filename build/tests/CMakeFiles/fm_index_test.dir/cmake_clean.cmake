@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fm_index_test.dir/fm_index_test.cc.o"
+  "CMakeFiles/fm_index_test.dir/fm_index_test.cc.o.d"
+  "fm_index_test"
+  "fm_index_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fm_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kerror_search_test.dir/kerror_search_test.cc.o"
+  "CMakeFiles/kerror_search_test.dir/kerror_search_test.cc.o.d"
+  "kerror_search_test"
+  "kerror_search_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kerror_search_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

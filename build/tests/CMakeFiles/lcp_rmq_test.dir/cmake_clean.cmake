@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcp_rmq_test.dir/lcp_rmq_test.cc.o"
+  "CMakeFiles/lcp_rmq_test.dir/lcp_rmq_test.cc.o.d"
+  "lcp_rmq_test"
+  "lcp_rmq_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcp_rmq_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

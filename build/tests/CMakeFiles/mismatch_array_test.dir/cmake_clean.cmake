@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mismatch_array_test.dir/mismatch_array_test.cc.o"
+  "CMakeFiles/mismatch_array_test.dir/mismatch_array_test.cc.o.d"
+  "mismatch_array_test"
+  "mismatch_array_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mismatch_array_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtree_test.dir/mtree_test.cc.o"
+  "CMakeFiles/mtree_test.dir/mtree_test.cc.o.d"
+  "mtree_test"
+  "mtree_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

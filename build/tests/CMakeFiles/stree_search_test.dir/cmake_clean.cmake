@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stree_search_test.dir/stree_search_test.cc.o"
+  "CMakeFiles/stree_search_test.dir/stree_search_test.cc.o.d"
+  "stree_search_test"
+  "stree_search_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stree_search_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wildcard_search_test.dir/wildcard_search_test.cc.o"
+  "CMakeFiles/wildcard_search_test.dir/wildcard_search_test.cc.o.d"
+  "wildcard_search_test"
+  "wildcard_search_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wildcard_search_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
