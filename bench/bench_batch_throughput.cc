@@ -1,0 +1,98 @@
+// Batch-search throughput: reads/sec vs worker threads over one shared
+// FM-index (the BatchSearcher scaling curve). The index is immutable and the
+// query path lock-free, so throughput should scale near-linearly until the
+// thread count passes the host's cores; the run verifies every batched
+// result is byte-identical to serial Search before timing anything.
+//
+// Target (multicore host): >= 3x reads/sec at 4 threads vs 1 thread. On
+// hosts with fewer cores the table reports the hardware limit so a flat
+// curve is self-explaining.
+
+#include <cstdio>
+#include <thread>
+
+#include "bench_common.h"
+#include "bwt/fm_index.h"
+#include "search/batch_searcher.h"
+#include "util/stopwatch.h"
+
+namespace bwtk::bench {
+namespace {
+
+constexpr size_t kBaseGenomeSize = 2u << 20;
+constexpr size_t kReadLength = 100;
+constexpr size_t kBaseReadCount = 2000;
+constexpr int32_t kMismatches = 3;
+
+int Run() {
+  const size_t read_count = Scaled(kBaseReadCount);
+  PrintBanner("Batch search throughput vs thread count",
+              std::to_string(read_count) + " reads of " +
+                  std::to_string(kReadLength) + " bp, k = " +
+                  std::to_string(kMismatches));
+  const auto genome = MakeGenome(Scaled(kBaseGenomeSize));
+  const auto reads = MakeReads(genome, kReadLength, read_count);
+  const auto index = FmIndex::Build(genome).value();
+
+  std::vector<BatchQuery> queries;
+  queries.reserve(reads.size());
+  for (const auto& read : reads) queries.push_back({read, kMismatches});
+
+  // Serial reference: one engine, one long-lived scratch — the strongest
+  // single-thread baseline (same allocation profile as one pool worker).
+  const AlgorithmA serial(&index);
+  AlgorithmAScratch scratch;
+  std::vector<std::vector<Occurrence>> expected;
+  expected.reserve(queries.size());
+  Stopwatch serial_watch;
+  for (const auto& query : queries) {
+    expected.push_back(
+        serial.Search(query.pattern, query.k, nullptr, &scratch));
+  }
+  const double serial_seconds = serial_watch.ElapsedSeconds();
+
+  const unsigned cores = std::thread::hardware_concurrency();
+  std::printf("host cores: %u; serial reference: %s (%.0f reads/s)\n",
+              cores, FormatSeconds(serial_seconds).c_str(),
+              read_count / serial_seconds);
+
+  TablePrinter table(
+      {"threads", "batch time", "reads/s", "vs 1 thread", "identical"});
+  double one_thread_seconds = 0;
+  for (const int threads : {1, 2, 4, 8}) {
+    BatchSearcher batch(&index, {.num_threads = threads});
+    // Warm-up: populate per-worker scratches so the timed run measures the
+    // steady state (no per-query allocation).
+    (void)batch.Search(queries);
+    Stopwatch watch;
+    const BatchResult result = batch.Search(queries);
+    const double seconds = watch.ElapsedSeconds();
+    if (threads == 1) one_thread_seconds = seconds;
+
+    size_t mismatched = 0;
+    for (size_t i = 0; i < expected.size(); ++i) {
+      if (result.occurrences[i] != expected[i]) ++mismatched;
+    }
+    char speedup[32];
+    std::snprintf(speedup, sizeof(speedup), "%.2fx",
+                  one_thread_seconds / seconds);
+    table.AddRow({std::to_string(threads), FormatSeconds(seconds),
+                  FormatCount(static_cast<uint64_t>(read_count / seconds)),
+                  speedup,
+                  mismatched == 0 ? "yes" : "NO (" +
+                                                std::to_string(mismatched) +
+                                                " queries differ)"});
+  }
+  table.Print();
+  if (cores < 4) {
+    std::printf("\n(host has %u core%s: speedup is capped at the hardware; "
+                "run on >= 4 cores for the scaling curve)\n",
+                cores, cores == 1 ? "" : "s");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bwtk::bench
+
+int main() { return bwtk::bench::Run(); }

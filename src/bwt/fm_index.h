@@ -26,6 +26,14 @@
 namespace bwtk {
 
 /// Self-index supporting backward search and occurrence location.
+///
+/// Thread safety: an FmIndex is immutable once Build()/Load() returns, and
+/// every query method (Extend, ExtendAll, MatchForward, Locate,
+/// SuffixArrayValue, ...) is const and free of hidden mutable state — no
+/// caches, no lazy initialization. Any number of threads may therefore query
+/// one shared index concurrently without synchronization; this is the
+/// contract BatchSearcher relies on. Mutating operations (move-assignment,
+/// destruction) must still be externally ordered against readers.
 class FmIndex {
  public:
   struct Options {

@@ -20,6 +20,11 @@
 namespace bwtk {
 
 /// Occurrence (rank) table over a BWT array.
+///
+/// Thread safety: immutable after Build(). Rank/RankAll/Total read only the
+/// checkpoint directory and the (also immutable) BWT it points at, so
+/// concurrent queries from any number of threads need no locking — the
+/// const-method guarantee FmIndex extends to the whole query path.
 class OccTable {
  public:
   static constexpr uint32_t kDefaultCheckpointRate = 64;

@@ -26,6 +26,7 @@
 #include "bwt/fm_index.h"
 #include "mismatch/mismatch_array.h"
 #include "search/algorithm_a.h"
+#include "search/batch_searcher.h"
 #include "search/kerror_search.h"
 #include "search/match.h"
 #include "search/searcher.h"

@@ -21,28 +21,41 @@ constexpr int32_t kNoChild = -1;
 // paper's hash table of pairs sits on the search's hot path (one probe per
 // materialized node), so this is a flat linear-probing map instead of
 // std::unordered_map — no per-node allocation, one cache line per probe.
+//
+// Clear() is epoch-based: a slot is live only when its epoch stamp matches
+// the current epoch, so resetting between queries is O(1) instead of a
+// table-wide wipe. The table only ever grows, which is exactly what a
+// reusable scratch wants.
 class RangeMap {
  public:
-  RangeMap() { Rehash(1 << 16); }
+  RangeMap() { Reallocate(1 << 16); }
 
   // Returns {slot for the value, inserted}. On a hit the existing value is
   // untouched.
   std::pair<int32_t*, bool> TryEmplace(uint64_t key, int32_t value) {
     if ((size_ + 1) * 10 >= capacity() * 7) Rehash(capacity() * 2);
     size_t slot = Mix(key) & mask_;
-    while (keys_[slot] != kEmptyKey) {
+    while (epochs_[slot] == epoch_) {
       if (keys_[slot] == key) return {&values_[slot], false};
       slot = (slot + 1) & mask_;
     }
     keys_[slot] = key;
     values_[slot] = value;
+    epochs_[slot] = epoch_;
     ++size_;
     return {&values_[slot], true};
   }
 
- private:
-  static constexpr uint64_t kEmptyKey = ~uint64_t{0};  // ranges stay below
+  // Invalidates every entry while keeping the table's capacity.
+  void Clear() {
+    size_ = 0;
+    if (++epoch_ == 0) {  // wrapped: stamps from 2^32 queries ago are stale
+      std::fill(epochs_.begin(), epochs_.end(), uint32_t{0});
+      epoch_ = 1;
+    }
+  }
 
+ private:
   static uint64_t Mix(uint64_t x) {
     x ^= x >> 33;
     x *= 0xff51afd7ed558ccdULL;
@@ -52,22 +65,32 @@ class RangeMap {
 
   size_t capacity() const { return keys_.size(); }
 
+  void Reallocate(size_t new_capacity) {
+    keys_.assign(new_capacity, 0);
+    values_.assign(new_capacity, 0);
+    epochs_.assign(new_capacity, 0);
+    mask_ = new_capacity - 1;
+    size_ = 0;
+    epoch_ = 1;
+  }
+
   void Rehash(size_t new_capacity) {
     std::vector<uint64_t> old_keys = std::move(keys_);
     std::vector<int32_t> old_values = std::move(values_);
-    keys_.assign(new_capacity, kEmptyKey);
-    values_.assign(new_capacity, 0);
-    mask_ = new_capacity - 1;
-    size_ = 0;
+    std::vector<uint32_t> old_epochs = std::move(epochs_);
+    const uint32_t old_epoch = epoch_;
+    Reallocate(new_capacity);
     for (size_t i = 0; i < old_keys.size(); ++i) {
-      if (old_keys[i] != kEmptyKey) TryEmplace(old_keys[i], old_values[i]);
+      if (old_epochs[i] == old_epoch) TryEmplace(old_keys[i], old_values[i]);
     }
   }
 
   std::vector<uint64_t> keys_;
   std::vector<int32_t> values_;
+  std::vector<uint32_t> epochs_;  // slot live iff epochs_[slot] == epoch_
   size_t mask_ = 0;
   size_t size_ = 0;
+  uint32_t epoch_ = 1;
 };
 
 // A node of the memoized search DAG. Children depend only on the rank range
@@ -96,22 +119,78 @@ struct Chain {
   MismatchArray mm_vs_first;
 };
 
+// One S-tree traversal frame.
+struct Frame {
+  int32_t node;
+  uint32_t depth;  // characters consumed; next char compared to r[depth]
+  int32_t mismatches;
+  int32_t mnode;  // current M-tree node
+};
+
+}  // namespace
+
+// The buffers one Search call needs, owned across calls so capacity is
+// reused. Reset() invalidates contents without releasing memory (the chain
+// store is a slot pool: inner vectors keep their capacity too).
+struct AlgorithmAScratch::Impl {
+  std::vector<DagNode> dag;
+  RangeMap node_of_range;
+  std::vector<Chain> chains;  // slot pool; [0, chains_used) are live
+  size_t chains_used = 0;
+  std::unordered_map<uint64_t, MismatchArray> rij_cache;
+  std::optional<PatternLcp> pattern_lcp;
+  MTree mtree;
+  std::vector<Frame> stack;
+  std::vector<int32_t> tau;
+
+  void Reset() {
+    dag.clear();
+    node_of_range.Clear();
+    chains_used = 0;
+    rij_cache.clear();
+    pattern_lcp.reset();
+    mtree.Reset();
+    stack.clear();
+    tau.clear();
+  }
+};
+
+AlgorithmAScratch::AlgorithmAScratch() : impl_(std::make_unique<Impl>()) {}
+AlgorithmAScratch::~AlgorithmAScratch() = default;
+AlgorithmAScratch::AlgorithmAScratch(AlgorithmAScratch&&) noexcept = default;
+AlgorithmAScratch& AlgorithmAScratch::operator=(AlgorithmAScratch&&) noexcept =
+    default;
+
+namespace {
+
 class SearchContext {
  public:
-  SearchContext(const FmIndex& index, const std::vector<DnaCode>& pattern,
-                int32_t k, const AlgorithmAOptions& options)
+  SearchContext(const FmIndex& index, AlgorithmAScratch::Impl& scratch,
+                const std::vector<DnaCode>& pattern, int32_t k,
+                const AlgorithmAOptions& options)
       : index_(index),
         r_(pattern),
         m_(pattern.size()),
         k_(k),
         reuse_(options.reuse),
-        use_tau_(options.use_tau) {}
+        use_tau_(options.use_tau),
+        scratch_(scratch),
+        dag_(scratch.dag),
+        node_of_range_(scratch.node_of_range),
+        chains_(scratch.chains),
+        rij_cache_(scratch.rij_cache),
+        pattern_lcp_(scratch.pattern_lcp),
+        mtree_(scratch.mtree),
+        stack_(scratch.stack),
+        tau_(scratch.tau) {
+    scratch.Reset();
+  }
 
   void Run() {
     if (m_ == 0 || m_ > index_.text_size() || k_ < 0) return;
-    if (use_tau_) tau_ = ComputeTau(index_, r_);
-    dag_.reserve(1 << 16);
-    stack_.reserve(1 << 10);
+    if (use_tau_) ComputeTau(index_, r_).swap(tau_);
+    if (dag_.capacity() < (1u << 16)) dag_.reserve(1 << 16);
+    if (stack_.capacity() < (1u << 10)) stack_.reserve(1 << 10);
     stack_.push_back(
         {GetOrCreateNode(index_.WholeRange()), 0, 0, mtree_.root()});
     while (!stack_.empty()) {
@@ -128,13 +207,6 @@ class SearchContext {
   SearchStats& stats() { return stats_; }
 
  private:
-  struct Frame {
-    int32_t node;
-    uint32_t depth;  // characters consumed; next char compared to r[depth]
-    int32_t mismatches;
-    int32_t mnode;  // current M-tree node
-  };
-
   // Descends from one frame, following chains inline; pushes sibling
   // branches onto the stack.
   void ProcessFrame(Frame frame) {
@@ -233,12 +305,30 @@ class SearchContext {
     }
   }
 
+  // Hands out the next free slot of the chain pool without marking it live;
+  // CommitChain() does that once the walk decides the run is worth keeping.
+  Chain& NextChainSlot() {
+    if (scratch_.chains_used == chains_.size()) {
+      chains_.emplace_back();
+    }
+    Chain& chain = chains_[scratch_.chains_used];
+    chain.first_alignment = 0;
+    chain.node_ids.clear();
+    chain.symbols.clear();
+    chain.mm_vs_first.clear();
+    return chain;
+  }
+
+  int32_t CommitChain() {
+    return static_cast<int32_t>(scratch_.chains_used++);
+  }
+
   // First walk through a single-continuation run: records the chain and its
   // mismatch array against the current alignment while walking it.
   // Returns true if `frame` advanced past the chain, false if the path
   // terminated inside it.
   bool BuildChainWalk(Frame* frame) {
-    Chain chain;
+    Chain& chain = NextChainSlot();
     chain.first_alignment = static_cast<int32_t>(frame->depth);
     int32_t cur = frame->node;
     int32_t q = frame->mismatches;
@@ -290,8 +380,7 @@ class SearchContext {
     // nodes are kept for merge-based derivation.
     constexpr size_t kMinChainLength = 4;
     if (length >= kMinChainLength) {
-      dag_[frame->node].chain_id = static_cast<int32_t>(chains_.size());
-      chains_.push_back(std::move(chain));
+      dag_[frame->node].chain_id = CommitChain();
     }
     if (end == End::kComplete) {
       ReportAt(final_node, q, mnode);
@@ -433,15 +522,18 @@ class SearchContext {
   const int32_t k_;
   const AlgorithmAOptions::Reuse reuse_;
   const bool use_tau_;
-  std::vector<int32_t> tau_;
 
-  std::vector<DagNode> dag_;
-  RangeMap node_of_range_;
-  std::vector<Chain> chains_;
-  std::unordered_map<uint64_t, MismatchArray> rij_cache_;
-  std::optional<PatternLcp> pattern_lcp_;
-  MTree mtree_;
-  std::vector<Frame> stack_;
+  // Scratch-owned buffers, reset on entry and reused across queries.
+  AlgorithmAScratch::Impl& scratch_;
+  std::vector<DagNode>& dag_;
+  RangeMap& node_of_range_;
+  std::vector<Chain>& chains_;
+  std::unordered_map<uint64_t, MismatchArray>& rij_cache_;
+  std::optional<PatternLcp>& pattern_lcp_;
+  MTree& mtree_;
+  std::vector<Frame>& stack_;
+  std::vector<int32_t>& tau_;
+
   std::vector<Occurrence> results_;
   SearchStats stats_;
 };
@@ -451,7 +543,14 @@ class SearchContext {
 std::vector<Occurrence> AlgorithmA::Search(const std::vector<DnaCode>& pattern,
                                            int32_t k,
                                            SearchStats* stats) const {
-  SearchContext context(*index_, pattern, k, options_);
+  AlgorithmAScratch scratch;
+  return Search(pattern, k, stats, &scratch);
+}
+
+std::vector<Occurrence> AlgorithmA::Search(const std::vector<DnaCode>& pattern,
+                                           int32_t k, SearchStats* stats,
+                                           AlgorithmAScratch* scratch) const {
+  SearchContext context(*index_, *scratch->impl_, pattern, k, options_);
   context.Run();
   if (stats != nullptr) *stats = context.stats();
   return std::move(context.results());

@@ -29,6 +29,7 @@
 #define BWTK_SEARCH_ALGORITHM_A_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "alphabet/dna.h"
@@ -36,6 +37,37 @@
 #include "search/match.h"
 
 namespace bwtk {
+
+/// Reusable per-thread workspace for AlgorithmA::Search.
+///
+/// One Search call needs an S-tree frame stack, the DAG memo with its range
+/// hash table, the chain store, the R_ij cache, and the M-tree. A scratch
+/// owns all of them and recycles their buffers across calls, so after a few
+/// warm-up queries the search machinery performs no heap allocation per
+/// query (the returned occurrence vector is the one unavoidable allocation).
+/// This is what makes batched search cheap: BatchSearcher keeps one scratch
+/// per worker thread.
+///
+/// A scratch is NOT thread-safe: it may serve at most one Search call at a
+/// time. Distinct scratches are fully independent and may be used
+/// concurrently against the same FmIndex.
+class AlgorithmAScratch {
+ public:
+  AlgorithmAScratch();
+  ~AlgorithmAScratch();
+  AlgorithmAScratch(AlgorithmAScratch&&) noexcept;
+  AlgorithmAScratch& operator=(AlgorithmAScratch&&) noexcept;
+
+  /// Opaque buffer bundle, defined with the engine internals in
+  /// algorithm_a.cc. Public only so the implementation file can name it;
+  /// there is nothing callable here.
+  struct Impl;
+
+ private:
+  friend class AlgorithmA;
+
+  std::unique_ptr<Impl> impl_;
+};
 
 /// Configuration for Algorithm A; the reuse level is the ablation knob.
 struct AlgorithmAOptions {
@@ -68,9 +100,19 @@ class AlgorithmA {
   /// All occurrences of `pattern` with at most `k` mismatches, sorted by
   /// position. `stats`, if given, receives instrumentation counters
   /// (including the M-tree leaf count n').
+  ///
+  /// Thread safety: const and self-contained — any number of threads may
+  /// call Search concurrently on one AlgorithmA over one shared FmIndex.
   std::vector<Occurrence> Search(const std::vector<DnaCode>& pattern,
                                  int32_t k,
                                  SearchStats* stats = nullptr) const;
+
+  /// As above, but runs inside `scratch`, reusing its buffers instead of
+  /// allocating fresh ones. `scratch` must not be shared between concurrent
+  /// calls; results are identical to the scratch-less overload.
+  std::vector<Occurrence> Search(const std::vector<DnaCode>& pattern,
+                                 int32_t k, SearchStats* stats,
+                                 AlgorithmAScratch* scratch) const;
 
   const FmIndex& index() const { return *index_; }
 

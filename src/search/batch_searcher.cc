@@ -1,0 +1,161 @@
+#include "search/batch_searcher.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace bwtk {
+
+namespace {
+
+int ResolveThreadCount(int requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+}  // namespace
+
+// All pool state. The mutex guards the batch hand-off (generation counter,
+// batch pointers, completion count); the query path itself is lock-free —
+// workers claim query indices from `cursor` and write disjoint slots of the
+// output vector, which is pre-sized before workers wake.
+struct BatchSearcher::Pool {
+  const FmIndex* index;
+  BatchOptions options;
+  int num_threads;
+
+  std::vector<std::thread> workers;
+  std::vector<AlgorithmAScratch> scratches;  // one per worker, reused forever
+  std::vector<SearchStats> thread_stats;     // tid-indexed, valid per batch
+
+  std::mutex mu;
+  std::condition_variable work_cv;  // workers wait for a new generation
+  std::condition_variable done_cv;  // Search waits for workers_left == 0
+  uint64_t generation = 0;          // bumped per batch (guarded by mu)
+  bool shutdown = false;            // (guarded by mu)
+  int workers_left = 0;             // workers still in the batch (mu)
+
+  // Current batch, valid while workers_left > 0.
+  const BatchQuery* queries = nullptr;
+  size_t query_count = 0;
+  std::vector<std::vector<Occurrence>>* out = nullptr;
+  std::atomic<size_t> cursor{0};
+
+  void WorkerLoop(int tid) {
+    uint64_t seen = 0;
+    // One engine per worker: AlgorithmA is a thin const view of the shared
+    // index plus options, so this costs nothing and keeps workers symmetric
+    // with serial callers.
+    const AlgorithmA engine(index, options.engine);
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        work_cv.wait(lock, [&] { return shutdown || generation != seen; });
+        if (shutdown) return;
+        seen = generation;
+      }
+      SearchStats batch_stats;
+      for (;;) {
+        const size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+        if (i >= query_count) break;
+        SearchStats query_stats;
+        std::vector<Occurrence> hits = engine.Search(
+            queries[i].pattern, queries[i].k, &query_stats, &scratches[tid]);
+        if (options.deterministic_order) NormalizeOccurrences(&hits);
+        (*out)[i] = std::move(hits);
+        batch_stats += query_stats;
+      }
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        thread_stats[tid] = batch_stats;
+        if (--workers_left == 0) done_cv.notify_one();
+      }
+    }
+  }
+};
+
+BatchSearcher::BatchSearcher(const FmIndex* index, const BatchOptions& options)
+    : pool_(std::make_unique<Pool>()) {
+  BWTK_CHECK(index != nullptr);
+  pool_->index = index;
+  pool_->options = options;
+  pool_->num_threads = ResolveThreadCount(options.num_threads);
+  pool_->scratches.resize(pool_->num_threads);
+  pool_->thread_stats.resize(pool_->num_threads);
+  pool_->workers.reserve(pool_->num_threads);
+  for (int tid = 0; tid < pool_->num_threads; ++tid) {
+    pool_->workers.emplace_back([pool = pool_.get(), tid] {
+      pool->WorkerLoop(tid);
+    });
+  }
+}
+
+BatchSearcher::~BatchSearcher() {
+  {
+    std::lock_guard<std::mutex> lock(pool_->mu);
+    pool_->shutdown = true;
+  }
+  pool_->work_cv.notify_all();
+  for (std::thread& worker : pool_->workers) worker.join();
+}
+
+int BatchSearcher::num_threads() const { return pool_->num_threads; }
+
+BatchResult BatchSearcher::Search(const std::vector<BatchQuery>& queries) {
+  BatchResult result;
+  result.occurrences.resize(queries.size());
+  if (queries.empty()) return result;
+
+  Pool& pool = *pool_;
+  {
+    std::lock_guard<std::mutex> lock(pool.mu);
+    pool.queries = queries.data();
+    pool.query_count = queries.size();
+    pool.out = &result.occurrences;
+    pool.cursor.store(0, std::memory_order_relaxed);
+    pool.workers_left = pool.num_threads;
+    for (SearchStats& stats : pool.thread_stats) stats = SearchStats{};
+    ++pool.generation;
+  }
+  pool.work_cv.notify_all();
+  {
+    std::unique_lock<std::mutex> lock(pool.mu);
+    pool.done_cv.wait(lock, [&] { return pool.workers_left == 0; });
+    pool.queries = nullptr;
+    pool.out = nullptr;
+  }
+  // Merge in tid order so the aggregate is reproducible run to run even
+  // though the query→thread assignment is not.
+  for (const SearchStats& stats : pool.thread_stats) result.stats += stats;
+  return result;
+}
+
+Result<BatchResult> BatchSearcher::Search(
+    const std::vector<std::string>& patterns, int32_t k) {
+  std::vector<BatchQuery> queries(patterns.size());
+  size_t failed = 0;
+  for (size_t i = 0; i < patterns.size(); ++i) {
+    auto codes = EncodeDna(patterns[i]);
+    if (!codes.ok()) {
+      if (pool_->options.fail_fast) {
+        return Status::InvalidArgument("batch query " + std::to_string(i) +
+                                       ": " + codes.status().message());
+      }
+      ++failed;
+      queries[i].k = -1;  // empty pattern + negative budget: engine no-ops
+      continue;
+    }
+    queries[i].pattern = std::move(codes).value();
+    queries[i].k = k;
+  }
+  BatchResult result = Search(queries);
+  result.failed_queries = failed;
+  return result;
+}
+
+}  // namespace bwtk

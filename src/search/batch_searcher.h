@@ -1,0 +1,117 @@
+// BatchSearcher — parallel k-mismatch search over one shared FM-index.
+//
+// The FM-index is immutable after Build() and every query-path method on it
+// is const, so N threads can search the same index with no locks. This class
+// packages that: a fixed-size std::thread worker pool, an atomic cursor
+// handing out queries, and one AlgorithmAScratch per worker so the engine
+// allocates nothing per query after warm-up. Results come back in input
+// order; per-thread SearchStats are merged into one aggregate at batch end.
+//
+//   bwtk::BatchSearcher batch(searcher, {.num_threads = 8});
+//   std::vector<bwtk::BatchQuery> queries = ...;   // (pattern, k) pairs
+//   bwtk::BatchResult result = batch.Search(queries);
+//   // result.occurrences[i] == serial searcher.Search(queries[i].pattern, k)
+//
+// Thread safety: a BatchSearcher drives its own pool and is NOT itself
+// thread-safe — issue one batch at a time (concurrent Search calls on one
+// BatchSearcher are undefined). Multiple BatchSearchers may share one
+// FmIndex.
+
+#ifndef BWTK_SEARCH_BATCH_SEARCHER_H_
+#define BWTK_SEARCH_BATCH_SEARCHER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "alphabet/dna.h"
+#include "bwt/fm_index.h"
+#include "search/algorithm_a.h"
+#include "search/match.h"
+#include "search/searcher.h"
+#include "util/status.h"
+
+namespace bwtk {
+
+/// One query of a batch: a pattern and its own mismatch budget.
+struct BatchQuery {
+  std::vector<DnaCode> pattern;
+  int32_t k = 0;
+};
+
+/// Pool configuration, fixed at construction.
+struct BatchOptions {
+  /// Worker threads; 0 means std::thread::hardware_concurrency().
+  int num_threads = 0;
+
+  /// When true (default), every per-query occurrence vector is guaranteed
+  /// byte-identical to what serial KMismatchSearcher::Search returns
+  /// (position-sorted), regardless of which worker ran it. When false the
+  /// engine may return per-query hits in any order — a latitude future
+  /// engines (e.g. sharded indexes whose partial results would need an extra
+  /// merge) can use; the current engine sorts either way.
+  bool deterministic_order = true;
+
+  /// ASCII batches only: when true, the first undecodable pattern fails the
+  /// whole batch before any search runs. When false, bad patterns are
+  /// skipped — they yield an empty occurrence list and are counted in
+  /// BatchResult::failed_queries.
+  bool fail_fast = false;
+
+  /// Engine knobs, passed through to every worker's AlgorithmA.
+  AlgorithmAOptions engine = {};
+};
+
+/// Output of one batch: per-query hits in input order + aggregate counters.
+struct BatchResult {
+  /// occurrences[i] holds the hits for queries[i].
+  std::vector<std::vector<Occurrence>> occurrences;
+  /// Sum of every query's SearchStats across all workers.
+  SearchStats stats;
+  /// ASCII batches with fail_fast = false: number of undecodable patterns.
+  size_t failed_queries = 0;
+};
+
+/// Fixed worker pool executing batches of k-mismatch queries.
+class BatchSearcher {
+ public:
+  /// `index` must outlive the BatchSearcher. Workers start (and block idle)
+  /// here.
+  explicit BatchSearcher(const FmIndex* index,
+                         const BatchOptions& options = {});
+
+  /// Convenience: searches `searcher`'s index. The searcher must outlive
+  /// the BatchSearcher.
+  explicit BatchSearcher(const KMismatchSearcher& searcher,
+                         const BatchOptions& options = {})
+      : BatchSearcher(&searcher.index(), options) {}
+
+  /// Joins the workers.
+  ~BatchSearcher();
+
+  BatchSearcher(const BatchSearcher&) = delete;
+  BatchSearcher& operator=(const BatchSearcher&) = delete;
+
+  /// Runs every query and blocks until the batch is complete. Results are
+  /// in input order; each equals what serial Search would return for that
+  /// (pattern, k). An empty batch returns immediately.
+  BatchResult Search(const std::vector<BatchQuery>& queries);
+
+  /// ASCII convenience: same budget `k` for every pattern. Decoding happens
+  /// up front on the calling thread; see BatchOptions::fail_fast for how
+  /// undecodable patterns are handled.
+  Result<BatchResult> Search(const std::vector<std::string>& patterns,
+                             int32_t k);
+
+  /// Actual pool size (after resolving num_threads = 0 and clamping).
+  int num_threads() const;
+
+ private:
+  struct Pool;
+  std::unique_ptr<Pool> pool_;
+};
+
+}  // namespace bwtk
+
+#endif  // BWTK_SEARCH_BATCH_SEARCHER_H_

@@ -42,6 +42,14 @@ class MTree {
     nodes_.push_back(Node{});
   }
 
+  /// Discards everything but the root, keeping the node buffer's capacity —
+  /// the reuse hook for AlgorithmAScratch.
+  void Reset() {
+    nodes_.resize(1);
+    nodes_[0] = Node{};
+    leaf_count_ = 0;
+  }
+
   int32_t root() const { return 0; }
 
   /// Appends a matching child of `parent`, merging into `parent` when it is

@@ -34,6 +34,13 @@ std::vector<Occurrence> KMismatchSearcher::Search(
   return engine.Search(pattern, k, stats);
 }
 
+std::vector<Occurrence> KMismatchSearcher::Search(
+    const std::vector<DnaCode>& pattern, int32_t k, SearchStats* stats,
+    AlgorithmAScratch* scratch) const {
+  const AlgorithmA engine(&index_);
+  return engine.Search(pattern, k, stats, scratch);
+}
+
 Result<std::vector<Occurrence>> KMismatchSearcher::Search(
     std::string_view pattern, int32_t k, SearchStats* stats) const {
   BWTK_ASSIGN_OR_RETURN(auto codes, EncodeDna(pattern));

@@ -45,9 +45,23 @@ class KMismatchSearcher {
 
   /// All occurrences of `pattern` in the genome with at most `k` mismatches,
   /// sorted by position.
+  ///
+  /// Thread safety: Search is const and touches only the immutable index
+  /// plus per-call state, so any number of threads may call it concurrently
+  /// on one searcher. This is the guarantee BatchSearcher's lock-free query
+  /// path is built on. (Build/SaveIndex/move are not part of it: complete
+  /// construction before sharing, and do not move a searcher while other
+  /// threads search.)
   std::vector<Occurrence> Search(const std::vector<DnaCode>& pattern,
                                  int32_t k,
                                  SearchStats* stats = nullptr) const;
+
+  /// As above, reusing `scratch`'s buffers so repeated queries allocate
+  /// nothing after warm-up. `scratch` must serve one call at a time;
+  /// distinct scratches may run concurrently (one per thread).
+  std::vector<Occurrence> Search(const std::vector<DnaCode>& pattern,
+                                 int32_t k, SearchStats* stats,
+                                 AlgorithmAScratch* scratch) const;
 
   /// ASCII convenience overload; fails on non-DNA characters.
   Result<std::vector<Occurrence>> Search(std::string_view pattern, int32_t k,

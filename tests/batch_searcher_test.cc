@@ -1,0 +1,201 @@
+// BatchSearcher: parallel batches must be bit-identical to serial Search
+// over every query, under any thread count, including the scratch-reuse
+// path. The stress cases are written to be meaningful under
+// ThreadSanitizer: many small queries racing over one shared index.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "search/batch_searcher.h"
+#include "search/searcher.h"
+#include "simulate/genome_generator.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace bwtk {
+namespace {
+
+using ::bwtk::testing::RandomDna;
+using ::bwtk::testing::SampleWithFlips;
+
+// A genome with repeat structure plus a mixed query workload: planted
+// approximate occurrences, random patterns, and varying k.
+struct Workload {
+  KMismatchSearcher searcher;
+  std::vector<BatchQuery> queries;
+};
+
+Workload MakeWorkload(size_t genome_size, size_t query_count, uint64_t seed) {
+  GenomeOptions genome_options;
+  genome_options.length = genome_size;
+  genome_options.repeat_fraction = 0.3;
+  genome_options.seed = seed;
+  auto genome = GenerateGenome(genome_options).value();
+  auto searcher = KMismatchSearcher::Build(genome).value();
+
+  Rng rng(seed + 1);
+  std::vector<BatchQuery> queries;
+  queries.reserve(query_count);
+  for (size_t i = 0; i < query_count; ++i) {
+    const int32_t k = static_cast<int32_t>(i % 4);
+    const size_t len = 20 + rng.NextBounded(30);
+    if (i % 3 == 0) {
+      queries.push_back({RandomDna(len, &rng), k});
+    } else {
+      const size_t pos = rng.NextBounded(genome.size() - len);
+      queries.push_back({SampleWithFlips(genome, pos, len, k, &rng), k});
+    }
+  }
+  return {std::move(searcher), std::move(queries)};
+}
+
+std::vector<std::vector<Occurrence>> SerialResults(
+    const KMismatchSearcher& searcher, const std::vector<BatchQuery>& queries) {
+  std::vector<std::vector<Occurrence>> out;
+  out.reserve(queries.size());
+  for (const BatchQuery& query : queries) {
+    out.push_back(searcher.Search(query.pattern, query.k));
+  }
+  return out;
+}
+
+TEST(BatchSearcherTest, MatchesSerialOnOneTwoAndEightThreads) {
+  Workload workload = MakeWorkload(20000, 60, 11);
+  const auto expected = SerialResults(workload.searcher, workload.queries);
+  for (const int threads : {1, 2, 8}) {
+    BatchSearcher batch(workload.searcher, {.num_threads = threads});
+    ASSERT_EQ(batch.num_threads(), threads);
+    const BatchResult result = batch.Search(workload.queries);
+    ASSERT_EQ(result.occurrences.size(), workload.queries.size());
+    for (size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(result.occurrences[i], expected[i])
+          << "query " << i << " with " << threads << " threads";
+    }
+  }
+}
+
+TEST(BatchSearcherTest, EmptyBatch) {
+  const auto searcher = KMismatchSearcher::Build("acgtacgtacgt").value();
+  BatchSearcher batch(searcher, {.num_threads = 4});
+  const BatchResult result = batch.Search(std::vector<BatchQuery>{});
+  EXPECT_TRUE(result.occurrences.empty());
+  EXPECT_EQ(result.stats.extend_calls, 0u);
+  EXPECT_EQ(result.failed_queries, 0u);
+}
+
+TEST(BatchSearcherTest, BatchLargerThanThreadCount) {
+  // 2 threads, 50 queries: the atomic cursor must hand out every index
+  // exactly once and slot every result correctly.
+  Workload workload = MakeWorkload(8000, 50, 23);
+  const auto expected = SerialResults(workload.searcher, workload.queries);
+  BatchSearcher batch(workload.searcher, {.num_threads = 2});
+  const BatchResult result = batch.Search(workload.queries);
+  ASSERT_EQ(result.occurrences.size(), 50u);
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(result.occurrences[i], expected[i]) << "query " << i;
+  }
+}
+
+TEST(BatchSearcherTest, PerQueryMismatchBudgets) {
+  // The same pattern under k = 0..3 in one batch: each slot must honor its
+  // own budget (monotonically growing hit sets).
+  const auto searcher =
+      KMismatchSearcher::Build("acagacattacagacagtacagacaa").value();
+  const auto pattern = testing::Codes("acagacat");
+  std::vector<BatchQuery> queries;
+  for (int32_t k = 0; k < 4; ++k) queries.push_back({pattern, k});
+  BatchSearcher batch(searcher, {.num_threads = 3});
+  const BatchResult result = batch.Search(queries);
+  ASSERT_EQ(result.occurrences.size(), 4u);
+  for (int32_t k = 0; k < 4; ++k) {
+    EXPECT_EQ(result.occurrences[k], searcher.Search(pattern, k)) << "k=" << k;
+    if (k > 0) {
+      EXPECT_GE(result.occurrences[k].size(),
+                result.occurrences[k - 1].size());
+    }
+  }
+}
+
+TEST(BatchSearcherTest, AggregateStatsMatchSerialSums) {
+  Workload workload = MakeWorkload(10000, 40, 31);
+  SearchStats serial_total;
+  for (const BatchQuery& query : workload.queries) {
+    SearchStats stats;
+    workload.searcher.Search(query.pattern, query.k, &stats);
+    serial_total += stats;
+  }
+  BatchSearcher batch(workload.searcher, {.num_threads = 4});
+  const BatchResult result = batch.Search(workload.queries);
+  // Every counter is per-query work, independent of which thread ran it.
+  EXPECT_EQ(result.stats.extend_calls, serial_total.extend_calls);
+  EXPECT_EQ(result.stats.completed_paths, serial_total.completed_paths);
+  EXPECT_EQ(result.stats.mtree_leaves, serial_total.mtree_leaves);
+  EXPECT_EQ(result.stats.stree_nodes, serial_total.stree_nodes);
+}
+
+TEST(BatchSearcherTest, AsciiBatchAndFailFast) {
+  const auto searcher = KMismatchSearcher::Build("acagacagacagacag").value();
+  const std::vector<std::string> patterns = {"acag", "not-dna", "gaca"};
+
+  BatchSearcher lenient(searcher, {.num_threads = 2, .fail_fast = false});
+  const auto lenient_result = lenient.Search(patterns, 1);
+  ASSERT_TRUE(lenient_result.ok());
+  EXPECT_EQ(lenient_result->failed_queries, 1u);
+  EXPECT_EQ(lenient_result->occurrences[0],
+            searcher.Search("acag", 1).value());
+  EXPECT_TRUE(lenient_result->occurrences[1].empty());
+  EXPECT_EQ(lenient_result->occurrences[2],
+            searcher.Search("gaca", 1).value());
+
+  BatchSearcher strict(searcher, {.num_threads = 2, .fail_fast = true});
+  EXPECT_FALSE(strict.Search(patterns, 1).ok());
+}
+
+TEST(BatchSearcherTest, ReusedBatchSearcherStaysCorrect) {
+  // Several batches through one pool: scratches carry warm buffers from
+  // batch to batch and must never leak state between queries.
+  Workload workload = MakeWorkload(12000, 30, 47);
+  const auto expected = SerialResults(workload.searcher, workload.queries);
+  BatchSearcher batch(workload.searcher, {.num_threads = 4});
+  for (int round = 0; round < 3; ++round) {
+    const BatchResult result = batch.Search(workload.queries);
+    for (size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(result.occurrences[i], expected[i])
+          << "round " << round << " query " << i;
+    }
+  }
+}
+
+TEST(BatchSearcherTest, ScratchReuseMatchesFreshScratch) {
+  // The serial engine with one long-lived scratch must equal fresh-scratch
+  // searches — the single-thread core of the batch guarantee.
+  Workload workload = MakeWorkload(10000, 40, 59);
+  AlgorithmAScratch scratch;
+  for (const BatchQuery& query : workload.queries) {
+    EXPECT_EQ(
+        workload.searcher.Search(query.pattern, query.k, nullptr, &scratch),
+        workload.searcher.Search(query.pattern, query.k));
+  }
+}
+
+TEST(BatchSearcherTest, StressManySmallQueriesSharedIndex) {
+  // ThreadSanitizer target: a large batch of small queries over one shared
+  // index with more workers than cores, repeated so workers cross batch
+  // boundaries while others still run.
+  Workload workload = MakeWorkload(30000, 300, 71);
+  const auto expected = SerialResults(workload.searcher, workload.queries);
+  BatchSearcher batch(workload.searcher, {.num_threads = 8});
+  for (int round = 0; round < 2; ++round) {
+    const BatchResult result = batch.Search(workload.queries);
+    size_t mismatched = 0;
+    for (size_t i = 0; i < expected.size(); ++i) {
+      if (result.occurrences[i] != expected[i]) ++mismatched;
+    }
+    EXPECT_EQ(mismatched, 0u) << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace bwtk
