@@ -1,0 +1,370 @@
+// bench_report — the paper-shaped experiment grid as one machine-readable
+// JSON report (docs/OBSERVABILITY.md documents the schema; CI validates it
+// with tools/validate_bench_json.py).
+//
+// Runs {genomes} x {k values} x {engines: BWT-baseline serial, Algorithm A
+// serial, BatchSearcher} over simulated wgsim-like reads, and for every cell
+// records wall time, throughput, the engine's SearchStats, and the metrics
+// registry delta (counters, per-phase nanosecond timers, histograms)
+// captured around the cell. This is the trend-tracking substrate every perf
+// PR reports against: run it before and after, diff the BENCH_*.json.
+//
+// The rank phase is *estimated*, not timed: per-call timing of an ~50 ns
+// rank would dwarf the operation (see docs/OBSERVABILITY.md, "Overhead").
+// Instead the driver calibrates the average Rank/RankAll cost per genome
+// with a measurement loop and multiplies by the counted calls; the entry is
+// marked "estimated": true in the JSON.
+//
+//   bench_report [--name NAME] [--out DIR] [--smoke] [--threads N]
+//
+// --smoke shrinks sizes for CI while keeping the full grid shape (2 genomes
+// x 3 k values x 3 engines). BWTK_BENCH_SCALE applies as everywhere else.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "bwt/fm_index.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "search/algorithm_a.h"
+#include "search/batch_searcher.h"
+#include "search/stree_search.h"
+#include "util/stopwatch.h"
+
+namespace bwtk::bench {
+namespace {
+
+struct GenomeSpec {
+  std::string name;
+  size_t length;
+  uint64_t seed;
+};
+
+struct Calibration {
+  double rank_ns = 0;     // average OccTable::Rank call
+  double rankall_ns = 0;  // average OccTable::RankAll call
+};
+
+struct CellResult {
+  std::string engine;
+  int threads = 1;
+  double wall_seconds = 0;
+  size_t total_hits = 0;
+  SearchStats stats;
+  obs::MetricsBlock delta;
+};
+
+// Average per-call cost of the two rank primitives, measured against the
+// real index so checkpoint-gap scanning is represented.
+Calibration CalibrateRank(const FmIndex& index) {
+  const size_t rows = index.rows();
+  const size_t iters = 200000;
+  Calibration cal;
+  uint64_t sink = 0;
+
+  Stopwatch watch;
+  size_t pos = 1;
+  for (size_t i = 0; i < iters; ++i) {
+    sink += index.occ().Rank(static_cast<DnaCode>(i & 3), pos);
+    pos = (pos * 2862933555777941757ULL + 3037000493ULL) % rows;
+  }
+  cal.rank_ns = watch.ElapsedSeconds() * 1e9 / static_cast<double>(iters);
+
+  uint32_t ranks[kDnaAlphabetSize];
+  watch.Restart();
+  pos = 1;
+  for (size_t i = 0; i < iters; ++i) {
+    index.occ().RankAll(pos, ranks);
+    sink += ranks[i & 3];
+    pos = (pos * 2862933555777941757ULL + 3037000493ULL) % rows;
+  }
+  cal.rankall_ns = watch.ElapsedSeconds() * 1e9 / static_cast<double>(iters);
+
+  if (sink == 0x5eed) std::printf(" ");  // defeat dead-code elimination
+  return cal;
+}
+
+CellResult RunSerial(const FmIndex& index, bool algorithm_a,
+                     const std::vector<std::vector<DnaCode>>& reads,
+                     int32_t k) {
+  CellResult cell;
+  cell.engine = algorithm_a ? "algorithm_a" : "stree";
+  const STreeSearch stree(&index);
+  const AlgorithmA alg(&index);
+  AlgorithmAScratch scratch;
+  const obs::MetricsBlock before = obs::MetricsRegistry::Instance().Snapshot();
+  Stopwatch watch;
+  for (const auto& read : reads) {
+    SearchStats stats;
+    const auto hits = algorithm_a ? alg.Search(read, k, &stats, &scratch)
+                                  : stree.Search(read, k, &stats);
+    cell.total_hits += hits.size();
+    cell.stats += stats;
+  }
+  cell.wall_seconds = watch.ElapsedSeconds();
+  cell.delta =
+      obs::Diff(obs::MetricsRegistry::Instance().Snapshot(), before);
+  return cell;
+}
+
+CellResult RunBatch(const FmIndex& index,
+                    const std::vector<std::vector<DnaCode>>& reads, int32_t k,
+                    int threads) {
+  CellResult cell;
+  cell.engine = "batch";
+  cell.threads = threads;
+  std::vector<BatchQuery> queries;
+  queries.reserve(reads.size());
+  for (const auto& read : reads) queries.push_back({read, k});
+  const obs::MetricsBlock before = obs::MetricsRegistry::Instance().Snapshot();
+  Stopwatch watch;
+  {
+    // Pool construction/teardown inside the timed+delta'd region: the cell
+    // reports what a cold batch costs, queue-wait tail included.
+    BatchSearcher batch(&index, {.num_threads = threads});
+    BatchResult result = batch.Search(queries);
+    cell.stats = result.stats;
+    for (const auto& hits : result.occurrences) cell.total_hits += hits.size();
+  }
+  cell.wall_seconds = watch.ElapsedSeconds();
+  cell.delta =
+      obs::Diff(obs::MetricsRegistry::Instance().Snapshot(), before);
+  return cell;
+}
+
+void AppendPhasesWithRankEstimate(const obs::MetricsBlock& delta,
+                                  const Calibration& cal,
+                                  obs::JsonWriter* w) {
+  w->BeginObject();
+  const uint64_t rank_calls = delta.counters[obs::kCounterRankCalls];
+  const uint64_t rankall_calls = delta.counters[obs::kCounterRankAllCalls];
+  const double rank_nanos = static_cast<double>(rank_calls) * cal.rank_ns +
+                            static_cast<double>(rankall_calls) * cal.rankall_ns;
+  w->Key("rank")
+      .BeginObject()
+      .Key("nanos")
+      .Value(static_cast<uint64_t>(rank_nanos))
+      .Key("calls")
+      .Value(rank_calls + rankall_calls)
+      .Key("estimated")
+      .Value(true)
+      .EndObject();
+  for (uint32_t i = 0; i < obs::kNumPhases; ++i) {
+    w->Key(obs::PhaseName(static_cast<obs::PhaseId>(i)))
+        .BeginObject()
+        .Key("nanos")
+        .Value(delta.phase_nanos[i])
+        .Key("calls")
+        .Value(delta.phase_calls[i])
+        .EndObject();
+  }
+  w->EndObject();
+}
+
+int Run(int argc, char** argv) {
+  std::string name = "report";
+  std::string out_dir = ".";
+  bool smoke = false;
+  int threads = 4;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--name") == 0 && i + 1 < argc) {
+      name = argv[++i];
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = std::atoi(argv[++i]);
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_report [--name NAME] [--out DIR] [--smoke] "
+                   "[--threads N]\n");
+      return 2;
+    }
+  }
+  if (threads <= 0) threads = 4;
+
+  const std::vector<GenomeSpec> genomes =
+      smoke ? std::vector<GenomeSpec>{{"smoke-16K", 1u << 14, 42},
+                                      {"smoke-32K", 1u << 15, 1042}}
+            : std::vector<GenomeSpec>{{"synth-512K", 1u << 19, 42},
+                                      {"synth-2M", 1u << 21, 1042}};
+  const std::vector<int32_t> k_values =
+      smoke ? std::vector<int32_t>{1, 2, 3} : std::vector<int32_t>{1, 3, 5};
+  const size_t read_length = smoke ? 50 : 100;
+  const size_t read_count = smoke ? 6 : 20;
+
+  PrintBanner("bench_report: observability grid -> BENCH_" + name + ".json",
+              std::to_string(genomes.size()) + " genomes x " +
+                  std::to_string(k_values.size()) +
+                  " k values x 3 engines, reads " +
+                  std::to_string(read_length) + " bp x " +
+                  std::to_string(read_count));
+
+  obs::JsonWriter json;
+  json.BeginObject()
+      .Key("schema_version")
+      .Value(1)
+      .Key("name")
+      .Value(name)
+      .Key("created_by")
+      .Value("bench_report")
+      .Key("smoke")
+      .Value(smoke)
+      .Key("scale")
+      .Value(BenchScale())
+      .Key("hardware")
+      .BeginObject()
+      .Key("hardware_concurrency")
+      .Value(static_cast<uint64_t>(std::thread::hardware_concurrency()))
+      .Key("metrics_compiled_in")
+      .Value(BWTK_METRICS_ENABLED != 0)
+      .EndObject();
+
+  json.Key("grid").BeginObject().Key("genomes").BeginArray();
+  for (const auto& g : genomes) json.Value(g.name);
+  json.EndArray().Key("k_values").BeginArray();
+  for (const int32_t k : k_values) json.Value(k);
+  json.EndArray().Key("engines").BeginArray();
+  for (const char* e : {"stree", "algorithm_a", "batch"}) json.Value(e);
+  json.EndArray()
+      .Key("read_length")
+      .Value(static_cast<uint64_t>(read_length))
+      .Key("read_count")
+      .Value(static_cast<uint64_t>(read_count))
+      .Key("batch_threads")
+      .Value(threads)
+      .EndObject();
+
+  TablePrinter table({"genome", "k", "engine", "wall", "reads/s", "hits",
+                      "extend calls", "n'"});
+
+  json.Key("genomes").BeginArray();
+  struct BuiltGenome {
+    GenomeSpec spec;
+    size_t length;
+    std::vector<std::vector<DnaCode>> reads;
+    FmIndex index;
+    Calibration cal;
+  };
+  std::vector<BuiltGenome> built;
+  for (const auto& spec : genomes) {
+    const size_t length = Scaled(spec.length);
+    auto genome = MakeGenome(length, spec.seed);
+    const obs::MetricsBlock before =
+        obs::MetricsRegistry::Instance().Snapshot();
+    Stopwatch watch;
+    auto index = FmIndex::Build(genome).value();
+    const double build_seconds = watch.ElapsedSeconds();
+    const obs::MetricsBlock delta =
+        obs::Diff(obs::MetricsRegistry::Instance().Snapshot(), before);
+    const Calibration cal = CalibrateRank(index);
+    json.BeginObject()
+        .Key("name")
+        .Value(spec.name)
+        .Key("length")
+        .Value(static_cast<uint64_t>(length))
+        .Key("seed")
+        .Value(spec.seed)
+        .Key("index_build_seconds")
+        .Value(build_seconds)
+        .Key("index_build_phase_nanos")
+        .Value(delta.phase_nanos[obs::kPhaseIndexBuild])
+        .Key("index_bytes")
+        .Value(static_cast<uint64_t>(index.MemoryUsage()))
+        .Key("rank_ns")
+        .Value(cal.rank_ns)
+        .Key("rankall_ns")
+        .Value(cal.rankall_ns)
+        .EndObject();
+    built.push_back({spec, length,
+                     MakeReads(genome, read_length, read_count, spec.seed + 7),
+                     std::move(index), cal});
+  }
+  json.EndArray();
+
+  json.Key("runs").BeginArray();
+  for (const auto& g : built) {
+    // Warm each engine once so cold-start noise lands outside the cells.
+    (void)STreeSearch(&g.index).Search(g.reads[0], 1);
+    (void)AlgorithmA(&g.index).Search(g.reads[0], 1);
+    for (const int32_t k : k_values) {
+      std::vector<CellResult> cells;
+      cells.push_back(RunSerial(g.index, /*algorithm_a=*/false, g.reads, k));
+      cells.push_back(RunSerial(g.index, /*algorithm_a=*/true, g.reads, k));
+      cells.push_back(RunBatch(g.index, g.reads, k, threads));
+      for (const CellResult& cell : cells) {
+        const double reads_per_second =
+            cell.wall_seconds > 0
+                ? static_cast<double>(read_count) / cell.wall_seconds
+                : 0;
+        json.BeginObject()
+            .Key("genome")
+            .Value(g.spec.name)
+            .Key("genome_length")
+            .Value(static_cast<uint64_t>(g.length))
+            .Key("read_length")
+            .Value(static_cast<uint64_t>(read_length))
+            .Key("read_count")
+            .Value(static_cast<uint64_t>(read_count))
+            .Key("k")
+            .Value(k)
+            .Key("engine")
+            .Value(cell.engine)
+            .Key("threads")
+            .Value(cell.threads)
+            .Key("wall_seconds")
+            .Value(cell.wall_seconds)
+            .Key("reads_per_second")
+            .Value(reads_per_second)
+            .Key("total_hits")
+            .Value(static_cast<uint64_t>(cell.total_hits));
+        json.Key("stats");
+        obs::AppendSearchStats(cell.stats, &json);
+        json.Key("phases");
+        AppendPhasesWithRankEstimate(cell.delta, g.cal, &json);
+        json.Key("counters");
+        obs::AppendCounters(cell.delta, &json);
+        json.Key("histograms");
+        obs::AppendHistograms(cell.delta, &json);
+        json.EndObject();
+        table.AddRow({g.spec.name, std::to_string(k), cell.engine,
+                      FormatSeconds(cell.wall_seconds),
+                      FormatCount(static_cast<uint64_t>(reads_per_second)),
+                      FormatCount(cell.total_hits),
+                      FormatCount(cell.stats.extend_calls),
+                      FormatCount(cell.stats.mtree_leaves)});
+      }
+    }
+  }
+  json.EndArray().EndObject();
+
+  const std::string path = out_dir + "/BENCH_" + name + ".json";
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return 1;
+  }
+  out << std::move(json).TakeString() << "\n";
+  out.close();
+  if (!out) {
+    std::fprintf(stderr, "write to %s failed\n", path.c_str());
+    return 1;
+  }
+
+  table.Print();
+  std::printf("report written to %s\n", path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace bwtk::bench
+
+int main(int argc, char** argv) { return bwtk::bench::Run(argc, argv); }

@@ -8,6 +8,7 @@ namespace bwtk {
 
 Result<FmIndex> FmIndex::Build(const std::vector<DnaCode>& text,
                                const Options& options) {
+  BWTK_SCOPED_TIMER(kPhaseIndexBuild);
   if (options.sa_sample_rate == 0) {
     return Status::InvalidArgument("sa_sample_rate must be positive");
   }
@@ -53,15 +54,19 @@ Status FmIndex::FinishConstruction() {
 FmIndex::Range FmIndex::MatchForward(
     const std::vector<DnaCode>& pattern) const {
   Range range = WholeRange();
+  uint64_t steps = 0;
   for (const DnaCode c : pattern) {
     range = Extend(range, c);
-    if (range.empty()) return range;
+    ++steps;
+    if (range.empty()) break;
   }
+  BWTK_METRIC_COUNT2(kCounterExtendCalls, steps, kCounterRankCalls, 2 * steps);
   return range;
 }
 
 SaIndex FmIndex::LfStep(SaIndex row) const {
   BWTK_DCHECK_NE(static_cast<size_t>(row), bwt_->sentinel_row);
+  BWTK_METRIC_COUNT2(kCounterLfSteps, 1, kCounterRankCalls, 1);
   const DnaCode c = bwt_->codes.at(static_cast<size_t>(row));
   return static_cast<SaIndex>(first_row_[c] +
                               occ_.Rank(c, static_cast<size_t>(row)));
@@ -81,6 +86,8 @@ size_t FmIndex::SuffixArrayValue(SaIndex row) const {
 std::vector<size_t> FmIndex::Locate(Range range, size_t depth) const {
   std::vector<size_t> positions;
   if (range.empty()) return positions;
+  BWTK_SCOPED_TIMER(kPhaseLocate);
+  BWTK_METRIC_COUNT(kCounterLocateCalls);
   positions.reserve(static_cast<size_t>(range.count()));
   for (SaIndex row = range.lo; row < range.hi; ++row) {
     const size_t p = SuffixArrayValue(row);

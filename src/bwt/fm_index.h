@@ -19,6 +19,7 @@
 #include "alphabet/dna.h"
 #include "bwt/bwt.h"
 #include "bwt/occ_table.h"
+#include "obs/metrics.h"
 #include "suffix/suffix_array.h"
 #include "util/bit_vector.h"
 #include "util/status.h"
@@ -71,6 +72,11 @@ class FmIndex {
 
   /// One backward-search step: rows of `range` whose suffix, prefixed with
   /// `c`, still occurs. Equals the paper's search(c, L_range). May be empty.
+  ///
+  /// Deliberately NOT hooked into the metrics registry: Extend/ExtendAll
+  /// are the innermost search operations (tens of ns), so callers on the
+  /// query path count their invocations locally and flush the totals to
+  /// the registry once per query (see the note in occ_table.h).
   Range Extend(Range range, DnaCode c) const {
     return {static_cast<SaIndex>(first_row_[c] + occ_.Rank(c, range.lo)),
             static_cast<SaIndex>(first_row_[c] + occ_.Rank(c, range.hi))};

@@ -25,6 +25,21 @@ namespace bwtk {
 /// checkpoint directory and the (also immutable) BWT it points at, so
 /// concurrent queries from any number of threads need no locking — the
 /// const-method guarantee FmIndex extends to the whole query path.
+///
+/// Paper mapping: Rank(c, i) is the rankall value A_c[i] of Section III.A,
+/// and one search() step of the paper (Definition 1) costs two Rank calls —
+/// that per-step rank work is the unit its cost model charges, and what the
+/// `extend_calls` counter of SearchStats and the `rank_calls` /
+/// `rankall_calls` observability counters measure.
+///
+/// Observability: rank invocations are never counted here, nor per call at
+/// the FmIndex layer — a Rank is ~30-50 ns, so even one thread-local
+/// increment per backward-search step costs a measurable few percent. The
+/// query path instead tallies steps in engine-local counters and flushes
+/// totals to the registry once per query (MatchForward and the S-tree /
+/// Algorithm A engines; see obs/metrics.h). Per-call *timing* of rank is
+/// never done either; the bench harness estimates the rank phase by
+/// calibration (docs/OBSERVABILITY.md).
 class OccTable {
  public:
   static constexpr uint32_t kDefaultCheckpointRate = 64;

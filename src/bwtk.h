@@ -25,6 +25,8 @@
 #include "baselines/naive_search.h"
 #include "bwt/fm_index.h"
 #include "mismatch/mismatch_array.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
 #include "search/algorithm_a.h"
 #include "search/batch_searcher.h"
 #include "search/kerror_search.h"

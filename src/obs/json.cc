@@ -1,0 +1,231 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+#include "util/logging.h"
+
+namespace bwtk::obs {
+
+// --- JsonWriter ----------------------------------------------------------
+
+void JsonWriter::BeforeValue() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (stack_.empty()) return;
+  BWTK_DCHECK(stack_.back().first == 'a') << "object member without Key()";
+  if (stack_.back().second) out_.push_back(',');
+  stack_.back().second = true;
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  BeforeValue();
+  out_.push_back('{');
+  stack_.emplace_back('o', false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  BWTK_DCHECK(!stack_.empty() && stack_.back().first == 'o');
+  stack_.pop_back();
+  out_.push_back('}');
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  BeforeValue();
+  out_.push_back('[');
+  stack_.emplace_back('a', false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  BWTK_DCHECK(!stack_.empty() && stack_.back().first == 'a');
+  stack_.pop_back();
+  out_.push_back(']');
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(std::string_view name) {
+  BWTK_DCHECK(!stack_.empty() && stack_.back().first == 'o' && !after_key_);
+  if (stack_.back().second) out_.push_back(',');
+  stack_.back().second = true;
+  out_.push_back('"');
+  out_ += JsonEscape(name);
+  out_ += "\":";
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(std::string_view value) {
+  BeforeValue();
+  out_.push_back('"');
+  out_ += JsonEscape(value);
+  out_.push_back('"');
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(uint64_t value) {
+  BeforeValue();
+  out_ += std::to_string(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(int64_t value) {
+  BeforeValue();
+  out_ += std::to_string(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(double value) {
+  if (!std::isfinite(value)) return Null();
+  BeforeValue();
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  out_ += buffer;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(bool value) {
+  BeforeValue();
+  out_ += value ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::Null() {
+  BeforeValue();
+  out_ += "null";
+  return *this;
+}
+
+std::string JsonWriter::TakeString() && {
+  BWTK_DCHECK(stack_.empty()) << "unclosed JSON container";
+  return std::move(out_);
+}
+
+std::string JsonEscape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+// --- Flat parser ---------------------------------------------------------
+
+namespace {
+
+void SkipSpace(std::string_view json, size_t* pos) {
+  while (*pos < json.size() &&
+         std::isspace(static_cast<unsigned char>(json[*pos]))) {
+    ++*pos;
+  }
+}
+
+}  // namespace
+
+Result<std::vector<std::pair<std::string, uint64_t>>> ParseFlatUint64Object(
+    std::string_view json) {
+  std::vector<std::pair<std::string, uint64_t>> out;
+  size_t pos = 0;
+  SkipSpace(json, &pos);
+  if (pos >= json.size() || json[pos] != '{') {
+    return Status::InvalidArgument("expected '{' at start of object");
+  }
+  ++pos;
+  SkipSpace(json, &pos);
+  if (pos < json.size() && json[pos] == '}') {  // empty object
+    ++pos;
+    SkipSpace(json, &pos);
+    if (pos != json.size()) {
+      return Status::InvalidArgument("trailing characters after object");
+    }
+    return out;
+  }
+  for (;;) {
+    SkipSpace(json, &pos);
+    if (pos >= json.size() || json[pos] != '"') {
+      return Status::InvalidArgument("expected '\"' to open a key at offset " +
+                                     std::to_string(pos));
+    }
+    ++pos;
+    std::string key;
+    while (pos < json.size() && json[pos] != '"') {
+      if (json[pos] == '\\') {
+        return Status::InvalidArgument("escaped keys are not supported");
+      }
+      key.push_back(json[pos++]);
+    }
+    if (pos >= json.size()) {
+      return Status::InvalidArgument("unterminated key");
+    }
+    ++pos;  // closing quote
+    SkipSpace(json, &pos);
+    if (pos >= json.size() || json[pos] != ':') {
+      return Status::InvalidArgument("expected ':' after key \"" + key + "\"");
+    }
+    ++pos;
+    SkipSpace(json, &pos);
+    if (pos >= json.size() ||
+        !std::isdigit(static_cast<unsigned char>(json[pos]))) {
+      return Status::InvalidArgument(
+          "expected a non-negative integer value for key \"" + key + "\"");
+    }
+    uint64_t value = 0;
+    while (pos < json.size() &&
+           std::isdigit(static_cast<unsigned char>(json[pos]))) {
+      const uint64_t digit = static_cast<uint64_t>(json[pos] - '0');
+      if (value > (~uint64_t{0} - digit) / 10) {
+        return Status::OutOfRange("integer overflow for key \"" + key + "\"");
+      }
+      value = value * 10 + digit;
+      ++pos;
+    }
+    if (pos < json.size() && (json[pos] == '.' || json[pos] == 'e' ||
+                              json[pos] == 'E')) {
+      return Status::InvalidArgument(
+          "fractional values are not supported (key \"" + key + "\")");
+    }
+    out.emplace_back(std::move(key), value);
+    SkipSpace(json, &pos);
+    if (pos >= json.size()) {
+      return Status::InvalidArgument("unterminated object");
+    }
+    if (json[pos] == ',') {
+      ++pos;
+      continue;
+    }
+    if (json[pos] == '}') {
+      ++pos;
+      break;
+    }
+    return Status::InvalidArgument("expected ',' or '}' at offset " +
+                                   std::to_string(pos));
+  }
+  SkipSpace(json, &pos);
+  if (pos != json.size()) {
+    return Status::InvalidArgument("trailing characters after object");
+  }
+  return out;
+}
+
+}  // namespace bwtk::obs

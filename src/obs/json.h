@@ -1,0 +1,83 @@
+// Minimal JSON emission (and a small flat-object parser) for the
+// observability subsystem. Dependency-free by design: the container bakes in
+// no JSON library, and the bench reports only need objects, arrays, strings,
+// and numbers.
+
+#ifndef BWTK_OBS_JSON_H_
+#define BWTK_OBS_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace bwtk::obs {
+
+/// Streaming JSON writer with automatic comma/nesting management.
+///
+/// Usage:
+///   JsonWriter w;
+///   w.BeginObject().Key("runs").BeginArray().Value(1).EndArray().EndObject();
+///   std::string json = std::move(w).TakeString();
+///
+/// Emits compact (no-whitespace) JSON. Misuse (e.g. a Key at array level) is
+/// a programming error and trips a BWTK_DCHECK; the writer performs no
+/// runtime validation beyond that.
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  /// Emits the member name for the next Value/Begin* inside an object.
+  JsonWriter& Key(std::string_view name);
+
+  JsonWriter& Value(std::string_view value);
+  JsonWriter& Value(const char* value) {
+    return Value(std::string_view(value));
+  }
+  JsonWriter& Value(uint64_t value);
+  JsonWriter& Value(int64_t value);
+  JsonWriter& Value(int value) { return Value(static_cast<int64_t>(value)); }
+  JsonWriter& Value(unsigned value) {
+    return Value(static_cast<uint64_t>(value));
+  }
+  /// Doubles print with up-to-round-trip precision; non-finite values (not
+  /// representable in JSON) are emitted as null.
+  JsonWriter& Value(double value);
+  JsonWriter& Value(bool value);
+  JsonWriter& Null();
+
+  /// The finished document. All containers must be closed.
+  std::string TakeString() &&;
+  const std::string& str() const { return out_; }
+
+ private:
+  void BeforeValue();
+
+  std::string out_;
+  // One frame per open container: 'o' / 'a', plus whether a member was
+  // already emitted (comma bookkeeping).
+  std::vector<std::pair<char, bool>> stack_;
+  bool after_key_ = false;
+};
+
+/// Escapes `raw` for inclusion inside a JSON string literal (no quotes).
+std::string JsonEscape(std::string_view raw);
+
+/// Parses a flat JSON object whose values are all non-negative integers:
+///   {"a": 1, "b": 2}
+/// Returns the key/value pairs in document order. Rejects nesting, strings,
+/// negative and fractional values — this is the inverse of the flat stat
+/// objects this library emits (e.g. SearchStatsToJson), not a general
+/// parser.
+Result<std::vector<std::pair<std::string, uint64_t>>> ParseFlatUint64Object(
+    std::string_view json);
+
+}  // namespace bwtk::obs
+
+#endif  // BWTK_OBS_JSON_H_

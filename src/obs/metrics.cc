@@ -1,0 +1,114 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace bwtk::obs {
+
+namespace {
+
+constexpr std::string_view kCounterNames[kNumCounters] = {
+    "rank_calls",      "rankall_calls",  "extend_calls", "extendall_calls",
+    "lf_steps",        "locate_calls",   "rij_builds",   "rij_cache_hits",
+    "merge_calls",     "chain_builds",   "batch_batches", "batch_queries",
+};
+
+constexpr std::string_view kPhaseNames[kNumPhases] = {
+    "index_build", "tau_build", "ri_build",   "merge",
+    "tree_traversal", "locate", "queue_wait", "worker_search",
+};
+
+constexpr std::string_view kHistNames[kNumHists] = {
+    "query_nanos",
+    "hits_per_query",
+    "chain_length",
+    "queue_wait_nanos",
+};
+
+}  // namespace
+
+std::string_view CounterName(CounterId id) {
+  BWTK_DCHECK_LT(id, kNumCounters);
+  return kCounterNames[id];
+}
+
+std::string_view PhaseName(PhaseId id) {
+  BWTK_DCHECK_LT(id, kNumPhases);
+  return kPhaseNames[id];
+}
+
+std::string_view HistName(HistId id) {
+  BWTK_DCHECK_LT(id, kNumHists);
+  return kHistNames[id];
+}
+
+Histogram& Histogram::operator+=(const Histogram& other) {
+  for (size_t b = 0; b < kHistBuckets; ++b) buckets[b] += other.buckets[b];
+  count += other.count;
+  sum += other.sum;
+  return *this;
+}
+
+Histogram& Histogram::operator-=(const Histogram& other) {
+  for (size_t b = 0; b < kHistBuckets; ++b) buckets[b] -= other.buckets[b];
+  count -= other.count;
+  sum -= other.sum;
+  return *this;
+}
+
+MetricsBlock& MetricsBlock::operator+=(const MetricsBlock& other) {
+  for (size_t i = 0; i < kNumCounters; ++i) counters[i] += other.counters[i];
+  for (size_t i = 0; i < kNumPhases; ++i) {
+    phase_nanos[i] += other.phase_nanos[i];
+    phase_calls[i] += other.phase_calls[i];
+  }
+  for (size_t i = 0; i < kNumHists; ++i) hists[i] += other.hists[i];
+  return *this;
+}
+
+MetricsBlock Diff(const MetricsBlock& after, const MetricsBlock& before) {
+  MetricsBlock delta = after;
+  for (size_t i = 0; i < kNumCounters; ++i) {
+    delta.counters[i] -= before.counters[i];
+  }
+  for (size_t i = 0; i < kNumPhases; ++i) {
+    delta.phase_nanos[i] -= before.phase_nanos[i];
+    delta.phase_calls[i] -= before.phase_calls[i];
+  }
+  for (size_t i = 0; i < kNumHists; ++i) delta.hists[i] -= before.hists[i];
+  return delta;
+}
+
+MetricsRegistry& MetricsRegistry::Instance() {
+  // Leaked so that threads exiting after main (detached, or joined by a
+  // static destructor elsewhere) can still safely Unregister.
+  static MetricsRegistry* const registry = new MetricsRegistry();
+  return *registry;
+}
+
+MetricsBlock MetricsRegistry::Snapshot() {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsBlock total = retired_;
+  for (const MetricsBlock* block : live_) total += *block;
+  return total;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  retired_.Clear();
+  for (MetricsBlock* block : live_) block->Clear();
+}
+
+void MetricsRegistry::Register(MetricsBlock* block) {
+  std::lock_guard<std::mutex> lock(mu_);
+  live_.push_back(block);
+}
+
+void MetricsRegistry::Unregister(MetricsBlock* block) {
+  std::lock_guard<std::mutex> lock(mu_);
+  retired_ += *block;
+  live_.erase(std::find(live_.begin(), live_.end(), block));
+}
+
+}  // namespace bwtk::obs

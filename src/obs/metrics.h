@@ -1,0 +1,320 @@
+// Observability core: a process-wide metrics registry with monotonic
+// counters, nanosecond phase timers, and log2-bucketed histograms.
+//
+// Design goals, in order:
+//   1. Near-zero overhead on the hot path. Every hook is a plain (non-atomic)
+//      increment of a thread-local slab; no locks, no hashing, no string
+//      lookups. Metric identities are compile-time enum indices.
+//   2. Zero overhead when compiled out. Building with -DBWTK_DISABLE_METRICS
+//      (CMake option BWTK_DISABLE_METRICS) expands every BWTK_METRIC_* /
+//      BWTK_SCOPED_* hook to `(void)0`; the instrumented code paths are
+//      byte-identical to never having been instrumented.
+//   3. Safe aggregation. Each thread owns a MetricsBlock; blocks register
+//      with the global MetricsRegistry on first use and fold into a retired
+//      accumulator on thread exit. Snapshot() sums retired + live blocks.
+//
+// Synchronization contract: hooks touch only the calling thread's block, so
+// instrumented code stays data-race-free no matter how many threads run.
+// Snapshot()/Reset() read or write *other* threads' blocks and are only
+// well-defined at quiescent points — i.e. after the writers' work has been
+// ordered before the call by some synchronization (BatchSearcher::Search
+// returning, a join, a mutex). That is exactly how the bench harness uses
+// them: snapshot, run a cell, snapshot, diff.
+//
+// The catalog (which counter/phase/histogram exists, where it is incremented,
+// and which paper quantity it corresponds to) is documented in
+// docs/OBSERVABILITY.md; keep the enum lists, the name tables in metrics.cc,
+// and that document in sync when adding a metric.
+
+#ifndef BWTK_OBS_METRICS_H_
+#define BWTK_OBS_METRICS_H_
+
+#include <array>
+#include <bit>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string_view>
+#include <vector>
+
+namespace bwtk::obs {
+
+// --- Metric catalog ------------------------------------------------------
+// One enumerator per metric; values index fixed-size arrays in MetricsBlock.
+// Append new entries just before the kNum* terminator and add the matching
+// name to the table in metrics.cc (CHECKed at startup to stay in sync).
+
+/// Monotonic event counters.
+enum CounterId : uint32_t {
+  // bwt layer. Rank work is never counted per call: Extend/ExtendAll are
+  // tens-of-ns operations, so the query-path callers tally invocations in
+  // locals and flush totals to the registry once per query (MatchForward
+  // after its loop; the S-tree/Algorithm A engines at query end, deriving
+  // extendall = extend_calls / 4 and rankall = 2 * extendall). LF steps
+  // (one Rank each) are counted per call — they sit on the µs-scale Locate
+  // path. The k-error/wildcard extensions are not instrumented. See the
+  // note in occ_table.h.
+  kCounterRankCalls,       ///< OccTable::Rank invocations.
+  kCounterRankAllCalls,    ///< OccTable::RankAll invocations.
+  kCounterExtendCalls,     ///< FmIndex::Extend backward-search steps.
+  kCounterExtendAllCalls,  ///< FmIndex::ExtendAll fused 4-way steps.
+  kCounterLfSteps,         ///< LF-mapping steps (Locate / SuffixArrayValue).
+  kCounterLocateCalls,     ///< FmIndex::Locate range resolutions.
+  // mismatch / Algorithm A layer.
+  kCounterRijBuilds,     ///< R_ij mismatch arrays computed (cache misses).
+  kCounterRijCacheHits,  ///< R_ij lookups served from the per-query cache.
+  kCounterMergeCalls,    ///< merge()-based chain derivations (Prop. 1).
+  kCounterChainBuilds,   ///< chains recorded for later derivation.
+  // batch layer.
+  kCounterBatchBatches,  ///< BatchSearcher::Search batches issued.
+  kCounterBatchQueries,  ///< queries executed by batch workers.
+  kNumCounters
+};
+
+/// Timed phases. Phases may nest (merge and locate run inside traversal);
+/// they are a breakdown of where time goes, not a disjoint partition.
+enum PhaseId : uint32_t {
+  kPhaseIndexBuild,     ///< FmIndex::Build (SA-IS + BWT + checkpoints).
+  kPhaseTauBuild,       ///< ComputeTau preprocessing per query.
+  kPhaseRiBuild,        ///< PatternLcp + R_ij construction (cache misses).
+  kPhaseMerge,          ///< derived chain walks (merge of mismatch arrays).
+  kPhaseTreeTraversal,  ///< the S-tree/DAG enumeration loop of a query.
+  kPhaseLocate,         ///< FmIndex::Locate (row -> text position).
+  kPhaseQueueWait,      ///< batch workers blocked waiting for work.
+  kPhaseWorkerSearch,   ///< batch workers executing a batch's queries.
+  kNumPhases
+};
+
+/// Log2-bucketed histograms.
+enum HistId : uint32_t {
+  kHistQueryNanos,      ///< wall nanoseconds per Search call.
+  kHistHitsPerQuery,    ///< occurrences reported per Search call.
+  kHistChainLength,     ///< nodes per recorded chain.
+  kHistQueueWaitNanos,  ///< nanoseconds per worker wait episode.
+  kNumHists
+};
+
+/// Stable snake_case metric names (used as JSON keys).
+std::string_view CounterName(CounterId id);
+std::string_view PhaseName(PhaseId id);
+std::string_view HistName(HistId id);
+
+// --- Histogram -----------------------------------------------------------
+
+/// Bucket 0 holds exact zeros; bucket b >= 1 holds values in
+/// [2^(b-1), 2^b - 1]. uint64 values need bit_width up to 64, hence 65.
+inline constexpr size_t kHistBuckets = 65;
+
+constexpr size_t BucketIndex(uint64_t value) {
+  return value == 0 ? 0 : static_cast<size_t>(std::bit_width(value));
+}
+
+/// Smallest value landing in bucket `b`.
+constexpr uint64_t BucketLowerBound(size_t b) {
+  return b == 0 ? 0 : uint64_t{1} << (b - 1);
+}
+
+/// Largest value landing in bucket `b` (inclusive).
+constexpr uint64_t BucketUpperBound(size_t b) {
+  return b == 0 ? 0
+         : b >= 64 ? ~uint64_t{0}
+                   : (uint64_t{1} << b) - 1;
+}
+
+/// Fixed-size log2 histogram; mergeable like the counters.
+struct Histogram {
+  std::array<uint64_t, kHistBuckets> buckets{};
+  uint64_t count = 0;
+  uint64_t sum = 0;
+
+  void Observe(uint64_t value) {
+    ++buckets[BucketIndex(value)];
+    ++count;
+    sum += value;
+  }
+
+  Histogram& operator+=(const Histogram& other);
+  Histogram& operator-=(const Histogram& other);  // for snapshot deltas
+  bool operator==(const Histogram&) const = default;
+};
+
+// --- Storage -------------------------------------------------------------
+
+/// One thread's (or one aggregated) worth of every metric.
+struct MetricsBlock {
+  std::array<uint64_t, kNumCounters> counters{};
+  std::array<uint64_t, kNumPhases> phase_nanos{};
+  std::array<uint64_t, kNumPhases> phase_calls{};
+  std::array<Histogram, kNumHists> hists{};
+
+  void Clear() { *this = MetricsBlock{}; }
+  MetricsBlock& operator+=(const MetricsBlock& other);
+  bool operator==(const MetricsBlock&) const = default;
+};
+
+/// after - before, element-wise. Only meaningful when `before` was
+/// snapshotted earlier than `after` with no Reset() in between.
+MetricsBlock Diff(const MetricsBlock& after, const MetricsBlock& before);
+
+/// Process-wide registry of per-thread blocks. See the file comment for the
+/// Snapshot()/Reset() synchronization contract.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Instance();
+
+  /// Sum of every retired thread's totals plus all live thread blocks.
+  MetricsBlock Snapshot();
+
+  /// Zeroes the retired totals and every live block. Writers must be
+  /// quiescent (ordered before this call).
+  void Reset();
+
+  // Called by the thread-local holder; not for direct use.
+  void Register(MetricsBlock* block);
+  void Unregister(MetricsBlock* block);  // folds *block into retired totals
+
+ private:
+  MetricsRegistry() = default;
+
+  std::mutex mu_;
+  MetricsBlock retired_;
+  std::vector<MetricsBlock*> live_;
+};
+
+namespace internal {
+
+/// Registers the enclosing thread's block for its lifetime.
+struct BlockHolder {
+  MetricsBlock block;
+  BlockHolder() { MetricsRegistry::Instance().Register(&block); }
+  ~BlockHolder() { MetricsRegistry::Instance().Unregister(&block); }
+  BlockHolder(const BlockHolder&) = delete;
+  BlockHolder& operator=(const BlockHolder&) = delete;
+};
+
+}  // namespace internal
+
+// --- Hot-path hooks ------------------------------------------------------
+
+/// The calling thread's metrics slab (created and registered on first use).
+inline MetricsBlock& LocalBlock() {
+  thread_local internal::BlockHolder holder;
+  return holder.block;
+}
+
+inline void Count(CounterId id, uint64_t n = 1) {
+  LocalBlock().counters[id] += n;
+}
+
+/// Fused two-counter bump: one thread-local lookup instead of two. The TLS
+/// access (with its dynamic-init guard) dominates the hook cost, so sites
+/// inside the backward-search step use this to stay inside the overhead
+/// budget (see "Overhead methodology" in docs/OBSERVABILITY.md).
+inline void Count2(CounterId a, uint64_t na, CounterId b, uint64_t nb) {
+  MetricsBlock& block = LocalBlock();
+  block.counters[a] += na;
+  block.counters[b] += nb;
+}
+
+inline void AddPhaseNanos(PhaseId phase, uint64_t nanos) {
+  MetricsBlock& block = LocalBlock();
+  block.phase_nanos[phase] += nanos;
+  ++block.phase_calls[phase];
+}
+
+inline void Observe(HistId id, uint64_t value) {
+  LocalBlock().hists[id].Observe(value);
+}
+
+/// RAII phase timer: charges the enclosing scope's wall time to `phase`.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(PhaseId phase)
+      : phase_(phase), start_(std::chrono::steady_clock::now()) {}
+  ~ScopedTimer() { AddPhaseNanos(phase_, ElapsedNanos()); }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  uint64_t ElapsedNanos() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count());
+  }
+
+ private:
+  PhaseId phase_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// RAII histogram timer: observes the enclosing scope's wall nanoseconds.
+class ScopedHistTimer {
+ public:
+  explicit ScopedHistTimer(HistId id)
+      : id_(id), start_(std::chrono::steady_clock::now()) {}
+  ~ScopedHistTimer() {
+    Observe(id_, static_cast<uint64_t>(
+                     std::chrono::duration_cast<std::chrono::nanoseconds>(
+                         std::chrono::steady_clock::now() - start_)
+                         .count()));
+  }
+  ScopedHistTimer(const ScopedHistTimer&) = delete;
+  ScopedHistTimer& operator=(const ScopedHistTimer&) = delete;
+
+ private:
+  HistId id_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace bwtk::obs
+
+// --- Instrumentation macros ----------------------------------------------
+// All instrumentation sites use these macros, never the functions directly,
+// so a single compile definition turns the whole subsystem into no-ops.
+// The classes and functions above are defined unconditionally (identically
+// in every translation unit — no ODR hazard); only the macro expansions
+// change.
+
+#if !defined(BWTK_DISABLE_METRICS)
+#define BWTK_METRICS_ENABLED 1
+#else
+#define BWTK_METRICS_ENABLED 0
+#endif
+
+#define BWTK_OBS_CONCAT_INNER(a, b) a##b
+#define BWTK_OBS_CONCAT(a, b) BWTK_OBS_CONCAT_INNER(a, b)
+
+#if BWTK_METRICS_ENABLED
+
+/// Adds 1 to counter `id` (a bare CounterId enumerator name).
+#define BWTK_METRIC_COUNT(id) ::bwtk::obs::Count(::bwtk::obs::id)
+/// Adds `n` to counter `id`.
+#define BWTK_METRIC_COUNT_N(id, n) ::bwtk::obs::Count(::bwtk::obs::id, (n))
+/// Adds `na` to counter `a` and `nb` to counter `b` with one TLS lookup.
+#define BWTK_METRIC_COUNT2(a, na, b, nb) \
+  ::bwtk::obs::Count2(::bwtk::obs::a, (na), ::bwtk::obs::b, (nb))
+/// Records `value` into histogram `id`.
+#define BWTK_METRIC_OBSERVE(id, value) \
+  ::bwtk::obs::Observe(::bwtk::obs::id, (value))
+/// Charges the rest of the enclosing scope's wall time to phase `id`.
+#define BWTK_SCOPED_TIMER(id)                                  \
+  ::bwtk::obs::ScopedTimer BWTK_OBS_CONCAT(bwtk_obs_timer_,    \
+                                           __LINE__)(::bwtk::obs::id)
+/// Observes the rest of the enclosing scope's wall nanos into histogram `id`.
+#define BWTK_SCOPED_HIST_TIMER(id)                                  \
+  ::bwtk::obs::ScopedHistTimer BWTK_OBS_CONCAT(bwtk_obs_htimer_,    \
+                                               __LINE__)(::bwtk::obs::id)
+
+#else  // BWTK_METRICS_ENABLED
+
+#define BWTK_METRIC_COUNT(id) ((void)0)
+#define BWTK_METRIC_COUNT_N(id, n) ((void)0)
+#define BWTK_METRIC_COUNT2(a, na, b, nb) ((void)0)
+#define BWTK_METRIC_OBSERVE(id, value) ((void)0)
+#define BWTK_SCOPED_TIMER(id) ((void)0)
+#define BWTK_SCOPED_HIST_TIMER(id) ((void)0)
+
+#endif  // BWTK_METRICS_ENABLED
+
+#endif  // BWTK_OBS_METRICS_H_

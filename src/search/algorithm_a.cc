@@ -7,6 +7,7 @@
 
 #include "mismatch/kangaroo.h"
 #include "mismatch/mismatch_array.h"
+#include "obs/metrics.h"
 #include "search/mtree.h"
 #include "search/tau_heuristic.h"
 #include "util/logging.h"
@@ -193,10 +194,13 @@ class SearchContext {
     if (stack_.capacity() < (1u << 10)) stack_.reserve(1 << 10);
     stack_.push_back(
         {GetOrCreateNode(index_.WholeRange()), 0, 0, mtree_.root()});
-    while (!stack_.empty()) {
-      Frame frame = stack_.back();
-      stack_.pop_back();
-      ProcessFrame(frame);
+    {
+      BWTK_SCOPED_TIMER(kPhaseTreeTraversal);
+      while (!stack_.empty()) {
+        Frame frame = stack_.back();
+        stack_.pop_back();
+        ProcessFrame(frame);
+      }
     }
     NormalizeOccurrences(&results_);
     stats_.mtree_nodes = mtree_.node_count();
@@ -381,6 +385,8 @@ class SearchContext {
     constexpr size_t kMinChainLength = 4;
     if (length >= kMinChainLength) {
       dag_[frame->node].chain_id = CommitChain();
+      BWTK_METRIC_COUNT(kCounterChainBuilds);
+      BWTK_METRIC_OBSERVE(kHistChainLength, length);
     }
     if (end == End::kComplete) {
       ReportAt(final_node, q, mnode);
@@ -402,6 +408,8 @@ class SearchContext {
   // direct comparison; a chain shorter than the pattern remainder resumes
   // real search steps afterwards (the extension step).
   bool DerivedChainWalk(Frame* frame) {
+    BWTK_SCOPED_TIMER(kPhaseMerge);
+    BWTK_METRIC_COUNT(kCounterMergeCalls);
     const Chain& chain = chains_[dag_[frame->node].chain_id];
     const size_t i = static_cast<size_t>(chain.first_alignment);
     const size_t j = frame->depth;
@@ -495,7 +503,12 @@ class SearchContext {
   const MismatchArray& GetRij(size_t i, size_t j) {
     const uint64_t key = static_cast<uint64_t>(i) * (m_ + 1) + j;
     const auto it = rij_cache_.find(key);
-    if (it != rij_cache_.end()) return it->second;
+    if (it != rij_cache_.end()) {
+      BWTK_METRIC_COUNT(kCounterRijCacheHits);
+      return it->second;
+    }
+    BWTK_SCOPED_TIMER(kPhaseRiBuild);
+    BWTK_METRIC_COUNT(kCounterRijBuilds);
     if (!pattern_lcp_.has_value()) {
       auto built = PatternLcp::Build(r_);
       BWTK_CHECK(built.ok()) << built.status().ToString();
@@ -550,9 +563,19 @@ std::vector<Occurrence> AlgorithmA::Search(const std::vector<DnaCode>& pattern,
 std::vector<Occurrence> AlgorithmA::Search(const std::vector<DnaCode>& pattern,
                                            int32_t k, SearchStats* stats,
                                            AlgorithmAScratch* scratch) const {
+  BWTK_SCOPED_HIST_TIMER(kHistQueryNanos);
   SearchContext context(*index_, *scratch->impl_, pattern, k, options_);
   context.Run();
   if (stats != nullptr) *stats = context.stats();
+  // Rank work is flushed in bulk here instead of per ExtendAll call so the
+  // enumeration loop carries no metrics hooks (see FmIndex::Extend). The
+  // engine does exactly one ExtendAll (= two RankAlls) per
+  // kDnaAlphabetSize-sized extend_calls increment.
+  const uint64_t extend_alls =
+      context.stats().extend_calls / kDnaAlphabetSize;
+  BWTK_METRIC_COUNT2(kCounterExtendAllCalls, extend_alls,
+                     kCounterRankAllCalls, 2 * extend_alls);
+  BWTK_METRIC_OBSERVE(kHistHitsPerQuery, context.results().size());
   return std::move(context.results());
 }
 

@@ -24,6 +24,16 @@
 // i > j case, or a chain cut short by an exhausted budget), the walk
 // resumes with real search() steps from the chain frontier — the
 // "extension" step the paper sketches after Proposition 2.
+//
+// Instrumentation: each mechanism reports the quantity the paper's analysis
+// is stated in. Mechanism 1 fills SearchStats::reused_nodes (hash hits,
+// Algorithm A lines 4-9); mechanism 2 fills derived_runs and the
+// `merge`/`ri_build` observability phases (Proposition 1 merges and R_ij
+// construction, Section IV.D); mechanism 3 fills mtree_nodes/mtree_leaves —
+// the n' of the O(kn' + n + m log m) bound and Table 2 (Section V). The
+// enumeration itself fills stree_nodes/extend_calls (Section IV.B) and the
+// `tree_traversal` phase timer. See match.h for the full field-by-field
+// mapping and docs/OBSERVABILITY.md for the phase/counter catalog.
 
 #ifndef BWTK_SEARCH_ALGORITHM_A_H_
 #define BWTK_SEARCH_ALGORITHM_A_H_

@@ -6,6 +6,7 @@
 #include <thread>
 #include <utility>
 
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace bwtk {
@@ -54,15 +55,21 @@ struct BatchSearcher::Pool {
     const AlgorithmA engine(index, options.engine);
     for (;;) {
       {
+        // The wait is the worker's queue time: it covers pool start-up, the
+        // gap between batches, and the final wake before shutdown.
+        BWTK_SCOPED_TIMER(kPhaseQueueWait);
+        BWTK_SCOPED_HIST_TIMER(kHistQueueWaitNanos);
         std::unique_lock<std::mutex> lock(mu);
         work_cv.wait(lock, [&] { return shutdown || generation != seen; });
         if (shutdown) return;
         seen = generation;
       }
+      BWTK_SCOPED_TIMER(kPhaseWorkerSearch);
       SearchStats batch_stats;
       for (;;) {
         const size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
         if (i >= query_count) break;
+        BWTK_METRIC_COUNT(kCounterBatchQueries);
         SearchStats query_stats;
         std::vector<Occurrence> hits = engine.Search(
             queries[i].pattern, queries[i].k, &query_stats, &scratches[tid]);
@@ -110,6 +117,7 @@ BatchResult BatchSearcher::Search(const std::vector<BatchQuery>& queries) {
   BatchResult result;
   result.occurrences.resize(queries.size());
   if (queries.empty()) return result;
+  BWTK_METRIC_COUNT(kCounterBatchBatches);
 
   Pool& pool = *pool_;
   {

@@ -21,7 +21,36 @@ struct Occurrence {
 };
 
 /// Instrumentation counters filled by the search engines. All counters are
-/// per-Search-call.
+/// per-Search-call; `operator+=` aggregates them across queries (that merge
+/// is associative and commutative — each field is an independent sum — which
+/// is what lets BatchSearcher combine per-worker totals in any grouping).
+///
+/// Each counter measures a quantity the paper reasons about; the mapping:
+///
+/// | field             | paper quantity (section)                          |
+/// |-------------------|---------------------------------------------------|
+/// | `stree_nodes`     | S-tree pairs <x, [α, β]> enumerated — the tree of |
+/// |                   | search sequences of Section IV.B (Definition 2)   |
+/// | `extend_calls`    | search() invocations, i.e. the rankall lookups of |
+/// |                   | Section III.A the cost model charges per step     |
+/// | `completed_paths` | search sequences reaching |r| — reported ranges   |
+/// |                   | of Section IV.B's enumeration                     |
+/// | `tau_pruned`      | cut-offs by the τ(i) bound of Section IV.A        |
+/// | `budget_pruned`   | cut-offs by the k-mismatch budget (Section IV.B)  |
+/// | `mtree_nodes`     | nodes of the mismatching tree D, Section IV.D     |
+/// |                   | (Definition 4: matching <-,0> + mismatching <x,i>)|
+/// | `mtree_leaves`    | the paper's n' — the output-sensitive size its    |
+/// |                   | O(kn' + n + m log m) bound and Table 2 (Section V)|
+/// |                   | are stated in                                     |
+/// | `reused_nodes`    | hash-table hits of Algorithm A lines 4-9 (Section |
+/// |                   | IV.C): repeated pairs whose children are derived  |
+/// | `derived_runs`    | chain re-entries resolved by merge() / R_ij       |
+/// |                   | (Proposition 1, node-creation of Section IV.D)    |
+///
+/// SearchStats is the flat, per-engine layer of instrumentation. The
+/// process-wide registry in obs/metrics.h adds per-phase wall-clock timers
+/// and histograms on top, and obs/report.h serializes both to the JSON
+/// schema documented in docs/OBSERVABILITY.md.
 struct SearchStats {
   /// S-tree nodes materialized (pairs <x, [α, β]> pushed).
   uint64_t stree_nodes = 0;
@@ -43,6 +72,8 @@ struct SearchStats {
   uint64_t reused_nodes = 0;
   /// Match-run skips performed via merged mismatch arrays.
   uint64_t derived_runs = 0;
+
+  bool operator==(const SearchStats&) const = default;
 
   SearchStats& operator+=(const SearchStats& other) {
     stree_nodes += other.stree_nodes;

@@ -1,5 +1,6 @@
 #include "search/stree_search.h"
 
+#include "obs/metrics.h"
 #include "search/tau_heuristic.h"
 #include "util/logging.h"
 
@@ -8,6 +9,7 @@ namespace bwtk {
 std::vector<Occurrence> STreeSearch::Search(
     const std::vector<DnaCode>& pattern, int32_t k,
     SearchStats* stats) const {
+  BWTK_SCOPED_HIST_TIMER(kHistQueryNanos);
   SearchStats local_stats;
   std::vector<Occurrence> results;
   const size_t m = pattern.size();
@@ -26,6 +28,7 @@ std::vector<Occurrence> STreeSearch::Search(
   };
   std::vector<Frame> stack;
   stack.push_back({index_->WholeRange(), 0, 0});
+  BWTK_SCOPED_TIMER(kPhaseTreeTraversal);
   while (!stack.empty()) {
     const Frame frame = stack.back();
     stack.pop_back();
@@ -58,6 +61,13 @@ std::vector<Occurrence> STreeSearch::Search(
   }
 
   NormalizeOccurrences(&results);
+  // Bulk-flushed rank work; the traversal loop itself carries no metrics
+  // hooks (see FmIndex::Extend). One ExtendAll = two RankAlls per
+  // kDnaAlphabetSize-sized extend_calls increment.
+  const uint64_t extend_alls = local_stats.extend_calls / kDnaAlphabetSize;
+  BWTK_METRIC_COUNT2(kCounterExtendAllCalls, extend_alls,
+                     kCounterRankAllCalls, 2 * extend_alls);
+  BWTK_METRIC_OBSERVE(kHistHitsPerQuery, results.size());
   if (stats != nullptr) *stats = local_stats;
   return results;
 }

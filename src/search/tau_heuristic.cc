@@ -1,9 +1,12 @@
 #include "search/tau_heuristic.h"
 
+#include "obs/metrics.h"
+
 namespace bwtk {
 
 std::vector<int32_t> ComputeTau(const FmIndex& index,
                                 const std::vector<DnaCode>& pattern) {
+  BWTK_SCOPED_TIMER(kPhaseTauBuild);
   const size_t m = pattern.size();
   std::vector<int32_t> tau(m + 1, 0);
   // first_absent_end[i] = smallest j such that r[i..j] does not occur in s

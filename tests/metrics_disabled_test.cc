@@ -1,0 +1,46 @@
+// Verifies that BWTK_DISABLE_METRICS compiles every observability hook to a
+// no-op. This TU defines the macro itself (instead of a separate CMake
+// configuration) and is linked into the metrics_test binary; it includes ONLY
+// obs/metrics.h — never bwtk.h or any header with inline instrumented
+// functions — so the per-TU macro cannot create an ODR violation: the obs
+// classes and functions are defined unconditionally and identically
+// everywhere, only the macro expansions differ.
+
+#define BWTK_DISABLE_METRICS
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+
+namespace bwtk {
+namespace {
+
+static_assert(BWTK_METRICS_ENABLED == 0,
+              "BWTK_DISABLE_METRICS must zero BWTK_METRICS_ENABLED");
+
+TEST(MetricsDisabledTest, HooksAreNoOps) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Instance();
+  const obs::MetricsBlock before = registry.Snapshot();
+  BWTK_METRIC_COUNT(kCounterRankCalls);
+  BWTK_METRIC_COUNT_N(kCounterRankCalls, 1000);
+  BWTK_METRIC_COUNT2(kCounterExtendCalls, 1, kCounterRankCalls, 2);
+  BWTK_METRIC_OBSERVE(kHistQueryNanos, 42);
+  {
+    BWTK_SCOPED_TIMER(kPhaseMerge);
+    BWTK_SCOPED_HIST_TIMER(kHistQueryNanos);
+  }
+  const obs::MetricsBlock delta = obs::Diff(registry.Snapshot(), before);
+  EXPECT_EQ(delta, obs::MetricsBlock{});
+}
+
+TEST(MetricsDisabledTest, HooksDiscardSideEffectFreeArguments) {
+  // The disabled expansions must not even evaluate their arguments' metric
+  // ids — they are `((void)0)` — so this compiles although the ids below are
+  // spelled as the macros expect (bare enumerator names).
+  BWTK_METRIC_COUNT(kCounterMergeCalls);
+  BWTK_METRIC_OBSERVE(kHistChainLength, 7);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace bwtk

@@ -1,0 +1,264 @@
+#!/usr/bin/env python3
+"""Validate a bench_report BENCH_*.json file against the documented schema.
+
+Usage: tools/validate_bench_json.py BENCH_name.json [more.json ...]
+
+Checks the schema described in docs/OBSERVABILITY.md (schema_version 1):
+required keys and types at every level, plus the grid-coverage floor from
+the experiment pipeline — at least 2 distinct genomes, at least 3 distinct
+k values, and both a serial engine (algorithm_a) and the batch engine —
+and that every run reports the four paper phases (rank, ri_build, merge,
+tree_traversal). Exits non-zero listing every violation found.
+
+Standard library only; no third-party schema packages.
+"""
+
+import json
+import sys
+
+UINT = (int,)
+NUM = (int, float)
+
+PAPER_PHASES = ("rank", "ri_build", "merge", "tree_traversal")
+
+STATS_FIELDS = (
+    "stree_nodes",
+    "extend_calls",
+    "completed_paths",
+    "tau_pruned",
+    "budget_pruned",
+    "mtree_nodes",
+    "mtree_leaves",
+    "reused_nodes",
+    "derived_runs",
+)
+
+GENOME_FIELDS = {
+    "name": str,
+    "length": UINT,
+    "seed": UINT,
+    "index_build_seconds": NUM,
+    "index_build_phase_nanos": UINT,
+    "index_bytes": UINT,
+    "rank_ns": NUM,
+    "rankall_ns": NUM,
+}
+
+RUN_FIELDS = {
+    "genome": str,
+    "genome_length": UINT,
+    "read_length": UINT,
+    "read_count": UINT,
+    "k": UINT,
+    "engine": str,
+    "threads": UINT,
+    "wall_seconds": NUM,
+    "reads_per_second": NUM,
+    "total_hits": UINT,
+    "stats": dict,
+    "phases": dict,
+    "counters": dict,
+    "histograms": dict,
+}
+
+
+class Validator:
+    def __init__(self, path):
+        self.path = path
+        self.errors = []
+
+    def error(self, where, message):
+        self.errors.append(f"{self.path}: {where}: {message}")
+
+    def require(self, obj, where, fields):
+        """Checks required keys and their types; returns True if all present."""
+        ok = True
+        for key, types in fields.items():
+            if key not in obj:
+                self.error(where, f"missing required key '{key}'")
+                ok = False
+            elif not isinstance(obj[key], types):
+                type_names = (
+                    types.__name__
+                    if isinstance(types, type)
+                    else "/".join(t.__name__ for t in types)
+                )
+                self.error(
+                    where,
+                    f"'{key}' must be {type_names}, "
+                    f"got {type(obj[key]).__name__}",
+                )
+                ok = False
+        return ok
+
+    def check_nonneg_int_map(self, obj, where):
+        for key, value in obj.items():
+            if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+                self.error(where, f"'{key}' must be a non-negative integer")
+
+    def check_phases(self, phases, where):
+        for name, entry in phases.items():
+            pwhere = f"{where}.{name}"
+            if not isinstance(entry, dict):
+                self.error(pwhere, "phase entry must be an object")
+                continue
+            for field in ("nanos", "calls"):
+                v = entry.get(field)
+                if not isinstance(v, int) or isinstance(v, bool) or v < 0:
+                    self.error(pwhere, f"'{field}' must be a non-negative integer")
+            extra = set(entry) - {"nanos", "calls", "estimated"}
+            if extra:
+                self.error(pwhere, f"unexpected keys {sorted(extra)}")
+            if "estimated" in entry and not isinstance(entry["estimated"], bool):
+                self.error(pwhere, "'estimated' must be a boolean")
+        missing = [p for p in PAPER_PHASES if p not in phases]
+        if missing:
+            self.error(where, f"missing paper phases {missing}")
+
+    def check_histograms(self, hists, where):
+        for name, entry in hists.items():
+            hwhere = f"{where}.{name}"
+            if not isinstance(entry, dict):
+                self.error(hwhere, "histogram entry must be an object")
+                continue
+            for field in ("count", "sum"):
+                v = entry.get(field)
+                if not isinstance(v, int) or isinstance(v, bool) or v < 0:
+                    self.error(hwhere, f"'{field}' must be a non-negative integer")
+            buckets = entry.get("buckets")
+            if not isinstance(buckets, list):
+                self.error(hwhere, "'buckets' must be an array")
+                continue
+            total = 0
+            for i, pair in enumerate(buckets):
+                if (
+                    not isinstance(pair, list)
+                    or len(pair) != 2
+                    or not all(isinstance(x, int) and x >= 0 for x in pair)
+                ):
+                    self.error(hwhere, f"buckets[{i}] must be [index, count]")
+                    continue
+                if pair[0] > 64:
+                    self.error(hwhere, f"buckets[{i}] index {pair[0]} > 64")
+                total += pair[1]
+            if isinstance(entry.get("count"), int) and total != entry["count"]:
+                self.error(
+                    hwhere,
+                    f"bucket counts sum to {total}, 'count' says {entry['count']}",
+                )
+
+    def check_run(self, run, where):
+        if not self.require(run, where, RUN_FIELDS):
+            return
+        missing_stats = [f for f in STATS_FIELDS if f not in run["stats"]]
+        if missing_stats:
+            self.error(f"{where}.stats", f"missing fields {missing_stats}")
+        self.check_nonneg_int_map(run["stats"], f"{where}.stats")
+        self.check_nonneg_int_map(run["counters"], f"{where}.counters")
+        self.check_phases(run["phases"], f"{where}.phases")
+        self.check_histograms(run["histograms"], f"{where}.histograms")
+        if run.get("wall_seconds", 0) < 0:
+            self.error(where, "'wall_seconds' must be non-negative")
+
+    def validate(self, doc):
+        if not isinstance(doc, dict):
+            self.error("$", "top level must be an object")
+            return
+        self.require(
+            doc,
+            "$",
+            {
+                "schema_version": UINT,
+                "name": str,
+                "created_by": str,
+                "smoke": bool,
+                "scale": NUM,
+                "hardware": dict,
+                "grid": dict,
+                "genomes": list,
+                "runs": list,
+            },
+        )
+        if doc.get("schema_version") != 1:
+            self.error("$", f"unsupported schema_version {doc.get('schema_version')}")
+
+        hardware = doc.get("hardware", {})
+        if isinstance(hardware, dict):
+            self.require(
+                hardware,
+                "$.hardware",
+                {"hardware_concurrency": UINT, "metrics_compiled_in": bool},
+            )
+
+        grid = doc.get("grid", {})
+        if isinstance(grid, dict):
+            self.require(
+                grid,
+                "$.grid",
+                {
+                    "genomes": list,
+                    "k_values": list,
+                    "engines": list,
+                    "read_length": UINT,
+                    "read_count": UINT,
+                    "batch_threads": UINT,
+                },
+            )
+
+        for i, genome in enumerate(doc.get("genomes", [])):
+            where = f"$.genomes[{i}]"
+            if not isinstance(genome, dict):
+                self.error(where, "must be an object")
+                continue
+            self.require(genome, where, GENOME_FIELDS)
+
+        runs = doc.get("runs", [])
+        for i, run in enumerate(runs):
+            where = f"$.runs[{i}]"
+            if not isinstance(run, dict):
+                self.error(where, "must be an object")
+                continue
+            self.check_run(run, where)
+
+        # Grid-coverage floor (the ISSUE's acceptance grid).
+        run_dicts = [r for r in runs if isinstance(r, dict)]
+        genomes = {r.get("genome") for r in run_dicts if "genome" in r}
+        k_values = {r.get("k") for r in run_dicts if "k" in r}
+        engines = {r.get("engine") for r in run_dicts if "engine" in r}
+        if len(genomes) < 2:
+            self.error("$.runs", f"need >= 2 distinct genomes, got {sorted(genomes)}")
+        if len(k_values) < 3:
+            self.error("$.runs", f"need >= 3 distinct k values, got {sorted(k_values)}")
+        for required_engine in ("algorithm_a", "batch"):
+            if required_engine not in engines:
+                self.error("$.runs", f"engine '{required_engine}' missing from grid")
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    failed = False
+    for path in argv[1:]:
+        validator = Validator(path)
+        try:
+            with open(path, "r", encoding="utf-8") as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"FAIL {path}: {e}", file=sys.stderr)
+            failed = True
+            continue
+        validator.validate(doc)
+        if validator.errors:
+            failed = True
+            print(f"FAIL {path}: {len(validator.errors)} error(s)", file=sys.stderr)
+            for err in validator.errors:
+                print(f"  {err}", file=sys.stderr)
+        else:
+            n_runs = len(doc.get("runs", []))
+            print(f"OK {path}: schema_version 1, {n_runs} runs")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
