@@ -125,4 +125,9 @@ void PrintBanner(const std::string& title, const std::string& setup) {
               "=\n");
 }
 
+std::string DescribeIndexConfig(const FmIndex& index) {
+  return "kernel=" + std::string(index.rank_kernel_name()) +
+         " prefix_q=" + std::to_string(index.prefix_table_q());
+}
+
 }  // namespace bwtk::bench

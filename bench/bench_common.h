@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "alphabet/dna.h"
+#include "bwt/fm_index.h"
 #include "search/match.h"
 #include "simulate/read_simulator.h"
 
@@ -59,6 +60,11 @@ std::string FormatCount(uint64_t value);
 
 /// Prints the standard benchmark banner (name, genome size, scale).
 void PrintBanner(const std::string& title, const std::string& setup);
+
+/// One-line self-description of an index's rank configuration for banners
+/// and logs: "kernel=avx2 prefix_q=12". Two runs that disagree on this line
+/// are not comparable rank-for-rank.
+std::string DescribeIndexConfig(const FmIndex& index);
 
 }  // namespace bwtk::bench
 

@@ -6,6 +6,7 @@
 
 #include "bench_common.h"
 #include "bwt/fm_index.h"
+#include "bwt/prefix_table.h"
 #include "util/random.h"
 
 namespace bwtk::bench {
@@ -15,6 +16,19 @@ const FmIndex& SharedIndex() {
   static const FmIndex* index = [] {
     const auto genome = MakeGenome(Scaled(2u << 20));
     return new FmIndex(FmIndex::Build(genome).value());
+  }();
+  return *index;
+}
+
+// Same genome with a q = 12 prefix interval table attached, for the
+// table-accelerated counterparts of the descent benchmarks.
+constexpr uint32_t kBenchPrefixQ = 12;
+
+const FmIndex& SharedTableIndex() {
+  static const FmIndex* index = [] {
+    const auto genome = MakeGenome(Scaled(2u << 20));
+    return new FmIndex(
+        FmIndex::Build(genome, {.prefix_table_q = kBenchPrefixQ}).value());
   }();
   return *index;
 }
@@ -69,6 +83,22 @@ void BM_ExtendAll(benchmark::State& state) {
 }
 BENCHMARK(BM_ExtendAll);
 
+void BM_PrefixTableLookup(benchmark::State& state) {
+  const FmIndex& index = SharedTableIndex();
+  const PrefixIntervalTable& table = *index.prefix_table();
+  Rng rng(7);
+  SaIndex lo;
+  SaIndex hi;
+  uint64_t sink = 0;
+  for (auto _ : state) {
+    const uint64_t key =
+        rng.NextBounded(PrefixIntervalTable::KeyCount(table.q()));
+    sink += table.Lookup(key, &lo, &hi) ? static_cast<uint64_t>(hi - lo) : 0;
+  }
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_PrefixTableLookup);
+
 void BM_CountExactPattern(benchmark::State& state) {
   const FmIndex& index = SharedIndex();
   Rng rng(5);
@@ -82,6 +112,23 @@ void BM_CountExactPattern(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CountExactPattern)->Arg(20)->Arg(50)->Arg(100);
+
+// Same workload against the table-backed index: the first kBenchPrefixQ
+// backward-search steps collapse into one lookup. The delta against
+// BM_CountExactPattern is the per-descent saving of the table.
+void BM_CountExactPatternWithTable(benchmark::State& state) {
+  const FmIndex& index = SharedTableIndex();
+  Rng rng(5);  // same seed as BM_CountExactPattern: identical patterns
+  const auto genome = MakeGenome(Scaled(2u << 20));
+  const size_t m = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    const size_t pos = rng.NextBounded(genome.size() - m);
+    const std::vector<DnaCode> pattern(genome.begin() + pos,
+                                       genome.begin() + pos + m);
+    benchmark::DoNotOptimize(index.CountOccurrences(pattern));
+  }
+}
+BENCHMARK(BM_CountExactPatternWithTable)->Arg(20)->Arg(50)->Arg(100);
 
 void BM_Locate(benchmark::State& state) {
   const FmIndex& index = SharedIndex();

@@ -16,9 +16,14 @@
 // marked "estimated": true in the JSON.
 //
 //   bench_report [--name NAME] [--out DIR] [--smoke] [--threads N]
+//                [--prefix-q Q]
 //
 // --smoke shrinks sizes for CI while keeping the full grid shape (2 genomes
 // x 3 k values x 3 engines). BWTK_BENCH_SCALE applies as everywhere else.
+// --prefix-q attaches a q-gram prefix interval table to every index (0 =
+// none, the default — keeps old and new reports cell-for-cell comparable);
+// each genome entry records its "rank_kernel" and "prefix_table_q" so a
+// report is self-describing about the index configuration it measured.
 
 #include <cstdio>
 #include <cstdlib>
@@ -30,6 +35,7 @@
 
 #include "bench_common.h"
 #include "bwt/fm_index.h"
+#include "bwt/prefix_table.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
@@ -173,6 +179,7 @@ int Run(int argc, char** argv) {
   std::string out_dir = ".";
   bool smoke = false;
   int threads = 4;
+  int prefix_q = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
@@ -182,14 +189,22 @@ int Run(int argc, char** argv) {
       out_dir = argv[++i];
     } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       threads = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--prefix-q") == 0 && i + 1 < argc) {
+      prefix_q = std::atoi(argv[++i]);
     } else {
       std::fprintf(stderr,
                    "usage: bench_report [--name NAME] [--out DIR] [--smoke] "
-                   "[--threads N]\n");
+                   "[--threads N] [--prefix-q Q]\n");
       return 2;
     }
   }
   if (threads <= 0) threads = 4;
+  if (prefix_q < 0 ||
+      prefix_q > static_cast<int>(PrefixIntervalTable::kMaxQ)) {
+    std::fprintf(stderr, "--prefix-q must be in [0, %u]\n",
+                 PrefixIntervalTable::kMaxQ);
+    return 2;
+  }
 
   const std::vector<GenomeSpec> genomes =
       smoke ? std::vector<GenomeSpec>{{"smoke-16K", 1u << 14, 42},
@@ -241,6 +256,8 @@ int Run(int argc, char** argv) {
       .Value(static_cast<uint64_t>(read_count))
       .Key("batch_threads")
       .Value(threads)
+      .Key("prefix_table_q")
+      .Value(static_cast<uint64_t>(prefix_q))
       .EndObject();
 
   TablePrinter table({"genome", "k", "engine", "wall", "reads/s", "hits",
@@ -261,10 +278,15 @@ int Run(int argc, char** argv) {
     const obs::MetricsBlock before =
         obs::MetricsRegistry::Instance().Snapshot();
     Stopwatch watch;
-    auto index = FmIndex::Build(genome).value();
+    auto index =
+        FmIndex::Build(genome,
+                       {.prefix_table_q = static_cast<uint32_t>(prefix_q)})
+            .value();
     const double build_seconds = watch.ElapsedSeconds();
     const obs::MetricsBlock delta =
         obs::Diff(obs::MetricsRegistry::Instance().Snapshot(), before);
+    std::printf("# %s: %s\n", spec.name.c_str(),
+                DescribeIndexConfig(index).c_str());
     const Calibration cal = CalibrateRank(index);
     json.BeginObject()
         .Key("name")
@@ -283,6 +305,10 @@ int Run(int argc, char** argv) {
         .Value(cal.rank_ns)
         .Key("rankall_ns")
         .Value(cal.rankall_ns)
+        .Key("rank_kernel")
+        .Value(index.rank_kernel_name())
+        .Key("prefix_table_q")
+        .Value(index.prefix_table_q())
         .EndObject();
     built.push_back({spec, length,
                      MakeReads(genome, read_length, read_count, spec.seed + 7),

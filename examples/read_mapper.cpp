@@ -45,6 +45,10 @@ int RunPipeline(const std::vector<bwtk::DnaCode>& genome,
   std::printf("# indexed %zu bp in %.3f s (index memory: %.2f MB)\n",
               genome.size(), build_watch.ElapsedSeconds(),
               searcher.index().MemoryUsage() / 1048576.0);
+  std::printf("# rank kernel: %.*s, prefix table q: %u\n",
+              static_cast<int>(searcher.index().rank_kernel_name().size()),
+              searcher.index().rank_kernel_name().data(),
+              searcher.index().prefix_table_q());
 
   // Queries 2i and 2i+1 are the forward and reverse strand of read i.
   std::vector<bwtk::BatchQuery> queries;

@@ -1,6 +1,8 @@
 #include "bwt/fm_index.h"
 
 #include <algorithm>
+#include <string>
+#include <utility>
 
 #include "util/logging.h"
 
@@ -11,6 +13,12 @@ Result<FmIndex> FmIndex::Build(const std::vector<DnaCode>& text,
   BWTK_SCOPED_TIMER(kPhaseIndexBuild);
   if (options.sa_sample_rate == 0) {
     return Status::InvalidArgument("sa_sample_rate must be positive");
+  }
+  if (options.prefix_table_q > PrefixIntervalTable::kMaxQ) {
+    return Status::InvalidArgument(
+        "prefix_table_q must be at most " +
+        std::to_string(PrefixIntervalTable::kMaxQ) + ", got " +
+        std::to_string(options.prefix_table_q));
   }
   FmIndex index;
   index.n_ = text.size();
@@ -32,12 +40,21 @@ Result<FmIndex> FmIndex::Build(const std::vector<DnaCode>& text,
   index.sampled_rows_.FinalizeRank();
 
   BWTK_RETURN_IF_ERROR(index.FinishConstruction());
+  if (options.prefix_table_q > 0) {
+    BWTK_ASSIGN_OR_RETURN(
+        auto table, PrefixIntervalTable::Build(index.occ_,
+                                               index.first_row_.data(),
+                                               options.prefix_table_q));
+    index.prefix_table_ =
+        std::make_unique<PrefixIntervalTable>(std::move(table));
+  }
   return index;
 }
 
 Status FmIndex::FinishConstruction() {
   BWTK_ASSIGN_OR_RETURN(occ_, OccTable::Build(bwt_.get(),
-                                              options_.checkpoint_rate));
+                                              options_.checkpoint_rate,
+                                              options_.rank_kernel));
   // first_row_: cumulative symbol counts, offset by 1 for the sentinel row.
   SaIndex sum = 1;
   for (unsigned c = 0; c < kDnaAlphabetSize; ++c) {
@@ -54,9 +71,25 @@ Status FmIndex::FinishConstruction() {
 FmIndex::Range FmIndex::MatchForward(
     const std::vector<DnaCode>& pattern) const {
   Range range = WholeRange();
+  size_t i = 0;
+  const uint32_t q = prefix_table_q();
+  if (q > 0 && pattern.size() >= q) {
+    SaIndex lo;
+    SaIndex hi;
+    if (prefix_table_->Lookup(PrefixIntervalTable::PackKey(pattern.data(), q),
+                              &lo, &hi)) {
+      range = {lo, hi};
+      i = q;
+      BWTK_METRIC_COUNT2(kCounterPrefixTableHits, 1,
+                         kCounterPrefixTableSkippedSteps, q);
+    }
+    // On a miss the q-gram is absent, so fall through to stepping from
+    // scratch: the walk stops at the same empty range the unaccelerated
+    // loop would return, keeping the result byte-identical.
+  }
   uint64_t steps = 0;
-  for (const DnaCode c : pattern) {
-    range = Extend(range, c);
+  for (; i < pattern.size(); ++i) {
+    range = Extend(range, pattern[i]);
     ++steps;
     if (range.empty()) break;
   }
@@ -102,7 +135,8 @@ std::vector<size_t> FmIndex::Locate(Range range, size_t depth) const {
 size_t FmIndex::MemoryUsage() const {
   return bwt_->codes.MemoryUsage() + occ_.MemoryUsage() +
          sampled_rows_.MemoryUsage() +
-         sa_samples_.capacity() * sizeof(SaIndex);
+         sa_samples_.capacity() * sizeof(SaIndex) +
+         (prefix_table_ ? prefix_table_->MemoryUsage() : 0);
 }
 
 }  // namespace bwtk

@@ -19,6 +19,7 @@
 #include "alphabet/dna.h"
 #include "bwt/bwt.h"
 #include "bwt/occ_table.h"
+#include "bwt/prefix_table.h"
 #include "obs/metrics.h"
 #include "suffix/suffix_array.h"
 #include "util/bit_vector.h"
@@ -42,6 +43,14 @@ class FmIndex {
     uint32_t checkpoint_rate = OccTable::kDefaultCheckpointRate;
     /// Suffix-array sample spacing (every rate-th text position).
     uint32_t sa_sample_rate = 8;
+    /// q-gram size of the precomputed prefix interval table (0 = no table;
+    /// max PrefixIntervalTable::kMaxQ). A table costs 8 * 4^q bytes — 128 MB
+    /// at q = 12 — and lets engines replace the first q backward-search
+    /// steps of a descent with one lookup. See bwt/prefix_table.h.
+    uint32_t prefix_table_q = 0;
+    /// Checkpoint-gap rank kernel. kAuto resolves at Build to AVX2 when the
+    /// host supports it, the portable word-parallel kernel otherwise.
+    OccTable::RankKernel rank_kernel = OccTable::RankKernel::kAuto;
   };
 
   /// A half-open row interval [lo, hi) of the conceptual sorted-rotation
@@ -78,8 +87,12 @@ class FmIndex {
   /// query path count their invocations locally and flush the totals to
   /// the registry once per query (see the note in occ_table.h).
   Range Extend(Range range, DnaCode c) const {
-    return {static_cast<SaIndex>(first_row_[c] + occ_.Rank(c, range.lo)),
-            static_cast<SaIndex>(first_row_[c] + occ_.Rank(c, range.hi))};
+    uint32_t rank_lo;
+    uint32_t rank_hi;
+    occ_.RankPair(c, static_cast<size_t>(range.lo),
+                  static_cast<size_t>(range.hi), &rank_lo, &rank_hi);
+    return {static_cast<SaIndex>(first_row_[c] + rank_lo),
+            static_cast<SaIndex>(first_row_[c] + rank_hi)};
   }
 
   /// All four one-symbol extensions of `range` at once; cheaper than four
@@ -87,6 +100,7 @@ class FmIndex {
   void ExtendAll(Range range, Range out[kDnaAlphabetSize]) const {
     uint32_t lo_ranks[kDnaAlphabetSize];
     uint32_t hi_ranks[kDnaAlphabetSize];
+    occ_.Prefetch(static_cast<size_t>(range.hi));
     occ_.RankAll(range.lo, lo_ranks);
     occ_.RankAll(range.hi, hi_ranks);
     for (unsigned c = 0; c < kDnaAlphabetSize; ++c) {
@@ -116,6 +130,18 @@ class FmIndex {
   const Bwt& bwt() const { return *bwt_; }
   const OccTable& occ() const { return occ_; }
   const Options& options() const { return options_; }
+
+  /// The q-gram prefix interval table, or nullptr when built with
+  /// prefix_table_q = 0 (or loaded from a file saved without one).
+  const PrefixIntervalTable* prefix_table() const {
+    return prefix_table_.get();
+  }
+  /// q of the attached prefix table, 0 when absent.
+  uint32_t prefix_table_q() const {
+    return prefix_table_ ? prefix_table_->q() : 0;
+  }
+  /// Name of the rank kernel resolved at build time ("word64", "avx2", ...).
+  std::string_view rank_kernel_name() const { return occ_.kernel_name(); }
 
   /// Approximate heap footprint in bytes of the whole index.
   size_t MemoryUsage() const;
@@ -148,6 +174,8 @@ class FmIndex {
   /// sample rate; sa_samples_ stores those values in row order.
   BitVectorRank sampled_rows_;
   std::vector<SaIndex> sa_samples_;
+  /// Optional q-gram shortcut table (Options::prefix_table_q > 0).
+  std::unique_ptr<PrefixIntervalTable> prefix_table_;
 };
 
 }  // namespace bwtk

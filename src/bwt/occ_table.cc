@@ -1,20 +1,152 @@
 #include "bwt/occ_table.h"
 
+#include <algorithm>
+#include <string>
+
 #include "util/bit_utils.h"
 #include "util/logging.h"
 
+// The AVX2 kernel is compiled whenever the toolchain can target it (the
+// functions carry their own target("avx2") attribute, so no -mavx2 flag is
+// needed) and selected at runtime only on hosts that support it.
+// -DBWTK_DISABLE_AVX2=ON forces the portable word64 kernel at compile time —
+// CI runs the test suite both ways.
+#if !defined(BWTK_DISABLE_AVX2) &&                        \
+    (defined(__x86_64__) || defined(__i386__)) &&         \
+    (defined(__GNUC__) || defined(__clang__))
+#define BWTK_HAVE_AVX2_KERNEL 1
+#include <immintrin.h>
+#else
+#define BWTK_HAVE_AVX2_KERNEL 0
+#endif
+
 namespace bwtk {
 
-Result<OccTable> OccTable::Build(const Bwt* bwt, uint32_t checkpoint_rate) {
+namespace {
+
+// Adds the symbol counts of the first `prefix_len` (1..32) slots of `word`
+// to out[0..3]. Three popcounts classify symbols 1..3 directly from the
+// low/high bit planes of the 2-bit slots; symbol 0 is whatever remains.
+inline void AccumulateWord64(uint64_t word, unsigned prefix_len,
+                             uint32_t out[kDnaAlphabetSize]) {
+  constexpr uint64_t kOdd = 0x5555555555555555ULL;
+  uint64_t slot_mask = kOdd;
+  if (prefix_len < 32) slot_mask &= (uint64_t{1} << (2 * prefix_len)) - 1;
+  const uint64_t low = word & kOdd;          // bit 0 of each slot
+  const uint64_t high = (word >> 1) & kOdd;  // bit 1 of each slot
+  const uint32_t c3 = static_cast<uint32_t>(Popcount64(low & high & slot_mask));
+  const uint32_t c2 =
+      static_cast<uint32_t>(Popcount64(high & ~low & slot_mask));
+  const uint32_t c1 =
+      static_cast<uint32_t>(Popcount64(low & ~high & slot_mask));
+  out[3] += c3;
+  out[2] += c2;
+  out[1] += c1;
+  out[0] += prefix_len - c1 - c2 - c3;
+}
+
+#if BWTK_HAVE_AVX2_KERNEL
+
+// Per-byte popcount via the classic pshufb nibble lookup.
+__attribute__((target("avx2"))) inline __m256i PopcountBytesAvx2(__m256i v) {
+  const __m256i lut =
+      _mm256_setr_epi8(0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4, 0, 1,
+                       1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i low_mask = _mm256_set1_epi8(0x0f);
+  const __m256i lo = _mm256_and_si256(v, low_mask);
+  const __m256i hi = _mm256_and_si256(_mm256_srli_epi16(v, 4), low_mask);
+  return _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo),
+                         _mm256_shuffle_epi8(lut, hi));
+}
+
+// Match bits for all four symbols at once: broadcast the word into the four
+// 64-bit lanes, XOR lane c with symbol c replicated into all slots, and a
+// slot matches iff both its bits went to zero.
+__attribute__((target("avx2"))) inline __m256i MatchLanesAvx2(
+    uint64_t word, __m256i patterns, __m256i odd) {
+  const __m256i w = _mm256_set1_epi64x(static_cast<long long>(word));
+  const __m256i diff = _mm256_xor_si256(w, patterns);
+  const __m256i any = _mm256_or_si256(diff, _mm256_srli_epi64(diff, 1));
+  return _mm256_andnot_si256(any, odd);
+}
+
+// Adds the symbol counts of full_words whole words plus a `tail`-slot
+// partial word starting at `wp` to out[0..3]. Lane c of the accumulator
+// counts symbol c; _mm256_sad_epu8 horizontally sums the per-byte popcounts
+// within each 64-bit lane.
+__attribute__((target("avx2"))) void AccumulateGapAvx2(
+    const uint64_t* wp, size_t full_words, unsigned tail,
+    uint32_t out[kDnaAlphabetSize]) {
+  const __m256i patterns = _mm256_setr_epi64x(
+      0, 0x5555555555555555LL,
+      static_cast<long long>(0xAAAAAAAAAAAAAAAAULL), -1LL);
+  const __m256i odd = _mm256_set1_epi64x(0x5555555555555555LL);
+  const __m256i zero = _mm256_setzero_si256();
+  __m256i acc = zero;
+  for (size_t w = 0; w < full_words; ++w) {
+    const __m256i match = MatchLanesAvx2(wp[w], patterns, odd);
+    acc = _mm256_add_epi64(acc, _mm256_sad_epu8(PopcountBytesAvx2(match),
+                                                zero));
+  }
+  if (tail != 0) {
+    const uint64_t tail_mask = (uint64_t{1} << (2 * tail)) - 1;
+    __m256i match = MatchLanesAvx2(wp[full_words], patterns, odd);
+    match = _mm256_and_si256(
+        match, _mm256_set1_epi64x(static_cast<long long>(tail_mask)));
+    acc = _mm256_add_epi64(acc, _mm256_sad_epu8(PopcountBytesAvx2(match),
+                                                zero));
+  }
+  alignas(32) uint64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  for (unsigned c = 0; c < kDnaAlphabetSize; ++c) {
+    out[c] += static_cast<uint32_t>(lanes[c]);
+  }
+}
+
+#endif  // BWTK_HAVE_AVX2_KERNEL
+
+}  // namespace
+
+bool OccTable::Avx2Available() {
+#if BWTK_HAVE_AVX2_KERNEL
+  return __builtin_cpu_supports("avx2");
+#else
+  return false;
+#endif
+}
+
+std::string_view OccTable::KernelName(RankKernel kernel) {
+  switch (kernel) {
+    case RankKernel::kAuto:
+      return "auto";
+    case RankKernel::kScalar:
+      return "scalar";
+    case RankKernel::kWord64:
+      return "word64";
+    case RankKernel::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+Result<OccTable> OccTable::Build(const Bwt* bwt, uint32_t checkpoint_rate,
+                                 RankKernel kernel) {
   if (bwt == nullptr) return Status::InvalidArgument("bwt must not be null");
   if (checkpoint_rate == 0 || checkpoint_rate % 32 != 0) {
     return Status::InvalidArgument(
         "checkpoint_rate must be a positive multiple of 32, got " +
         std::to_string(checkpoint_rate));
   }
+  if (kernel == RankKernel::kAuto) {
+    kernel = Avx2Available() ? RankKernel::kAvx2 : RankKernel::kWord64;
+  } else if (kernel == RankKernel::kAvx2 && !Avx2Available()) {
+    return Status::InvalidArgument(
+        "avx2 rank kernel requested but not available on this host/build");
+  }
   OccTable table;
   table.bwt_ = bwt;
   table.rate_ = checkpoint_rate;
+  table.kernel_ = kernel;
 
   const size_t rows = bwt->codes.size();
   const size_t blocks = rows / checkpoint_rate + 1;
@@ -28,9 +160,7 @@ Result<OccTable> OccTable::Build(const Bwt* bwt, uint32_t checkpoint_rate) {
     const size_t first_word = (block - 1) * words_per_block;
     for (size_t w = first_word; w < first_word + words_per_block; ++w) {
       const uint64_t word = w < words.size() ? words[w] : 0;
-      for (unsigned c = 0; c < kDnaAlphabetSize; ++c) {
-        running[c] += Count2BitSymbols(word, c, 32);
-      }
+      AccumulateWord64(word, 32, running.data());
     }
     for (unsigned c = 0; c < kDnaAlphabetSize; ++c) {
       table.checkpoints_[block * kDnaAlphabetSize + c] = running[c];
@@ -43,11 +173,13 @@ Result<OccTable> OccTable::Build(const Bwt* bwt, uint32_t checkpoint_rate) {
   return table;
 }
 
-uint32_t OccTable::Rank(DnaCode c, size_t pos) const {
+uint32_t OccTable::RawRank(DnaCode c, size_t pos) const {
   BWTK_DCHECK_LE(pos, bwt_->codes.size());
   const size_t block = pos / rate_;
   uint32_t count = checkpoints_[block * kDnaAlphabetSize + c];
-  // Scan the tail: whole packed words first, then the partial word.
+  // Scan the tail: whole packed words first, then the partial word. One
+  // popcount per word regardless of kernel — single-symbol rank is already
+  // minimal, so the kernels only differentiate RankAll's 4-symbol scan.
   const std::vector<uint64_t>& words = bwt_->codes.words();
   size_t cursor = block * rate_;
   while (cursor + 32 <= pos) {
@@ -58,10 +190,55 @@ uint32_t OccTable::Rank(DnaCode c, size_t pos) const {
     count += Count2BitSymbols(words[cursor >> 5], c,
                               static_cast<unsigned>(pos - cursor));
   }
-  // The sentinel row's packed slot holds a placeholder 'a'; it must never
-  // count as a real symbol.
-  if (c == 0 && bwt_->sentinel_row < pos) --count;
   return count;
+}
+
+uint32_t OccTable::RawCountInRange(DnaCode c, size_t lo, size_t hi) const {
+  const std::vector<uint64_t>& words = bwt_->codes.words();
+  uint32_t count = 0;
+  size_t cursor = lo;
+  const unsigned offset = static_cast<unsigned>(cursor & 31);
+  if (offset != 0 && cursor < hi) {
+    // Shift the first word so slot `offset` becomes slot 0; the zero-fill
+    // from the shift is masked off by the prefix_len argument.
+    const unsigned take =
+        static_cast<unsigned>(std::min<size_t>(32 - offset, hi - cursor));
+    count += Count2BitSymbols(words[cursor >> 5] >> (2 * offset), c, take);
+    cursor += take;
+  }
+  while (cursor + 32 <= hi) {
+    count += Count2BitSymbols(words[cursor >> 5], c, 32);
+    cursor += 32;
+  }
+  if (cursor < hi) {
+    count += Count2BitSymbols(words[cursor >> 5], c,
+                              static_cast<unsigned>(hi - cursor));
+  }
+  return count;
+}
+
+void OccTable::RankPair(DnaCode c, size_t lo, size_t hi, uint32_t* rank_lo,
+                        uint32_t* rank_hi) const {
+  BWTK_DCHECK_LE(lo, hi);
+  BWTK_DCHECK_LE(hi, bwt_->codes.size());
+  uint32_t count_lo;
+  uint32_t count_hi;
+  if (lo / rate_ == hi / rate_) {
+    // Same checkpoint block: share the checkpoint load and the scan up to
+    // lo, then count only the [lo, hi) gap on top.
+    count_lo = RawRank(c, lo);
+    count_hi = count_lo + RawCountInRange(c, lo, hi);
+  } else {
+    Prefetch(hi);  // overlap hi's cache misses with lo's scan
+    count_lo = RawRank(c, lo);
+    count_hi = RawRank(c, hi);
+  }
+  if (c == 0) {
+    if (bwt_->sentinel_row < lo) --count_lo;
+    if (bwt_->sentinel_row < hi) --count_hi;
+  }
+  *rank_lo = count_lo;
+  *rank_hi = count_hi;
 }
 
 void OccTable::RankAll(size_t pos, uint32_t out[kDnaAlphabetSize]) const {
@@ -71,20 +248,34 @@ void OccTable::RankAll(size_t pos, uint32_t out[kDnaAlphabetSize]) const {
     out[c] = checkpoints_[block * kDnaAlphabetSize + c];
   }
   const std::vector<uint64_t>& words = bwt_->codes.words();
-  size_t cursor = block * rate_;
-  while (cursor + 32 <= pos) {
-    const uint64_t word = words[cursor >> 5];
-    for (unsigned c = 0; c < kDnaAlphabetSize; ++c) {
-      out[c] += Count2BitSymbols(word, c, 32);
-    }
-    cursor += 32;
-  }
-  if (cursor < pos) {
-    const uint64_t word = words[cursor >> 5];
-    const unsigned tail = static_cast<unsigned>(pos - cursor);
-    for (unsigned c = 0; c < kDnaAlphabetSize; ++c) {
-      out[c] += Count2BitSymbols(word, c, tail);
-    }
+  const size_t begin = block * rate_;
+  const uint64_t* wp = words.data() + (begin >> 5);
+  const size_t full_words = (pos - begin) / 32;
+  const unsigned tail = static_cast<unsigned>((pos - begin) % 32);
+  switch (kernel_) {
+    case RankKernel::kScalar:
+      for (size_t w = 0; w < full_words; ++w) {
+        for (unsigned c = 0; c < kDnaAlphabetSize; ++c) {
+          out[c] += Count2BitSymbols(wp[w], c, 32);
+        }
+      }
+      if (tail != 0) {
+        for (unsigned c = 0; c < kDnaAlphabetSize; ++c) {
+          out[c] += Count2BitSymbols(wp[full_words], c, tail);
+        }
+      }
+      break;
+#if BWTK_HAVE_AVX2_KERNEL
+    case RankKernel::kAvx2:
+      AccumulateGapAvx2(wp, full_words, tail, out);
+      break;
+#endif
+    default:  // kWord64; also kAvx2 in a no-AVX2 build, which Build rejects
+      for (size_t w = 0; w < full_words; ++w) {
+        AccumulateWord64(wp[w], 32, out);
+      }
+      if (tail != 0) AccumulateWord64(wp[full_words], tail, out);
+      break;
   }
   if (bwt_->sentinel_row < pos) --out[0];
 }

@@ -4,6 +4,7 @@
 #include <fstream>
 #include <istream>
 #include <ostream>
+#include <utility>
 #include <vector>
 
 #include "bwt/fm_index.h"
@@ -68,6 +69,12 @@ class FmIndexSerializer {
     WriteVector(out, index.bwt_->codes.words());
     WriteVector(out, index.sampled_rows_.words());
     WriteVector(out, index.sa_samples_);
+    // Format v2: the optional prefix table rides between the SA samples and
+    // the checksum; q = 0 means none.
+    const uint32_t prefix_q =
+        index.prefix_table_ ? index.prefix_table_->q() : 0;
+    WritePod(out, prefix_q);
+    if (prefix_q > 0) WriteVector(out, index.prefix_table_->entries());
     const uint64_t checksum =
         HashWords(index.bwt_->codes.words(), index.n_);
     WritePod(out, checksum);
@@ -81,7 +88,9 @@ class FmIndexSerializer {
     if (!ReadPod(in, &magic) || magic != FmIndexFormat::kMagic) {
       return Status::Corruption("bad magic: not a bwtk FM-index file");
     }
-    if (!ReadPod(in, &version) || version != FmIndexFormat::kVersion) {
+    if (!ReadPod(in, &version) ||
+        version < FmIndexFormat::kMinSupportedVersion ||
+        version > FmIndexFormat::kVersion) {
       return Status::Corruption("unsupported FM-index version");
     }
     FmIndex index;
@@ -96,6 +105,16 @@ class FmIndexSerializer {
         !ReadVector(in, &bwt_words) || !ReadVector(in, &sample_mark_words) ||
         !ReadVector(in, &index.sa_samples_)) {
       return Status::Corruption("truncated FM-index file");
+    }
+    uint32_t prefix_q = 0;
+    std::vector<uint64_t> prefix_entries;
+    if (version >= 2) {
+      if (!ReadPod(in, &prefix_q)) {
+        return Status::Corruption("truncated FM-index file");
+      }
+      if (prefix_q > 0 && !ReadVector(in, &prefix_entries)) {
+        return Status::Corruption("truncated FM-index file");
+      }
     }
     uint64_t checksum = 0;
     if (!ReadPod(in, &checksum) || checksum != HashWords(bwt_words, n)) {
@@ -119,6 +138,14 @@ class FmIndexSerializer {
       return Status::Corruption("SA sample count mismatch");
     }
     BWTK_RETURN_IF_ERROR(index.FinishConstruction());
+    if (prefix_q > 0) {
+      BWTK_ASSIGN_OR_RETURN(
+          auto table, PrefixIntervalTable::FromParts(
+                          prefix_q, std::move(prefix_entries)));
+      index.prefix_table_ =
+          std::make_unique<PrefixIntervalTable>(std::move(table));
+      index.options_.prefix_table_q = prefix_q;
+    }
     return index;
   }
 };

@@ -16,9 +16,19 @@
 namespace bwtk {
 
 /// On-disk format constants shared by writer and reader.
+///
+/// Version history:
+///   1 — initial format: header, BWT words, SA sample bitmap + values,
+///       trailing FNV-1a checksum over the BWT words.
+///   2 — appends the optional prefix interval table (uint32 q, then the
+///       4^q packed {lo,hi} entries when q > 0) between the SA samples and
+///       the checksum. q = 0 marks "no table".
+/// The reader accepts any version in [kMinSupportedVersion, kVersion]; a
+/// version-1 file simply loads with no prefix table.
 struct FmIndexFormat {
   static constexpr uint32_t kMagic = 0x4257544b;  // "BWTK"
-  static constexpr uint32_t kVersion = 1;
+  static constexpr uint32_t kVersion = 2;
+  static constexpr uint32_t kMinSupportedVersion = 1;
 };
 
 }  // namespace bwtk

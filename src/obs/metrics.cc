@@ -12,11 +12,13 @@ constexpr std::string_view kCounterNames[kNumCounters] = {
     "rank_calls",      "rankall_calls",  "extend_calls", "extendall_calls",
     "lf_steps",        "locate_calls",   "rij_builds",   "rij_cache_hits",
     "merge_calls",     "chain_builds",   "batch_batches", "batch_queries",
+    "prefix_table_hits", "prefix_table_skipped_steps",
 };
 
 constexpr std::string_view kPhaseNames[kNumPhases] = {
     "index_build", "tau_build", "ri_build",   "merge",
     "tree_traversal", "locate", "queue_wait", "worker_search",
+    "prefix_table_build",
 };
 
 constexpr std::string_view kHistNames[kNumHists] = {

@@ -69,6 +69,13 @@ enum CounterId : uint32_t {
   // batch layer.
   kCounterBatchBatches,  ///< BatchSearcher::Search batches issued.
   kCounterBatchQueries,  ///< queries executed by batch workers.
+  // prefix interval table (bwt/prefix_table.h). Flushed per query like the
+  // rank counters above.
+  kCounterPrefixTableHits,  ///< q-gram lookups that returned a range.
+  /// Backward-search steps elided by prefix-table hits (q per hit) — the
+  /// Extend calls that would have run without the table; compare against
+  /// extend_calls to see the fraction of stepping the table absorbed.
+  kCounterPrefixTableSkippedSteps,
   kNumCounters
 };
 
@@ -83,6 +90,7 @@ enum PhaseId : uint32_t {
   kPhaseLocate,         ///< FmIndex::Locate (row -> text position).
   kPhaseQueueWait,      ///< batch workers blocked waiting for work.
   kPhaseWorkerSearch,   ///< batch workers executing a batch's queries.
+  kPhasePrefixTableBuild,  ///< PrefixIntervalTable::Build (index build time).
   kNumPhases
 };
 

@@ -119,6 +119,8 @@ void SearchReport::AppendJson(JsonWriter* writer) const {
   AppendPhases(metrics, writer);
   writer->Key("histograms");
   AppendHistograms(metrics, writer);
+  writer->Key("rank_kernel").Value(rank_kernel);
+  writer->Key("prefix_table_q").Value(prefix_table_q);
   writer->EndObject();
 }
 

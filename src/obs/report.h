@@ -54,9 +54,17 @@ void AppendHistograms(const MetricsBlock& block, JsonWriter* writer);
 struct SearchReport {
   SearchStats stats;
   MetricsBlock metrics;
+  /// Active rank kernel of the index queried ("scalar"/"word64"/"avx2");
+  /// empty when the producer did not record it. Makes reports
+  /// self-describing — two runs with different kernels are not comparable
+  /// rank-for-rank.
+  std::string rank_kernel;
+  /// q of the index's prefix interval table (0 = none attached).
+  uint32_t prefix_table_q = 0;
 
   /// Appends {"stats": {...}, "counters": {...}, "phases": {...},
-  /// "histograms": {...}} as an object value.
+  /// "histograms": {...}, "rank_kernel": "...", "prefix_table_q": N} as an
+  /// object value.
   void AppendJson(JsonWriter* writer) const;
 
   /// The report as a standalone JSON document.

@@ -175,6 +175,7 @@ class SearchContext {
         k_(k),
         reuse_(options.reuse),
         use_tau_(options.use_tau),
+        use_prefix_table_(options.use_prefix_table),
         scratch_(scratch),
         dag_(scratch.dag),
         node_of_range_(scratch.node_of_range),
@@ -192,8 +193,10 @@ class SearchContext {
     if (use_tau_) ComputeTau(index_, r_).swap(tau_);
     if (dag_.capacity() < (1u << 16)) dag_.reserve(1 << 16);
     if (stack_.capacity() < (1u << 10)) stack_.reserve(1 << 10);
-    stack_.push_back(
-        {GetOrCreateNode(index_.WholeRange()), 0, 0, mtree_.root()});
+    if (!SeedFromPrefixTable()) {
+      stack_.push_back(
+          {GetOrCreateNode(index_.WholeRange()), 0, 0, mtree_.root()});
+    }
     {
       BWTK_SCOPED_TIMER(kPhaseTreeTraversal);
       while (!stack_.empty()) {
@@ -211,6 +214,51 @@ class SearchContext {
   SearchStats& stats() { return stats_; }
 
  private:
+  // Pushes the depth-q frames a prefix-table-seeded enumeration starts from
+  // (one per non-empty Hamming-ball variant of r's q-prefix), with the
+  // M-tree paths the stepped walk would have built for them: a mismatching
+  // node per substitution and one collapsed matching node per match gap —
+  // AddMatching's merge rule makes consecutive matches (and the leading run
+  // under the matching root) collapse exactly as in StepChildren. Returns
+  // false when the table is absent or inapplicable (pattern shorter than q,
+  // k beyond the seeding cap) and the caller must start at the root.
+  bool SeedFromPrefixTable() {
+    const PrefixIntervalTable* table =
+        use_prefix_table_ ? index_.prefix_table() : nullptr;
+    if (table == nullptr) return false;
+    const uint32_t q = table->q();
+    if (m_ < q || k_ > PrefixIntervalTable::kMaxSeedMismatches) return false;
+    uint64_t hits = 0;
+    table->ForEachVariant(
+        r_.data(), k_, [&](const PrefixIntervalTable::Variant& v) {
+          SaIndex lo;
+          SaIndex hi;
+          if (!table->Lookup(v.key, &lo, &hi)) return;
+          ++hits;
+          ++stats_.stree_nodes;
+          int32_t mnode = mtree_.root();
+          uint32_t upto = 0;
+          for (int32_t s = 0; s < v.mismatches; ++s) {
+            const auto [pos, sym] = v.subs[static_cast<size_t>(s)];
+            if (pos > upto) mnode = mtree_.AddMatching(mnode);
+            mnode = mtree_.AddMismatching(mnode, sym,
+                                          static_cast<int32_t>(pos));
+            upto = pos + 1u;
+          }
+          if (upto < q) mnode = mtree_.AddMatching(mnode);
+          if (TauCuts(q, v.mismatches)) {
+            mtree_.MarkLeaf();
+            ++stats_.tau_pruned;
+            return;
+          }
+          stack_.push_back(
+              {GetOrCreateNode({lo, hi}), q, v.mismatches, mnode});
+        });
+    BWTK_METRIC_COUNT2(kCounterPrefixTableHits, hits,
+                       kCounterPrefixTableSkippedSteps, hits * q);
+    return true;
+  }
+
   // Descends from one frame, following chains inline; pushes sibling
   // branches onto the stack.
   void ProcessFrame(Frame frame) {
@@ -535,6 +583,7 @@ class SearchContext {
   const int32_t k_;
   const AlgorithmAOptions::Reuse reuse_;
   const bool use_tau_;
+  const bool use_prefix_table_;
 
   // Scratch-owned buffers, reset on entry and reused across queries.
   AlgorithmAScratch::Impl& scratch_;

@@ -4,6 +4,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "bwt/prefix_table.h"
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace bwtk {
@@ -58,7 +60,28 @@ std::vector<EditOccurrence> KErrorSearch::Search(
                        frame.consumed, frame.depth, frame.edits};
     if (visited.insert(key).second) stack.push_back(frame);
   };
-  push({index_->WholeRange(), 0, 0, 0});
+  // Prefix-table shortcut, sound only at k == 0: with no edit budget the
+  // DFS can only follow the exact match branch, so its states are exactly
+  // the ranges of the pattern's prefixes — the depth-q one comes from the
+  // table, and a missing q-gram proves there is no zero-edit occurrence at
+  // all. At k >= 1 the shortcut would be wrong: insertion/deletion branches
+  // hang off the *intermediate* prefix states (depths < q) that the table
+  // skips over.
+  const PrefixIntervalTable* table = index_->prefix_table();
+  if (k == 0 && table != nullptr && m >= table->q()) {
+    const uint32_t q = table->q();
+    SaIndex lo;
+    SaIndex hi;
+    if (!table->Lookup(PrefixIntervalTable::PackKey(pattern.data(), q), &lo,
+                       &hi)) {
+      return results;
+    }
+    BWTK_METRIC_COUNT2(kCounterPrefixTableHits, 1,
+                       kCounterPrefixTableSkippedSteps, q);
+    push({{lo, hi}, q, q, 0});
+  } else {
+    push({index_->WholeRange(), 0, 0, 0});
+  }
 
   // Best (edits, length) per reported start position.
   std::unordered_map<size_t, EditOccurrence> best;

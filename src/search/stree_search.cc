@@ -27,7 +27,36 @@ std::vector<Occurrence> STreeSearch::Search(
     int32_t mismatches;
   };
   std::vector<Frame> stack;
-  stack.push_back({index_->WholeRange(), 0, 0});
+  const PrefixIntervalTable* table =
+      options_.use_prefix_table ? index_->prefix_table() : nullptr;
+  const uint32_t q = table ? table->q() : 0;
+  if (q > 0 && m >= q && k <= PrefixIntervalTable::kMaxSeedMismatches) {
+    // Seed at depth q from the table: the surviving depth-q S-tree states
+    // are exactly the non-empty ranges of the length-q strings within
+    // Hamming distance k of the pattern's q-prefix, so enumerating those
+    // variants is result-identical to stepping the first q levels. τ is
+    // checked at depth q only — a subset of the checks the stepped walk
+    // performs, and τ never prunes a real occurrence, so the match set is
+    // unchanged.
+    uint64_t hits = 0;
+    table->ForEachVariant(
+        pattern.data(), k, [&](const PrefixIntervalTable::Variant& v) {
+          SaIndex lo;
+          SaIndex hi;
+          if (!table->Lookup(v.key, &lo, &hi)) return;
+          ++hits;
+          ++local_stats.stree_nodes;
+          if (options_.use_tau && k - v.mismatches < tau[q]) {
+            ++local_stats.tau_pruned;
+            return;
+          }
+          stack.push_back({{lo, hi}, q, v.mismatches});
+        });
+    BWTK_METRIC_COUNT2(kCounterPrefixTableHits, hits,
+                       kCounterPrefixTableSkippedSteps, hits * q);
+  } else {
+    stack.push_back({index_->WholeRange(), 0, 0});
+  }
   BWTK_SCOPED_TIMER(kPhaseTreeTraversal);
   while (!stack.empty()) {
     const Frame frame = stack.back();

@@ -1,5 +1,8 @@
 #include "search/tau_heuristic.h"
 
+#include <cstdint>
+
+#include "bwt/prefix_table.h"
 #include "obs/metrics.h"
 
 namespace bwtk {
@@ -14,14 +17,71 @@ std::vector<int32_t> ComputeTau(const FmIndex& index,
   // τ then satisfies τ(i) = 1 + τ(first_absent_end[i] + 1) and is filled
   // right to left with memoization.
   std::vector<size_t> absent_end(m, m + 1);
-  for (size_t i = 0; i < m; ++i) {
-    FmIndex::Range range = index.WholeRange();
-    for (size_t j = i; j < m; ++j) {
-      range = index.Extend(range, pattern[j]);
-      if (range.empty()) {
-        absent_end[i] = j;  // r[i..j] inclusive is absent
-        break;
+  const PrefixIntervalTable* table = index.prefix_table();
+  const uint32_t q = table ? table->q() : 0;
+  if (q > 0 && m >= q) {
+    // Prefix-table fast path. A hit on r[i..i+q) proves every prefix of
+    // that q-gram occurs too, so the first absent end is >= i + q and the
+    // walk resumes from the table's range at j = i + q — exactly where q
+    // Extend steps would have left it. A miss says nothing about *where*
+    // inside the window the substring first goes absent, so those rows walk
+    // from scratch.
+    //
+    // The table is 4^q entries (far beyond cache), so each lookup is a
+    // potential DRAM miss; keys are precomputed with a rolling window and
+    // the next row's entry is prefetched while the current row walks.
+    std::vector<uint64_t> keys(m - q + 1);
+    const uint64_t mask = PrefixIntervalTable::KeyCount(q) - 1;
+    uint64_t key = 0;
+    for (size_t i = 0; i < q; ++i) key = (key << 2) | pattern[i];
+    keys[0] = key;
+    for (size_t i = 1; i < keys.size(); ++i) {
+      key = ((key << 2) | pattern[i + q - 1]) & mask;
+      keys[i] = key;
+    }
+    table->Prefetch(keys[0]);
+    uint64_t hits = 0;
+    for (size_t i = 0; i < m; ++i) {
+      FmIndex::Range range = index.WholeRange();
+      size_t j = i;
+      if (i < keys.size()) {
+        if (i + 1 < keys.size()) table->Prefetch(keys[i + 1]);
+        SaIndex lo;
+        SaIndex hi;
+        if (table->Lookup(keys[i], &lo, &hi)) {
+          range = {lo, hi};
+          j = i + q;
+          ++hits;
+        }
       }
+      for (; j < m; ++j) {
+        range = index.Extend(range, pattern[j]);
+        if (range.empty()) {
+          absent_end[i] = j;  // r[i..j] inclusive is absent
+          break;
+        }
+      }
+      // Monotone early exit: r[i..m) occurs in s, so every later window's
+      // suffix (a substring of it) occurs too — all remaining absent_end
+      // values keep their "fully present" default.
+      if (j == m) break;
+    }
+    if (hits > 0) {
+      BWTK_METRIC_COUNT2(kCounterPrefixTableHits, hits,
+                         kCounterPrefixTableSkippedSteps, hits * q);
+    }
+  } else {
+    for (size_t i = 0; i < m; ++i) {
+      FmIndex::Range range = index.WholeRange();
+      size_t j = i;
+      for (; j < m; ++j) {
+        range = index.Extend(range, pattern[j]);
+        if (range.empty()) {
+          absent_end[i] = j;  // r[i..j] inclusive is absent
+          break;
+        }
+      }
+      if (j == m) break;  // r[i..m) present => all later suffixes present
     }
   }
   for (size_t i = m; i-- > 0;) {

@@ -1,14 +1,28 @@
 #!/usr/bin/env python3
-"""Validate a bench_report BENCH_*.json file against the documented schema.
+"""Validate a bench BENCH_*.json file against the documented schema.
 
 Usage: tools/validate_bench_json.py BENCH_name.json [more.json ...]
 
-Checks the schema described in docs/OBSERVABILITY.md (schema_version 1):
-required keys and types at every level, plus the grid-coverage floor from
-the experiment pipeline — at least 2 distinct genomes, at least 3 distinct
-k values, and both a serial engine (algorithm_a) and the batch engine —
-and that every run reports the four paper phases (rank, ri_build, merge,
-tree_traversal). Exits non-zero listing every violation found.
+Dispatches on the file's 'created_by' field:
+
+bench_report (the default): checks the schema described in
+docs/OBSERVABILITY.md (schema_version 1) — required keys and types at
+every level, plus the grid-coverage floor from the experiment pipeline
+(at least 2 distinct genomes, at least 3 distinct k values, and both a
+serial engine (algorithm_a) and the batch engine) and that every run
+reports the four paper phases (rank, ri_build, merge, tree_traversal).
+The index-configuration fields 'rank_kernel' / 'prefix_table_q' on genome
+entries are optional (older reports predate them) but type-checked when
+present, and a run whose counters claim prefix_table_hits > 0 while its
+genome reports no prefix table is rejected — the counters must agree with
+the configuration that allegedly produced them.
+
+bench_rank_kernel: checks the kernel-comparison schema — a 'measurements'
+array of {checkpoint_rate, kernel, rank_ns, rankall_ns, iters} covering
+at least 3 distinct checkpoint rates and at least the two always-available
+kernels (scalar, word64). The grid floor does not apply.
+
+Exits non-zero listing every violation found.
 
 Standard library only; no third-party schema packages.
 """
@@ -42,6 +56,23 @@ GENOME_FIELDS = {
     "index_bytes": UINT,
     "rank_ns": NUM,
     "rankall_ns": NUM,
+}
+
+# Optional genome keys: absent from reports produced before the prefix
+# table / rank kernel work, type-checked when present.
+GENOME_OPTIONAL_FIELDS = {
+    "rank_kernel": str,
+    "prefix_table_q": UINT,
+}
+
+RANK_KERNELS = ("scalar", "word64", "avx2")
+
+MEASUREMENT_FIELDS = {
+    "checkpoint_rate": UINT,
+    "kernel": str,
+    "rank_ns": NUM,
+    "rankall_ns": NUM,
+    "iters": UINT,
 }
 
 RUN_FIELDS = {
@@ -164,6 +195,81 @@ class Validator:
         if not isinstance(doc, dict):
             self.error("$", "top level must be an object")
             return
+        if doc.get("created_by") == "bench_rank_kernel":
+            self.validate_rank_kernel(doc)
+            return
+        self.validate_report(doc)
+
+    def validate_rank_kernel(self, doc):
+        self.require(
+            doc,
+            "$",
+            {
+                "schema_version": UINT,
+                "name": str,
+                "created_by": str,
+                "smoke": bool,
+                "scale": NUM,
+                "hardware": dict,
+                "genome_length": UINT,
+                "measurements": list,
+            },
+        )
+        if doc.get("schema_version") != 1:
+            self.error("$", f"unsupported schema_version {doc.get('schema_version')}")
+
+        hardware = doc.get("hardware", {})
+        if isinstance(hardware, dict):
+            self.require(
+                hardware,
+                "$.hardware",
+                {
+                    "hardware_concurrency": UINT,
+                    "metrics_compiled_in": bool,
+                    "avx2_available": bool,
+                },
+            )
+
+        rates = set()
+        kernels = set()
+        for i, m in enumerate(doc.get("measurements", [])):
+            where = f"$.measurements[{i}]"
+            if not isinstance(m, dict):
+                self.error(where, "must be an object")
+                continue
+            if not self.require(m, where, MEASUREMENT_FIELDS):
+                continue
+            if m["kernel"] not in RANK_KERNELS:
+                self.error(
+                    where,
+                    f"kernel '{m['kernel']}' not one of {list(RANK_KERNELS)}",
+                )
+            if m["checkpoint_rate"] <= 0 or m["checkpoint_rate"] % 32 != 0:
+                self.error(
+                    where,
+                    f"checkpoint_rate {m['checkpoint_rate']} must be a "
+                    "positive multiple of 32",
+                )
+            for field in ("rank_ns", "rankall_ns"):
+                if m[field] <= 0:
+                    self.error(where, f"'{field}' must be positive")
+            if m["iters"] <= 0:
+                self.error(where, "'iters' must be positive")
+            rates.add(m["checkpoint_rate"])
+            kernels.add(m["kernel"])
+        if len(rates) < 3:
+            self.error(
+                "$.measurements",
+                f"need >= 3 distinct checkpoint rates, got {sorted(rates)}",
+            )
+        for required_kernel in ("scalar", "word64"):
+            if required_kernel not in kernels:
+                self.error(
+                    "$.measurements",
+                    f"kernel '{required_kernel}' missing (always available)",
+                )
+
+    def validate_report(self, doc):
         self.require(
             doc,
             "$",
@@ -205,12 +311,30 @@ class Validator:
                 },
             )
 
+        genome_prefix_q = {}  # genome name -> declared prefix_table_q
         for i, genome in enumerate(doc.get("genomes", [])):
             where = f"$.genomes[{i}]"
             if not isinstance(genome, dict):
                 self.error(where, "must be an object")
                 continue
             self.require(genome, where, GENOME_FIELDS)
+            for key, types in GENOME_OPTIONAL_FIELDS.items():
+                if key in genome and not isinstance(genome[key], types):
+                    self.error(
+                        where,
+                        f"optional '{key}' must be "
+                        f"{types.__name__ if isinstance(types, type) else '/'.join(t.__name__ for t in types)}, "
+                        f"got {type(genome[key]).__name__}",
+                    )
+            kernel = genome.get("rank_kernel")
+            if isinstance(kernel, str) and kernel not in RANK_KERNELS:
+                self.error(
+                    where,
+                    f"rank_kernel '{kernel}' not one of {list(RANK_KERNELS)}",
+                )
+            if isinstance(genome.get("name"), str):
+                q = genome.get("prefix_table_q")
+                genome_prefix_q[genome["name"]] = q if isinstance(q, int) else 0
 
         runs = doc.get("runs", [])
         for i, run in enumerate(runs):
@@ -219,6 +343,19 @@ class Validator:
                 self.error(where, "must be an object")
                 continue
             self.check_run(run, where)
+            # Counter/configuration cross-check: a run cannot claim prefix
+            # table hits when its genome's index declared no table.
+            counters = run.get("counters")
+            if isinstance(counters, dict):
+                hits = counters.get("prefix_table_hits")
+                declared_q = genome_prefix_q.get(run.get("genome"), 0)
+                if isinstance(hits, int) and hits > 0 and not declared_q:
+                    self.error(
+                        f"{where}.counters",
+                        f"prefix_table_hits is {hits} but genome "
+                        f"'{run.get('genome')}' declares no prefix table "
+                        "(prefix_table_q is 0 or missing)",
+                    )
 
         # Grid-coverage floor (the ISSUE's acceptance grid).
         run_dicts = [r for r in runs if isinstance(r, dict)]
@@ -255,8 +392,12 @@ def main(argv):
             for err in validator.errors:
                 print(f"  {err}", file=sys.stderr)
         else:
-            n_runs = len(doc.get("runs", []))
-            print(f"OK {path}: schema_version 1, {n_runs} runs")
+            if doc.get("created_by") == "bench_rank_kernel":
+                n = len(doc.get("measurements", []))
+                print(f"OK {path}: schema_version 1, {n} measurements")
+            else:
+                n_runs = len(doc.get("runs", []))
+                print(f"OK {path}: schema_version 1, {n_runs} runs")
     return 1 if failed else 0
 
 
