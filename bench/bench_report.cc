@@ -352,6 +352,23 @@ int Run(int argc, char** argv) {
             .Value(reads_per_second)
             .Key("total_hits")
             .Value(static_cast<uint64_t>(cell.total_hits));
+        // Quantiles estimated from the log2 per-query latency histogram:
+        // order-of-magnitude faithful (bucket-bounded error), cheap, and
+        // derived from data the report already carries.
+        const obs::Histogram& latency = cell.delta.hists[obs::kHistQueryNanos];
+        json.Key("latency_estimate")
+            .BeginObject()
+            .Key("p50_nanos")
+            .Value(obs::EstimateQuantile(latency, 0.50))
+            .Key("p95_nanos")
+            .Value(obs::EstimateQuantile(latency, 0.95))
+            .Key("p99_nanos")
+            .Value(obs::EstimateQuantile(latency, 0.99))
+            .Key("samples")
+            .Value(latency.count)
+            .Key("estimated")
+            .Value(true)
+            .EndObject();
         json.Key("stats");
         obs::AppendSearchStats(cell.stats, &json);
         json.Key("phases");

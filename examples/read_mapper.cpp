@@ -2,9 +2,16 @@
 // reference genome allowing up to k mismatches per alignment.
 //
 // Usage:
-//   ./read_mapper                              # self-contained demo
-//   ./read_mapper genome.fa reads.fq [k] [t]   # map a FASTQ against a FASTA
-//                                              # with t worker threads
+//   ./read_mapper [flags]                            # self-contained demo
+//   ./read_mapper [flags] genome.fa reads.fq [k] [t] # FASTQ vs FASTA,
+//                                                    # t worker threads
+// Flags:
+//   --trace-out=FILE    write a Chrome trace-event JSON file (open it in
+//                       https://ui.perfetto.dev or chrome://tracing) with
+//                       sampled per-query traces + the slow-query log
+//   --trace-sample=R    per-query sampling probability in [0, 1]
+//                       (default 0.01 when --trace-out is given, else 0)
+//   --slow=N            slow-query log depth (default 8)
 //
 // In demo mode a synthetic genome and wgsim-like reads are generated, the
 // genome is indexed, and each read (both strands) is aligned; output is a
@@ -17,6 +24,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -31,9 +39,42 @@ struct Mapping {
   int32_t mismatches;
 };
 
+struct TraceFlags {
+  std::string trace_out;
+  double sample_rate = -1.0;  // <0: unset; resolves to 0.01 with trace_out
+  size_t slow_count = 8;
+};
+
+double ResolvedSampleRate(const TraceFlags& flags) {
+  if (flags.sample_rate >= 0.0) return flags.sample_rate;
+  return flags.trace_out.empty() ? 0.0 : 0.01;
+}
+
+void PrintSlowQueries(const bwtk::obs::TraceSink& sink) {
+  const auto slow = sink.SlowTraces();
+  if (slow.empty()) return;
+  std::printf("# slow queries (slowest first):\n");
+  std::printf("# trace_id\tk\twall_us\tmatches\tnodes\tmax_depth"
+              "\tnodes_per_depth\n");
+  for (const auto& trace : slow) {
+    std::string profile;
+    for (size_t d = 0; d < trace.nodes_per_depth.size(); ++d) {
+      if (d > 0) profile += ',';
+      profile += std::to_string(trace.nodes_per_depth[d]);
+    }
+    std::printf("# %llu\t%d\t%.1f\t%llu\t%llu\t%llu\t%s\n",
+                static_cast<unsigned long long>(trace.trace_id), trace.k,
+                static_cast<double>(trace.wall_ns) * 1e-3,
+                static_cast<unsigned long long>(trace.matches),
+                static_cast<unsigned long long>(trace.NodesExpanded()),
+                static_cast<unsigned long long>(trace.MaxDepth()),
+                profile.c_str());
+  }
+}
+
 int RunPipeline(const std::vector<bwtk::DnaCode>& genome,
                 const std::vector<bwtk::FastqRecord>& reads, int32_t k,
-                int num_threads) {
+                int num_threads, const TraceFlags& trace_flags) {
   bwtk::Stopwatch build_watch;
   auto searcher_or = bwtk::KMismatchSearcher::Build(genome);
   if (!searcher_or.ok()) {
@@ -58,10 +99,24 @@ int RunPipeline(const std::vector<bwtk::DnaCode>& genome,
     queries.push_back({bwtk::ReverseComplement(read.sequence), k});
   }
 
+  bwtk::BatchOptions batch_options;
+  batch_options.num_threads = num_threads;
+  batch_options.trace_sample_rate = ResolvedSampleRate(trace_flags);
+  batch_options.slow_trace_count = trace_flags.slow_count;
+  batch_options.trace_out = trace_flags.trace_out;
+
+  // Per-query latency comes from the registry's log2 histogram: diff the
+  // process-wide snapshot around the batch so only this batch's queries
+  // land in the estimate.
+  const bwtk::obs::MetricsBlock before =
+      bwtk::obs::MetricsRegistry::Instance().Snapshot();
   bwtk::Stopwatch map_watch;
-  bwtk::BatchSearcher batch(searcher, {.num_threads = num_threads});
+  bwtk::BatchSearcher batch(searcher, batch_options);
   const bwtk::BatchResult result = batch.Search(queries);
   const double map_seconds = map_watch.ElapsedSeconds();
+  const bwtk::obs::MetricsBlock delta =
+      bwtk::obs::Diff(bwtk::obs::MetricsRegistry::Instance().Snapshot(),
+                      before);
 
   size_t mapped = 0;
   size_t multi = 0;
@@ -99,27 +154,74 @@ int RunPipeline(const std::vector<bwtk::DnaCode>& genome,
   std::printf("# M-tree leaves (n') total: %llu; search() calls: %llu\n",
               static_cast<unsigned long long>(result.stats.mtree_leaves),
               static_cast<unsigned long long>(result.stats.extend_calls));
+
+  // The one-line batch summary: throughput + latency quantiles + slow log.
+  const bwtk::obs::Histogram& latency =
+      delta.hists[bwtk::obs::kHistQueryNanos];
+  const bwtk::obs::TraceSink* sink = batch.trace_sink();
+  std::printf(
+      "# batch: %zu reads in %.3f s (%.0f reads/s), query p50=%.1fus "
+      "p95=%.1fus (n=%llu), slow-log %zu\n",
+      reads.size(), map_seconds,
+      reads.empty() ? 0.0 : reads.size() / map_seconds,
+      static_cast<double>(bwtk::obs::EstimateQuantile(latency, 0.50)) * 1e-3,
+      static_cast<double>(bwtk::obs::EstimateQuantile(latency, 0.95)) * 1e-3,
+      static_cast<unsigned long long>(latency.count),
+      sink != nullptr ? sink->SlowTraces().size() : size_t{0});
+
+  if (sink != nullptr) {
+    std::printf("# traced %llu/%zu queries (sample rate %.3g)\n",
+                static_cast<unsigned long long>(sink->traces_offered()),
+                queries.size(), sink->options().sample_rate);
+    PrintSlowQueries(*sink);
+    if (!trace_flags.trace_out.empty()) {
+      std::printf("# trace written to %s — open it at "
+                  "https://ui.perfetto.dev\n",
+                  trace_flags.trace_out.c_str());
+    }
+  }
   return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc >= 3) {
+  TraceFlags trace_flags;
+  std::vector<const char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--trace-out=", 12) == 0) {
+      trace_flags.trace_out = arg + 12;
+    } else if (std::strncmp(arg, "--trace-sample=", 15) == 0) {
+      trace_flags.sample_rate = std::atof(arg + 15);
+    } else if (std::strncmp(arg, "--slow=", 7) == 0) {
+      trace_flags.slow_count = static_cast<size_t>(std::atoi(arg + 7));
+    } else if (std::strncmp(arg, "--", 2) == 0) {
+      std::fprintf(stderr, "unknown flag %s\n", arg);
+      return 2;
+    } else {
+      positional.push_back(arg);
+    }
+  }
+
+  if (positional.size() >= 2) {
     const auto fasta = bwtk::ReadFastaFile(
-        argv[1], {.ambiguity = bwtk::AmbiguityPolicy::kReplaceWithA});
+        positional[0], {.ambiguity = bwtk::AmbiguityPolicy::kReplaceWithA});
     if (!fasta.ok() || fasta->empty()) {
-      std::fprintf(stderr, "cannot read genome %s\n", argv[1]);
+      std::fprintf(stderr, "cannot read genome %s\n", positional[0]);
       return 1;
     }
-    const auto reads = bwtk::ReadFastqFile(argv[2]);
+    const auto reads = bwtk::ReadFastqFile(positional[1]);
     if (!reads.ok()) {
-      std::fprintf(stderr, "cannot read reads %s\n", argv[2]);
+      std::fprintf(stderr, "cannot read reads %s\n", positional[1]);
       return 1;
     }
-    const int32_t k = argc > 3 ? std::atoi(argv[3]) : 3;
-    const int num_threads = argc > 4 ? std::atoi(argv[4]) : 0;
-    return RunPipeline((*fasta)[0].sequence, *reads, k, num_threads);
+    const int32_t k =
+        positional.size() > 2 ? std::atoi(positional[2]) : 3;
+    const int num_threads =
+        positional.size() > 3 ? std::atoi(positional[3]) : 0;
+    return RunPipeline((*fasta)[0].sequence, *reads, k, num_threads,
+                       trace_flags);
   }
 
   // Demo mode.
@@ -133,5 +235,5 @@ int main(int argc, char** argv) {
   read_options.read_count = 50;
   const auto simulated = bwtk::SimulateReads(genome, read_options).value();
   return RunPipeline(genome, bwtk::ToFastq(simulated, "sim"), 3,
-                     /*num_threads=*/0);
+                     /*num_threads=*/0, trace_flags);
 }

@@ -27,6 +27,8 @@
 #include "mismatch/mismatch_array.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
+#include "obs/trace.h"
+#include "obs/trace_export.h"
 #include "search/algorithm_a.h"
 #include "search/batch_searcher.h"
 #include "search/kerror_search.h"

@@ -59,6 +59,31 @@ Histogram& Histogram::operator-=(const Histogram& other) {
   return *this;
 }
 
+uint64_t EstimateQuantile(const Histogram& hist, double q) {
+  if (hist.count == 0) return 0;
+  if (q <= 0.0) q = 0.0;
+  if (q >= 1.0) q = 1.0;
+  // Rank of the target observation (1-based, clamped to [1, count]).
+  const double target = q * static_cast<double>(hist.count);
+  double rank = target < 1.0 ? 1.0 : target;
+  double cumulative = 0.0;
+  for (size_t b = 0; b < kHistBuckets; ++b) {
+    const double in_bucket = static_cast<double>(hist.buckets[b]);
+    if (in_bucket == 0.0) continue;
+    if (cumulative + in_bucket >= rank) {
+      const uint64_t lo = BucketLowerBound(b);
+      const uint64_t hi = BucketUpperBound(b);
+      // Linear interpolation across the bucket's value range by the
+      // fraction of the bucket's observations below the target rank.
+      const double frac = (rank - cumulative) / in_bucket;
+      const double width = static_cast<double>(hi - lo);
+      return lo + static_cast<uint64_t>(width * frac);
+    }
+    cumulative += in_bucket;
+  }
+  return BucketUpperBound(kHistBuckets - 1);
+}
+
 MetricsBlock& MetricsBlock::operator+=(const MetricsBlock& other) {
   for (size_t i = 0; i < kNumCounters; ++i) counters[i] += other.counters[i];
   for (size_t i = 0; i < kNumPhases; ++i) {

@@ -147,6 +147,13 @@ struct Histogram {
   bool operator==(const Histogram&) const = default;
 };
 
+/// Estimates the `q`-quantile (q in [0, 1]) of the observed distribution by
+/// linear interpolation within the log2 bucket where the cumulative count
+/// crosses q * count. Returns 0 for an empty histogram. The error is bounded
+/// by the bucket width, so estimates are order-of-magnitude faithful — fine
+/// for latency reporting, not for exact percentiles.
+uint64_t EstimateQuantile(const Histogram& hist, double q);
+
 // --- Storage -------------------------------------------------------------
 
 /// One thread's (or one aggregated) worth of every metric.

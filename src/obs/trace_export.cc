@@ -1,0 +1,255 @@
+#include "obs/trace_export.h"
+
+#include <fstream>
+#include <map>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/report.h"
+
+namespace bwtk::obs {
+
+namespace {
+
+// Chrome trace timestamps are microseconds; emit fractional µs so the
+// nanosecond precision of the spans survives.
+double Micros(uint64_t nanos) { return static_cast<double>(nanos) * 1e-3; }
+
+void AppendSlice(std::string_view name, std::string_view category,
+                 uint64_t start_ns, uint64_t dur_ns, uint32_t tid,
+                 JsonWriter* w) {
+  w->BeginObject()
+      .Key("name")
+      .Value(name)
+      .Key("cat")
+      .Value(category)
+      .Key("ph")
+      .Value("X")
+      .Key("ts")
+      .Value(Micros(start_ns))
+      .Key("dur")
+      .Value(Micros(dur_ns))
+      .Key("pid")
+      .Value(1)
+      .Key("tid")
+      .Value(tid);
+}
+
+void AppendThreadNameMetadata(uint32_t tid, const std::string& name,
+                              JsonWriter* w) {
+  w->BeginObject()
+      .Key("name")
+      .Value("thread_name")
+      .Key("ph")
+      .Value("M")
+      .Key("pid")
+      .Value(1)
+      .Key("tid")
+      .Value(tid)
+      .Key("args")
+      .BeginObject()
+      .Key("name")
+      .Value(name)
+      .EndObject()
+      .EndObject();
+}
+
+}  // namespace
+
+void AppendChromeEvents(const Trace& trace, JsonWriter* writer) {
+  // The query slice carries the identity and outcome in args; span slices
+  // nest under it by time containment on the same thread row.
+  std::string label = trace.engine;
+  label += " #";
+  label += std::to_string(trace.trace_id);
+  AppendSlice(label, "query", trace.begin_ns, trace.wall_ns,
+              trace.thread_index, writer);
+  writer->Key("args")
+      .BeginObject()
+      .Key("trace_id")
+      .Value(trace.trace_id)
+      .Key("k")
+      .Value(static_cast<int64_t>(trace.k))
+      .Key("pattern_length")
+      .Value(trace.pattern_length)
+      .Key("matches")
+      .Value(trace.matches)
+      .Key("prefix_table_hits")
+      .Value(trace.prefix_table_hits)
+      .Key("nodes_expanded")
+      .Value(trace.NodesExpanded())
+      .Key("max_depth")
+      .Value(trace.MaxDepth())
+      .EndObject()
+      .EndObject();
+  for (const TraceSpan& span : trace.spans) {
+    AppendSlice(span.name, "span", span.start_ns, span.dur_ns,
+                trace.thread_index, writer);
+    writer->EndObject();
+  }
+}
+
+void AppendTraceSummary(const Trace& trace, JsonWriter* writer) {
+  writer->BeginObject()
+      .Key("trace_id")
+      .Value(trace.trace_id)
+      .Key("engine")
+      .Value(trace.engine)
+      .Key("thread")
+      .Value(static_cast<uint64_t>(trace.thread_index))
+      .Key("k")
+      .Value(static_cast<int64_t>(trace.k))
+      .Key("pattern_length")
+      .Value(trace.pattern_length)
+      .Key("wall_ns")
+      .Value(trace.wall_ns)
+      .Key("matches")
+      .Value(trace.matches)
+      .Key("prefix_table_hits")
+      .Value(trace.prefix_table_hits);
+  writer->Key("stats");
+  AppendSearchStats(trace.stats, writer);
+  // Per-span aggregates, keyed by span name: total nanos + entry count.
+  std::map<std::string_view, std::pair<uint64_t, uint64_t>> by_name;
+  for (const TraceSpan& span : trace.spans) {
+    auto& [nanos, calls] = by_name[span.name];
+    nanos += span.dur_ns;
+    ++calls;
+  }
+  writer->Key("spans").BeginObject();
+  for (const auto& [name, agg] : by_name) {
+    writer->Key(name)
+        .BeginObject()
+        .Key("nanos")
+        .Value(agg.first)
+        .Key("calls")
+        .Value(agg.second)
+        .EndObject();
+  }
+  writer->EndObject();
+  if (trace.dropped_spans > 0) {
+    writer->Key("dropped_spans").Value(trace.dropped_spans);
+  }
+  writer->Key("nodes_per_depth").BeginArray();
+  for (const uint64_t n : trace.nodes_per_depth) writer->Value(n);
+  writer->EndArray();
+  writer->Key("nodes_expanded")
+      .Value(trace.NodesExpanded())
+      .Key("max_depth")
+      .Value(trace.MaxDepth())
+      .EndObject();
+}
+
+void AppendTraceTotals(const Trace& trace, JsonWriter* writer) {
+  writer->BeginObject()
+      .Key("trace_id")
+      .Value(trace.trace_id)
+      .Key("k")
+      .Value(static_cast<uint64_t>(trace.k < 0 ? 0 : trace.k))
+      .Key("pattern_length")
+      .Value(trace.pattern_length)
+      .Key("wall_ns")
+      .Value(trace.wall_ns)
+      .Key("matches")
+      .Value(trace.matches)
+      .Key("prefix_table_hits")
+      .Value(trace.prefix_table_hits)
+      .Key("nodes_expanded")
+      .Value(trace.NodesExpanded())
+      .Key("max_depth")
+      .Value(trace.MaxDepth())
+      .Key("spans")
+      .Value(static_cast<uint64_t>(trace.spans.size()))
+      .Key("dropped_spans")
+      .Value(trace.dropped_spans)
+      .EndObject();
+}
+
+std::string TraceTotalsToJson(const Trace& trace) {
+  JsonWriter writer;
+  AppendTraceTotals(trace, &writer);
+  return std::move(writer).TakeString();
+}
+
+std::string TraceFileJson(const TraceSink& sink) {
+  const std::vector<Trace> sampled = sink.SampledTraces();
+  const std::vector<Trace> aux = sink.AuxTraces();
+  const std::vector<Trace> slow = sink.SlowTraces();
+
+  JsonWriter w;
+  w.BeginObject()
+      .Key("displayTimeUnit")
+      .Value("ns")
+      .Key("otherData")
+      .BeginObject()
+      .Key("producer")
+      .Value("bwtk")
+      .Key("schema")
+      .Value("bwtk_trace_v1")
+      .EndObject();
+
+  w.Key("traceEvents").BeginArray();
+  // Name the process and every thread row that appears.
+  w.BeginObject()
+      .Key("name")
+      .Value("process_name")
+      .Key("ph")
+      .Value("M")
+      .Key("pid")
+      .Value(1)
+      .Key("args")
+      .BeginObject()
+      .Key("name")
+      .Value("bwtk")
+      .EndObject()
+      .EndObject();
+  std::vector<bool> named;
+  auto name_thread = [&](uint32_t tid) {
+    if (tid < named.size() && named[tid]) return;
+    if (tid >= named.size()) named.resize(tid + 1, false);
+    named[tid] = true;
+    AppendThreadNameMetadata(tid, "worker " + std::to_string(tid), &w);
+  };
+  for (const Trace& trace : sampled) {
+    name_thread(trace.thread_index);
+    AppendChromeEvents(trace, &w);
+  }
+  for (const Trace& trace : aux) {
+    name_thread(trace.thread_index);
+    AppendChromeEvents(trace, &w);
+  }
+  w.EndArray();
+
+  w.Key("bwtk")
+      .BeginObject()
+      .Key("sample_rate")
+      .Value(sink.options().sample_rate)
+      .Key("slow_trace_count")
+      .Value(static_cast<uint64_t>(sink.options().slow_trace_count))
+      .Key("traces_offered")
+      .Value(sink.traces_offered())
+      .Key("traces_dropped")
+      .Value(sink.traces_dropped());
+  w.Key("summaries").BeginArray();
+  for (const Trace& trace : sampled) AppendTraceSummary(trace, &w);
+  w.EndArray();
+  w.Key("slow_queries").BeginArray();
+  for (const Trace& trace : slow) AppendTraceSummary(trace, &w);
+  w.EndArray();
+  w.EndObject().EndObject();
+  return std::move(w).TakeString();
+}
+
+Status WriteTraceFile(const TraceSink& sink, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::IoError("cannot open trace file " + path + " for writing");
+  }
+  out << TraceFileJson(sink) << "\n";
+  out.close();
+  if (!out) return Status::IoError("write to trace file " + path + " failed");
+  return Status::OK();
+}
+
+}  // namespace bwtk::obs

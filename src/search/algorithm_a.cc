@@ -8,6 +8,7 @@
 #include "mismatch/kangaroo.h"
 #include "mismatch/mismatch_array.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "search/mtree.h"
 #include "search/tau_heuristic.h"
 #include "util/logging.h"
@@ -190,7 +191,10 @@ class SearchContext {
 
   void Run() {
     if (m_ == 0 || m_ > index_.text_size() || k_ < 0) return;
-    if (use_tau_) ComputeTau(index_, r_).swap(tau_);
+    if (use_tau_) {
+      BWTK_TRACE_SPAN(trace_, "tau_build");
+      ComputeTau(index_, r_).swap(tau_);
+    }
     if (dag_.capacity() < (1u << 16)) dag_.reserve(1 << 16);
     if (stack_.capacity() < (1u << 10)) stack_.reserve(1 << 10);
     if (!SeedFromPrefixTable()) {
@@ -199,6 +203,7 @@ class SearchContext {
     }
     {
       BWTK_SCOPED_TIMER(kPhaseTreeTraversal);
+      BWTK_TRACE_SPAN(trace_, "tree_traversal");
       while (!stack_.empty()) {
         Frame frame = stack_.back();
         stack_.pop_back();
@@ -236,6 +241,7 @@ class SearchContext {
           if (!table->Lookup(v.key, &lo, &hi)) return;
           ++hits;
           ++stats_.stree_nodes;
+          BWTK_TRACE_NODE(trace_, q);
           int32_t mnode = mtree_.root();
           uint32_t upto = 0;
           for (int32_t s = 0; s < v.mismatches; ++s) {
@@ -256,6 +262,7 @@ class SearchContext {
         });
     BWTK_METRIC_COUNT2(kCounterPrefixTableHits, hits,
                        kCounterPrefixTableSkippedSteps, hits * q);
+    BWTK_TRACE_PREFIX_HITS(trace_, hits);
     return true;
   }
 
@@ -334,6 +341,7 @@ class SearchContext {
     for (DnaCode c = 0; c < kDnaAlphabetSize; ++c) {
       if (kids[c] == kNoChild) continue;
       ++stats_.stree_nodes;
+      BWTK_TRACE_NODE(trace_, frame.depth + 1);
       int32_t q = frame.mismatches;
       int32_t mnode = frame.mnode;
       if (c == expected) {
@@ -399,6 +407,7 @@ class SearchContext {
       chain.node_ids.push_back(child);
       chain.symbols.push_back(c);
       ++stats_.stree_nodes;
+      BWTK_TRACE_NODE(trace_, ppos + 1);
       if (c == r_[ppos]) {
         mnode = mtree_.AddMatching(mnode);
       } else {
@@ -457,6 +466,7 @@ class SearchContext {
   // real search steps afterwards (the extension step).
   bool DerivedChainWalk(Frame* frame) {
     BWTK_SCOPED_TIMER(kPhaseMerge);
+    BWTK_TRACE_SPAN(trace_, "merge");
     BWTK_METRIC_COUNT(kCounterMergeCalls);
     const Chain& chain = chains_[dag_[frame->node].chain_id];
     const size_t i = static_cast<size_t>(chain.first_alignment);
@@ -524,6 +534,7 @@ class SearchContext {
     // Beyond the horizon the derivation is blind: compare directly.
     for (size_t t = horizon + 1; t <= limit && !killed; ++t) {
       ++stats_.stree_nodes;
+      BWTK_TRACE_NODE(trace_, j + t);
       if (chain.symbols[t - 1] != r_[j + t - 1]) on_mismatch(t);
     }
     if (killed) return false;
@@ -556,6 +567,7 @@ class SearchContext {
       return it->second;
     }
     BWTK_SCOPED_TIMER(kPhaseRiBuild);
+    BWTK_TRACE_SPAN(trace_, "ri_build");
     BWTK_METRIC_COUNT(kCounterRijBuilds);
     if (!pattern_lcp_.has_value()) {
       auto built = PatternLcp::Build(r_);
@@ -570,6 +582,7 @@ class SearchContext {
 
   void ReportAt(int32_t node, int32_t mismatches, int32_t mnode = -1) {
     (void)mnode;
+    BWTK_TRACE_SPAN(trace_, "locate");
     ++stats_.completed_paths;
     mtree_.MarkLeaf();
     for (const size_t pos : index_.Locate(dag_[node].range, m_)) {
@@ -584,6 +597,9 @@ class SearchContext {
   const AlgorithmAOptions::Reuse reuse_;
   const bool use_tau_;
   const bool use_prefix_table_;
+  // The thread's active trace, hoisted once per query so per-node hooks are
+  // a single null check (no TLS access in the enumeration loop).
+  obs::Trace* const trace_ = BWTK_TRACE_ACTIVE();
 
   // Scratch-owned buffers, reset on entry and reused across queries.
   AlgorithmAScratch::Impl& scratch_;

@@ -7,6 +7,8 @@
 #include <utility>
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
+#include "obs/trace_export.h"
 #include "util/logging.h"
 
 namespace bwtk {
@@ -18,6 +20,10 @@ int ResolveThreadCount(int requested) {
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : static_cast<int>(hw);
 }
+
+// Aux (worker-lane) trace ids live in the top of the per-batch id space so
+// they can never collide with query indices.
+constexpr uint64_t kAuxIdBase = 0xFFFF0000ULL;
 
 }  // namespace
 
@@ -47,6 +53,14 @@ struct BatchSearcher::Pool {
   std::vector<std::vector<Occurrence>>* out = nullptr;
   std::atomic<size_t> cursor{0};
 
+  // Tracing. The sink exists iff tracing is on (trace_sample_rate > 0 in a
+  // metrics-enabled build); a null sink makes every per-query trace hook a
+  // cheap early-out. trace_base is the high half of this batch's trace ids,
+  // published under `mu` with the rest of the batch hand-off.
+  std::unique_ptr<obs::TraceSink> sink;
+  uint64_t batch_seq = 0;    // batches issued so far (guarded by mu)
+  uint64_t trace_base = 0;   // (batch_seq << 32) for the live batch (mu)
+
   void WorkerLoop(int tid) {
     uint64_t seen = 0;
     // One engine per worker: AlgorithmA is a thin const view of the shared
@@ -54,6 +68,10 @@ struct BatchSearcher::Pool {
     // with serial callers.
     const AlgorithmA engine(index, options.engine);
     for (;;) {
+      uint64_t base = 0;
+      obs::TraceSink* tsink = nullptr;
+      const uint64_t wait_begin_ns = obs::TraceClockNanos();
+      uint64_t wake_ns = 0;
       {
         // The wait is the worker's queue time: it covers pool start-up, the
         // gap between batches, and the final wake before shutdown.
@@ -63,19 +81,47 @@ struct BatchSearcher::Pool {
         work_cv.wait(lock, [&] { return shutdown || generation != seen; });
         if (shutdown) return;
         seen = generation;
+        base = trace_base;
+        tsink = sink.get();
+        wake_ns = obs::TraceClockNanos();
       }
       BWTK_SCOPED_TIMER(kPhaseWorkerSearch);
       SearchStats batch_stats;
+      uint64_t queries_run = 0;
       for (;;) {
         const size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
         if (i >= query_count) break;
         BWTK_METRIC_COUNT(kCounterBatchQueries);
         SearchStats query_stats;
+        // Trace id = batch sequence | query index: stable across runs, so
+        // the sampled subset does not depend on thread assignment.
+        obs::ScopedQueryTrace qt(tsink, base | i, "algorithm_a",
+                                 queries[i].k, queries[i].pattern.size(),
+                                 static_cast<uint32_t>(tid));
         std::vector<Occurrence> hits = engine.Search(
             queries[i].pattern, queries[i].k, &query_stats, &scratches[tid]);
         if (options.deterministic_order) NormalizeOccurrences(&hits);
+        qt.Finish(hits.size(), query_stats);
         (*out)[i] = std::move(hits);
         batch_stats += query_stats;
+        ++queries_run;
+      }
+      if (tsink != nullptr) {
+        // One aux lane per (batch, worker): how long the worker queued and
+        // how long it searched. Kept out of the slow-query log (a lane spans
+        // the whole batch and would always "win").
+        obs::Trace lane;
+        lane.trace_id = base | (kAuxIdBase + static_cast<uint64_t>(tid));
+        lane.engine = "batch_worker";
+        lane.thread_index = static_cast<uint32_t>(tid);
+        lane.begin_ns = wait_begin_ns;
+        lane.matches = queries_run;
+        const uint64_t end_ns = obs::TraceClockNanos();
+        lane.wall_ns = end_ns - wait_begin_ns;
+        lane.spans.push_back(
+            {"queue_wait", wait_begin_ns, wake_ns - wait_begin_ns, 0});
+        lane.spans.push_back({"worker_search", wake_ns, end_ns - wake_ns, 0});
+        tsink->OfferAux(std::move(lane));
       }
       {
         std::lock_guard<std::mutex> lock(mu);
@@ -92,6 +138,13 @@ BatchSearcher::BatchSearcher(const FmIndex* index, const BatchOptions& options)
   pool_->index = index;
   pool_->options = options;
   pool_->num_threads = ResolveThreadCount(options.num_threads);
+  if (BWTK_METRICS_ENABLED && options.trace_sample_rate > 0.0) {
+    obs::TraceSinkOptions sink_options;
+    sink_options.sample_rate = options.trace_sample_rate;
+    sink_options.slow_trace_count = options.slow_trace_count;
+    sink_options.sample_seed = options.trace_seed;
+    pool_->sink = std::make_unique<obs::TraceSink>(sink_options);
+  }
   pool_->scratches.resize(pool_->num_threads);
   pool_->thread_stats.resize(pool_->num_threads);
   pool_->workers.reserve(pool_->num_threads);
@@ -113,6 +166,10 @@ BatchSearcher::~BatchSearcher() {
 
 int BatchSearcher::num_threads() const { return pool_->num_threads; }
 
+const obs::TraceSink* BatchSearcher::trace_sink() const {
+  return pool_->sink.get();
+}
+
 BatchResult BatchSearcher::Search(const std::vector<BatchQuery>& queries) {
   BatchResult result;
   result.occurrences.resize(queries.size());
@@ -126,6 +183,8 @@ BatchResult BatchSearcher::Search(const std::vector<BatchQuery>& queries) {
     pool.query_count = queries.size();
     pool.out = &result.occurrences;
     pool.cursor.store(0, std::memory_order_relaxed);
+    pool.trace_base = pool.batch_seq << 32;
+    ++pool.batch_seq;
     pool.workers_left = pool.num_threads;
     for (SearchStats& stats : pool.thread_stats) stats = SearchStats{};
     ++pool.generation;
@@ -140,6 +199,13 @@ BatchResult BatchSearcher::Search(const std::vector<BatchQuery>& queries) {
   // Merge in tid order so the aggregate is reproducible run to run even
   // though the query→thread assignment is not.
   for (const SearchStats& stats : pool.thread_stats) result.stats += stats;
+  if (pool.sink != nullptr && !pool.options.trace_out.empty()) {
+    const Status status =
+        obs::WriteTraceFile(*pool.sink, pool.options.trace_out);
+    if (!status.ok()) {
+      BWTK_LOG(Warning) << "trace export failed: " << status.message();
+    }
+  }
   return result;
 }
 

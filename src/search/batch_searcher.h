@@ -27,6 +27,7 @@
 
 #include "alphabet/dna.h"
 #include "bwt/fm_index.h"
+#include "obs/trace.h"
 #include "search/algorithm_a.h"
 #include "search/match.h"
 #include "search/searcher.h"
@@ -61,6 +62,25 @@ struct BatchOptions {
 
   /// Engine knobs, passed through to every worker's AlgorithmA.
   AlgorithmAOptions engine = {};
+
+  /// Per-query tracing (see obs/trace.h). 0 disables tracing entirely — no
+  /// sink is created and the query path pays nothing. In (0, 1] each query
+  /// is traced with this probability; the decision hashes the stable trace
+  /// id `(batch sequence << 32) | query index`, so the sampled subset is
+  /// reproducible across runs and independent of thread assignment.
+  double trace_sample_rate = 0.0;
+
+  /// Slow-query log depth: the sink retains this many of the worst sampled
+  /// traces by wall time (see TraceSink). Effective only when tracing is on.
+  size_t slow_trace_count = 8;
+
+  /// XORed into the sampling hash; change to draw a different sample.
+  uint64_t trace_seed = 0;
+
+  /// When non-empty and tracing is on, every completed batch rewrites this
+  /// file with the sink's cumulative Chrome-trace JSON (WriteTraceFile).
+  /// Failures are logged as warnings, never fail the batch.
+  std::string trace_out;
 };
 
 /// Output of one batch: per-query hits in input order + aggregate counters.
@@ -106,6 +126,12 @@ class BatchSearcher {
 
   /// Actual pool size (after resolving num_threads = 0 and clamping).
   int num_threads() const;
+
+  /// The trace collector, or nullptr when tracing is disabled
+  /// (trace_sample_rate == 0, or the library was built with
+  /// -DBWTK_DISABLE_METRICS). Accumulates across batches; read it between
+  /// batches only (Search must not be in flight).
+  const obs::TraceSink* trace_sink() const;
 
  private:
   struct Pool;

@@ -6,6 +6,7 @@
 
 #include "bwt/prefix_table.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace bwtk {
@@ -42,6 +43,8 @@ std::vector<EditOccurrence> KErrorSearch::Search(
   std::vector<EditOccurrence> results;
   const size_t m = pattern.size();
   if (m == 0 || k < 0) return results;
+  // Hoisted once; the per-state hook in push() is a single null check.
+  [[maybe_unused]] obs::Trace* const trace = BWTK_TRACE_ACTIVE();
 
   struct Frame {
     FmIndex::Range range;
@@ -58,7 +61,10 @@ std::vector<EditOccurrence> KErrorSearch::Search(
                         << 32) |
                            static_cast<uint32_t>(frame.range.hi),
                        frame.consumed, frame.depth, frame.edits};
-    if (visited.insert(key).second) stack.push_back(frame);
+    if (visited.insert(key).second) {
+      BWTK_TRACE_NODE(trace, frame.consumed);
+      stack.push_back(frame);
+    }
   };
   // Prefix-table shortcut, sound only at k == 0: with no edit budget the
   // DFS can only follow the exact match branch, so its states are exactly
@@ -78,6 +84,7 @@ std::vector<EditOccurrence> KErrorSearch::Search(
     }
     BWTK_METRIC_COUNT2(kCounterPrefixTableHits, 1,
                        kCounterPrefixTableSkippedSteps, q);
+    BWTK_TRACE_PREFIX_HITS(trace, 1);
     push({{lo, hi}, q, q, 0});
   } else {
     push({index_->WholeRange(), 0, 0, 0});
@@ -85,6 +92,7 @@ std::vector<EditOccurrence> KErrorSearch::Search(
 
   // Best (edits, length) per reported start position.
   std::unordered_map<size_t, EditOccurrence> best;
+  BWTK_TRACE_SPAN(trace, "tree_traversal");
   while (!stack.empty()) {
     const Frame frame = stack.back();
     stack.pop_back();

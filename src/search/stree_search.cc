@@ -1,6 +1,7 @@
 #include "search/stree_search.h"
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "search/tau_heuristic.h"
 #include "util/logging.h"
 
@@ -10,6 +11,8 @@ std::vector<Occurrence> STreeSearch::Search(
     const std::vector<DnaCode>& pattern, int32_t k,
     SearchStats* stats) const {
   BWTK_SCOPED_HIST_TIMER(kHistQueryNanos);
+  // Hoisted once; per-node hooks below are a single null check.
+  [[maybe_unused]] obs::Trace* const trace = BWTK_TRACE_ACTIVE();
   SearchStats local_stats;
   std::vector<Occurrence> results;
   const size_t m = pattern.size();
@@ -19,7 +22,10 @@ std::vector<Occurrence> STreeSearch::Search(
   }
 
   std::vector<int32_t> tau;
-  if (options_.use_tau) tau = ComputeTau(*index_, pattern);
+  if (options_.use_tau) {
+    BWTK_TRACE_SPAN(trace, "tau_build");
+    tau = ComputeTau(*index_, pattern);
+  }
 
   struct Frame {
     FmIndex::Range range;
@@ -46,6 +52,7 @@ std::vector<Occurrence> STreeSearch::Search(
           if (!table->Lookup(v.key, &lo, &hi)) return;
           ++hits;
           ++local_stats.stree_nodes;
+          BWTK_TRACE_NODE(trace, q);
           if (options_.use_tau && k - v.mismatches < tau[q]) {
             ++local_stats.tau_pruned;
             return;
@@ -54,10 +61,12 @@ std::vector<Occurrence> STreeSearch::Search(
         });
     BWTK_METRIC_COUNT2(kCounterPrefixTableHits, hits,
                        kCounterPrefixTableSkippedSteps, hits * q);
+    BWTK_TRACE_PREFIX_HITS(trace, hits);
   } else {
     stack.push_back({index_->WholeRange(), 0, 0});
   }
   BWTK_SCOPED_TIMER(kPhaseTreeTraversal);
+  BWTK_TRACE_SPAN(trace, "tree_traversal");
   while (!stack.empty()) {
     const Frame frame = stack.back();
     stack.pop_back();
@@ -76,6 +85,7 @@ std::vector<Occurrence> STreeSearch::Search(
       const FmIndex::Range next = children[c];
       if (next.empty()) continue;
       ++local_stats.stree_nodes;
+      BWTK_TRACE_NODE(trace, frame.depth + 1);
       const int32_t mismatches = frame.mismatches + (c != expected ? 1 : 0);
       if (mismatches > k) {
         ++local_stats.budget_pruned;

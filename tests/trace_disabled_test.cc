@@ -1,0 +1,63 @@
+// Verifies that BWTK_DISABLE_METRICS compiles every tracing hook to a no-op.
+// Like metrics_disabled_test.cc, this TU defines the macro itself and is
+// linked into the trace_test binary; it includes ONLY obs/trace.h (and what
+// that pulls in) — the obs classes are defined unconditionally and
+// identically in every TU, only the macro expansions differ, so the per-TU
+// macro cannot create an ODR violation.
+
+#define BWTK_DISABLE_METRICS
+
+#include <gtest/gtest.h>
+
+#include "obs/trace.h"
+
+namespace bwtk {
+namespace {
+
+static_assert(BWTK_METRICS_ENABLED == 0,
+              "BWTK_DISABLE_METRICS must zero BWTK_METRICS_ENABLED");
+
+TEST(TraceDisabledTest, ActiveExpandsToCompileTimeNull) {
+  // In a disabled TU the hoisted pointer is a literal nullptr, so every
+  // downstream hook folds away; this must hold even while a trace is
+  // genuinely activated by enabled code elsewhere.
+  obs::Trace trace;
+  obs::ScopedTraceActivation activation(&trace);
+  obs::Trace* const hoisted = BWTK_TRACE_ACTIVE();
+  EXPECT_EQ(hoisted, nullptr);
+}
+
+TEST(TraceDisabledTest, HooksAreNoOps) {
+  obs::Trace trace;
+  obs::Trace* const hoisted = BWTK_TRACE_ACTIVE();
+  {
+    BWTK_TRACE_SPAN(hoisted, "never_recorded");
+    BWTK_TRACE_NODE(hoisted, 3);
+    BWTK_TRACE_PREFIX_HITS(hoisted, 7);
+  }
+  // The hooks above must not have touched any trace — not even one that is
+  // active on this thread.
+  obs::ScopedTraceActivation activation(&trace);
+  {
+    BWTK_TRACE_SPAN(BWTK_TRACE_ACTIVE(), "still_nothing");
+    BWTK_TRACE_NODE(BWTK_TRACE_ACTIVE(), 1);
+    BWTK_TRACE_PREFIX_HITS(BWTK_TRACE_ACTIVE(), 1);
+  }
+  EXPECT_TRUE(trace.spans.empty());
+  EXPECT_TRUE(trace.nodes_per_depth.empty());
+  EXPECT_EQ(trace.prefix_table_hits, 0u);
+}
+
+TEST(TraceDisabledTest, ClassesStillWorkWhenUsedDirectly) {
+  // The classes themselves are unconditional API — only the macros go dead.
+  // Direct use must behave identically to an enabled build.
+  obs::TraceSink sink({.sample_rate = 1.0});
+  {
+    obs::ScopedQueryTrace qt(&sink, 1, "direct", 0, 10);
+    EXPECT_TRUE(qt.active());
+  }
+  EXPECT_EQ(sink.traces_offered(), 1u);
+}
+
+}  // namespace
+}  // namespace bwtk

@@ -1,0 +1,219 @@
+#!/usr/bin/env python3
+"""Compare two bench_report JSON files and gate on regressions.
+
+Usage:
+    tools/bench_diff.py BASELINE.json NEW.json [--threshold PCT]
+                        [--gate-wall] [--wall-threshold PCT]
+
+Runs are matched by (genome, k, engine, threads). For each matched pair
+the tool prints a delta table and applies two kinds of gates:
+
+Correctness (always fatal): 'total_hits' and 'stats.completed_paths'
+must be byte-identical between baseline and new. The workloads are
+seeded and deterministic, so any change here means the search found a
+different answer — a bug, not a perf delta.
+
+Work counters (fatal past --threshold, default 10%): deterministic
+algorithm-work measures — stats.extend_calls, stats.stree_nodes,
+stats.mtree_nodes, stats.mtree_leaves — may not *increase* by more than
+the threshold. These are machine-independent (a fixed workload expands a
+fixed tree), which makes them the right CI gate: a committed baseline
+from one machine is comparable with a fresh run on another. Decreases
+are improvements and never gated.
+
+Wall time (informational by default): reads_per_second deltas are
+printed but only gated with --gate-wall (threshold --wall-threshold,
+default 20%), because absolute throughput is not comparable across
+machines. Use --gate-wall only when baseline and new ran on the same
+hardware.
+
+Runs present in the baseline but missing from the new report are fatal
+(coverage must not silently shrink); runs only in the new report are
+listed but allowed.
+
+Exit codes: 0 clean, 1 regression(s) found, 2 usage/IO error.
+
+Standard library only.
+"""
+
+import argparse
+import json
+import sys
+
+# (label, getter) — deterministic work counters gated on increase.
+WORK_COUNTERS = (
+    ("extend_calls", lambda run: run.get("stats", {}).get("extend_calls")),
+    ("stree_nodes", lambda run: run.get("stats", {}).get("stree_nodes")),
+    ("mtree_nodes", lambda run: run.get("stats", {}).get("mtree_nodes")),
+    ("mtree_leaves", lambda run: run.get("stats", {}).get("mtree_leaves")),
+)
+
+# Fields that must not change at all (deterministic correctness).
+EXACT_FIELDS = (
+    ("total_hits", lambda run: run.get("total_hits")),
+    ("completed_paths", lambda run: run.get("stats", {}).get("completed_paths")),
+)
+
+
+def run_key(run):
+    return (
+        run.get("genome"),
+        run.get("k"),
+        run.get("engine"),
+        run.get("threads"),
+    )
+
+
+def key_str(key):
+    genome, k, engine, threads = key
+    return f"{genome}/k={k}/{engine}/t={threads}"
+
+
+def load_runs(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    runs = doc.get("runs")
+    if not isinstance(runs, list):
+        raise ValueError(f"{path}: no 'runs' array (not a bench_report file?)")
+    indexed = {}
+    for run in runs:
+        if not isinstance(run, dict):
+            continue
+        key = run_key(run)
+        if key in indexed:
+            raise ValueError(f"{path}: duplicate run {key_str(key)}")
+        indexed[key] = run
+    return doc, indexed
+
+
+def pct_change(baseline, new):
+    if baseline == 0:
+        return 0.0 if new == 0 else float("inf")
+    return 100.0 * (new - baseline) / baseline
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0], add_help=True
+    )
+    parser.add_argument("baseline")
+    parser.add_argument("new")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=10.0,
+        help="max allowed %% increase in work counters (default 10)",
+    )
+    parser.add_argument(
+        "--gate-wall",
+        action="store_true",
+        help="also fail on reads_per_second drops past --wall-threshold",
+    )
+    parser.add_argument(
+        "--wall-threshold",
+        type=float,
+        default=20.0,
+        help="max allowed %% drop in reads_per_second with --gate-wall "
+        "(default 20)",
+    )
+    args = parser.parse_args(argv[1:])
+
+    try:
+        base_doc, base_runs = load_runs(args.baseline)
+        new_doc, new_runs = load_runs(args.new)
+    except (OSError, json.JSONDecodeError, ValueError) as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+
+    print(
+        f"baseline: {args.baseline} ({base_doc.get('name', '?')}, "
+        f"{len(base_runs)} runs)"
+    )
+    print(f"new:      {args.new} ({new_doc.get('name', '?')}, "
+          f"{len(new_runs)} runs)")
+    print(f"gate: work counters +{args.threshold:g}%; wall "
+          + (f"gated at -{args.wall_threshold:g}%" if args.gate_wall
+             else "informational"))
+    print()
+
+    failures = []
+    header = (
+        f"{'run':<40} {'metric':<16} {'baseline':>14} "
+        f"{'new':>14} {'delta%':>9}  verdict"
+    )
+    print(header)
+    print("-" * len(header))
+
+    for key in sorted(base_runs, key=key_str):
+        base = base_runs[key]
+        label = key_str(key)
+        if key not in new_runs:
+            failures.append(f"{label}: missing from new report")
+            print(f"{label:<40} {'(run)':<16} {'present':>14} "
+                  f"{'MISSING':>14} {'':>9}  FAIL")
+            continue
+        new = new_runs[key]
+
+        for metric, get in EXACT_FIELDS:
+            b, n = get(base), get(new)
+            if b is None or n is None:
+                continue  # older schema without the field: nothing to gate
+            verdict = "ok" if b == n else "FAIL"
+            if b != n:
+                failures.append(
+                    f"{label}: {metric} changed {b} -> {n} "
+                    "(correctness field, must be identical)"
+                )
+            if b != n:
+                print(f"{label:<40} {metric:<16} {b:>14} {n:>14} "
+                      f"{'':>9}  {verdict}")
+
+        for metric, get in WORK_COUNTERS:
+            b, n = get(base), get(new)
+            if b is None or n is None:
+                continue
+            delta = pct_change(b, n)
+            over = delta > args.threshold
+            verdict = "FAIL" if over else "ok"
+            if over:
+                failures.append(
+                    f"{label}: {metric} +{delta:.1f}% "
+                    f"({b} -> {n}, threshold +{args.threshold:g}%)"
+                )
+            print(f"{label:<40} {metric:<16} {b:>14} {n:>14} "
+                  f"{delta:>8.1f}%  {verdict}")
+
+        b_rps = base.get("reads_per_second")
+        n_rps = new.get("reads_per_second")
+        if isinstance(b_rps, (int, float)) and isinstance(n_rps, (int, float)):
+            delta = pct_change(b_rps, n_rps)
+            gated = args.gate_wall and delta < -args.wall_threshold
+            verdict = "FAIL" if gated else (
+                "ok" if args.gate_wall else "info")
+            if gated:
+                failures.append(
+                    f"{label}: reads_per_second {delta:.1f}% "
+                    f"({b_rps:.0f} -> {n_rps:.0f}, "
+                    f"threshold -{args.wall_threshold:g}%)"
+                )
+            print(f"{label:<40} {'reads_per_sec':<16} {b_rps:>14.0f} "
+                  f"{n_rps:>14.0f} {delta:>8.1f}%  {verdict}")
+
+    extra = sorted(set(new_runs) - set(base_runs), key=key_str)
+    if extra:
+        print()
+        for key in extra:
+            print(f"note: {key_str(key)} only in new report (allowed)")
+
+    print()
+    if failures:
+        print(f"REGRESSIONS ({len(failures)}):", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

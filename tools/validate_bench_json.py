@@ -11,6 +11,10 @@ every level, plus the grid-coverage floor from the experiment pipeline
 (at least 2 distinct genomes, at least 3 distinct k values, and both a
 serial engine (algorithm_a) and the batch engine) and that every run
 reports the four paper phases (rank, ri_build, merge, tree_traversal).
+The per-run 'latency_estimate' object (p50/p95/p99 nanoseconds derived
+from the log2 query-latency histogram) is optional — older reports
+predate it — but when present its quantiles must be non-negative
+integers in non-decreasing order (p50 <= p95 <= p99).
 The index-configuration fields 'rank_kernel' / 'prefix_table_q' on genome
 entries are optional (older reports predate them) but type-checked when
 present, and a run whose counters claim prefix_table_hits > 0 while its
@@ -178,9 +182,34 @@ class Validator:
                     f"bucket counts sum to {total}, 'count' says {entry['count']}",
                 )
 
+    def check_latency_estimate(self, entry, where):
+        if not isinstance(entry, dict):
+            self.error(where, "must be an object")
+            return
+        quantiles = []
+        for field in ("p50_nanos", "p95_nanos", "p99_nanos", "samples"):
+            v = entry.get(field)
+            if not isinstance(v, int) or isinstance(v, bool) or v < 0:
+                self.error(where, f"'{field}' must be a non-negative integer")
+                return
+            if field != "samples":
+                quantiles.append(v)
+        if "estimated" in entry and not isinstance(entry["estimated"], bool):
+            self.error(where, "'estimated' must be a boolean")
+        if quantiles != sorted(quantiles):
+            self.error(
+                where,
+                f"quantiles must be non-decreasing (p50 <= p95 <= p99), "
+                f"got {quantiles}",
+            )
+
     def check_run(self, run, where):
         if not self.require(run, where, RUN_FIELDS):
             return
+        if "latency_estimate" in run:
+            self.check_latency_estimate(
+                run["latency_estimate"], f"{where}.latency_estimate"
+            )
         missing_stats = [f for f in STATS_FIELDS if f not in run["stats"]]
         if missing_stats:
             self.error(f"{where}.stats", f"missing fields {missing_stats}")
