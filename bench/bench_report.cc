@@ -16,19 +16,31 @@
 // marked "estimated": true in the JSON.
 //
 //   bench_report [--name NAME] [--out DIR] [--smoke] [--threads N]
-//                [--prefix-q Q]
+//                [--prefix-q Q] [--shards S]
 //
 // --smoke shrinks sizes for CI while keeping the full grid shape (2 genomes
-// x 3 k values x 3 engines). BWTK_BENCH_SCALE applies as everywhere else.
-// --prefix-q attaches a q-gram prefix interval table to every index (0 =
-// none, the default — keeps old and new reports cell-for-cell comparable);
-// each genome entry records its "rank_kernel" and "prefix_table_q" so a
-// report is self-describing about the index configuration it measured.
+// x 3 k values x the engine list). BWTK_BENCH_SCALE applies as everywhere
+// else. --prefix-q attaches a q-gram prefix interval table to every index
+// (0 = none, the default — keeps old and new reports cell-for-cell
+// comparable); each genome entry records its "rank_kernel" and
+// "prefix_table_q" so a report is self-describing about the index
+// configuration it measured.
+//
+// The serial kerror engine (Levenshtein distance) runs only for k <= 2: its
+// backtracking state space grows steeply with the budget and would dominate
+// the grid's wall time at larger k.
+//
+// --shards S (0 = off) additionally builds an S-shard ShardedIndex per
+// genome — timing the parallel shard build against the monolithic one in
+// the genome entry ("sharded_index_build_seconds", "num_shards") — and adds
+// a "sharded" engine cell per k running the same batch workload through
+// ShardedBatchSearcher; those runs carry a "num_shards" field.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -41,7 +53,10 @@
 #include "obs/report.h"
 #include "search/algorithm_a.h"
 #include "search/batch_searcher.h"
+#include "search/kerror_search.h"
 #include "search/stree_search.h"
+#include "shard/sharded_index.h"
+#include "shard/sharded_searcher.h"
 #include "util/stopwatch.h"
 
 namespace bwtk::bench {
@@ -61,11 +76,15 @@ struct Calibration {
 struct CellResult {
   std::string engine;
   int threads = 1;
+  size_t num_shards = 0;  // > 0 only for the "sharded" engine
   double wall_seconds = 0;
   size_t total_hits = 0;
   SearchStats stats;
   obs::MetricsBlock delta;
 };
+
+/// Largest k the serial kerror cells run at (see the file comment).
+constexpr int32_t kMaxKErrorBudget = 2;
 
 // Average per-call cost of the two rank primitives, measured against the
 // real index so checkpoint-gap scanning is represented.
@@ -113,6 +132,57 @@ CellResult RunSerial(const FmIndex& index, bool algorithm_a,
                                   : stree.Search(read, k, &stats);
     cell.total_hits += hits.size();
     cell.stats += stats;
+  }
+  cell.wall_seconds = watch.ElapsedSeconds();
+  cell.delta =
+      obs::Diff(obs::MetricsRegistry::Instance().Snapshot(), before);
+  return cell;
+}
+
+CellResult RunKError(const FmIndex& index,
+                     const std::vector<std::vector<DnaCode>>& reads,
+                     int32_t k) {
+  CellResult cell;
+  cell.engine = "kerror";
+  const KErrorSearch kerror(&index);
+  const obs::MetricsBlock before = obs::MetricsRegistry::Instance().Snapshot();
+  Stopwatch watch;
+  for (const auto& read : reads) {
+    // KErrorSearch is not SearchStats-instrumented (cell.stats stays zero);
+    // the registry delta still captures its rank/extend counter footprint.
+    cell.total_hits += kerror.Search(read, k).size();
+  }
+  cell.wall_seconds = watch.ElapsedSeconds();
+  cell.delta =
+      obs::Diff(obs::MetricsRegistry::Instance().Snapshot(), before);
+  return cell;
+}
+
+CellResult RunSharded(const ShardedIndex& index,
+                      const std::vector<std::vector<DnaCode>>& reads,
+                      int32_t k, int threads) {
+  CellResult cell;
+  cell.engine = "sharded";
+  cell.threads = threads;
+  cell.num_shards = index.num_shards();
+  std::vector<BatchQuery> queries;
+  queries.reserve(reads.size());
+  for (const auto& read : reads) queries.push_back({read, k});
+  const obs::MetricsBlock before = obs::MetricsRegistry::Instance().Snapshot();
+  Stopwatch watch;
+  {
+    // Like RunBatch: pool construction/teardown inside the timed region.
+    ShardedBatchSearcher sharded(&index, {.num_threads = threads});
+    auto result = sharded.Search(queries);
+    if (!result.ok()) {
+      std::fprintf(stderr, "sharded cell failed: %s\n",
+                   result.status().ToString().c_str());
+      std::exit(1);
+    }
+    cell.stats = result->stats;
+    for (const auto& hits : result->occurrences) {
+      cell.total_hits += hits.size();
+    }
   }
   cell.wall_seconds = watch.ElapsedSeconds();
   cell.delta =
@@ -180,6 +250,7 @@ int Run(int argc, char** argv) {
   bool smoke = false;
   int threads = 4;
   int prefix_q = 0;
+  int shards = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
@@ -191,13 +262,16 @@ int Run(int argc, char** argv) {
       threads = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--prefix-q") == 0 && i + 1 < argc) {
       prefix_q = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      shards = std::atoi(argv[++i]);
     } else {
       std::fprintf(stderr,
                    "usage: bench_report [--name NAME] [--out DIR] [--smoke] "
-                   "[--threads N] [--prefix-q Q]\n");
+                   "[--threads N] [--prefix-q Q] [--shards S]\n");
       return 2;
     }
   }
+  if (shards < 0) shards = 0;
   if (threads <= 0) threads = 4;
   if (prefix_q < 0 ||
       prefix_q > static_cast<int>(PrefixIntervalTable::kMaxQ)) {
@@ -216,10 +290,17 @@ int Run(int argc, char** argv) {
   const size_t read_length = smoke ? 50 : 100;
   const size_t read_count = smoke ? 6 : 20;
 
+  std::vector<std::string> engines = {"stree", "algorithm_a", "kerror",
+                                      "batch"};
+  if (shards > 0) engines.push_back("sharded");
+  // Overlap covering every read window the grid issues, kerror included.
+  const size_t shard_overlap =
+      read_length + static_cast<size_t>(kMaxKErrorBudget);
+
   PrintBanner("bench_report: observability grid -> BENCH_" + name + ".json",
               std::to_string(genomes.size()) + " genomes x " +
-                  std::to_string(k_values.size()) +
-                  " k values x 3 engines, reads " +
+                  std::to_string(k_values.size()) + " k values x " +
+                  std::to_string(engines.size()) + " engines, reads " +
                   std::to_string(read_length) + " bp x " +
                   std::to_string(read_count));
 
@@ -248,7 +329,7 @@ int Run(int argc, char** argv) {
   json.EndArray().Key("k_values").BeginArray();
   for (const int32_t k : k_values) json.Value(k);
   json.EndArray().Key("engines").BeginArray();
-  for (const char* e : {"stree", "algorithm_a", "batch"}) json.Value(e);
+  for (const std::string& e : engines) json.Value(e);
   json.EndArray()
       .Key("read_length")
       .Value(static_cast<uint64_t>(read_length))
@@ -258,6 +339,8 @@ int Run(int argc, char** argv) {
       .Value(threads)
       .Key("prefix_table_q")
       .Value(static_cast<uint64_t>(prefix_q))
+      .Key("num_shards")
+      .Value(static_cast<uint64_t>(shards))
       .EndObject();
 
   TablePrinter table({"genome", "k", "engine", "wall", "reads/s", "hits",
@@ -270,6 +353,7 @@ int Run(int argc, char** argv) {
     std::vector<std::vector<DnaCode>> reads;
     FmIndex index;
     Calibration cal;
+    std::unique_ptr<ShardedIndex> sharded;  // only with --shards > 0
   };
   std::vector<BuiltGenome> built;
   for (const auto& spec : genomes) {
@@ -287,6 +371,24 @@ int Run(int argc, char** argv) {
         obs::Diff(obs::MetricsRegistry::Instance().Snapshot(), before);
     std::printf("# %s: %s\n", spec.name.c_str(),
                 DescribeIndexConfig(index).c_str());
+    std::unique_ptr<ShardedIndex> sharded;
+    double sharded_build_seconds = 0;
+    if (shards > 0) {
+      ShardedIndexOptions shard_options;
+      shard_options.num_shards = static_cast<size_t>(shards);
+      shard_options.overlap = shard_overlap;
+      shard_options.index_options.prefix_table_q =
+          static_cast<uint32_t>(prefix_q);
+      Stopwatch shard_watch;
+      auto result = ShardedIndex::Build(genome, shard_options);
+      if (!result.ok()) {
+        std::fprintf(stderr, "sharded build failed for %s: %s\n",
+                     spec.name.c_str(), result.status().ToString().c_str());
+        return 1;
+      }
+      sharded_build_seconds = shard_watch.ElapsedSeconds();
+      sharded = std::make_unique<ShardedIndex>(std::move(result).value());
+    }
     const Calibration cal = CalibrateRank(index);
     json.BeginObject()
         .Key("name")
@@ -308,11 +410,21 @@ int Run(int argc, char** argv) {
         .Key("rank_kernel")
         .Value(index.rank_kernel_name())
         .Key("prefix_table_q")
-        .Value(index.prefix_table_q())
-        .EndObject();
+        .Value(index.prefix_table_q());
+    if (sharded != nullptr) {
+      json.Key("sharded_index_build_seconds")
+          .Value(sharded_build_seconds)
+          .Key("num_shards")
+          .Value(static_cast<uint64_t>(sharded->num_shards()))
+          .Key("shard_overlap")
+          .Value(static_cast<uint64_t>(sharded->overlap()))
+          .Key("sharded_index_bytes")
+          .Value(static_cast<uint64_t>(sharded->MemoryUsage()));
+    }
+    json.EndObject();
     built.push_back({spec, length,
                      MakeReads(genome, read_length, read_count, spec.seed + 7),
-                     std::move(index), cal});
+                     std::move(index), cal, std::move(sharded)});
   }
   json.EndArray();
 
@@ -325,7 +437,13 @@ int Run(int argc, char** argv) {
       std::vector<CellResult> cells;
       cells.push_back(RunSerial(g.index, /*algorithm_a=*/false, g.reads, k));
       cells.push_back(RunSerial(g.index, /*algorithm_a=*/true, g.reads, k));
+      if (k <= kMaxKErrorBudget) {
+        cells.push_back(RunKError(g.index, g.reads, k));
+      }
       cells.push_back(RunBatch(g.index, g.reads, k, threads));
+      if (g.sharded != nullptr) {
+        cells.push_back(RunSharded(*g.sharded, g.reads, k, threads));
+      }
       for (const CellResult& cell : cells) {
         const double reads_per_second =
             cell.wall_seconds > 0
@@ -345,8 +463,11 @@ int Run(int argc, char** argv) {
             .Key("engine")
             .Value(cell.engine)
             .Key("threads")
-            .Value(cell.threads)
-            .Key("wall_seconds")
+            .Value(cell.threads);
+        if (cell.num_shards > 0) {
+          json.Key("num_shards").Value(static_cast<uint64_t>(cell.num_shards));
+        }
+        json.Key("wall_seconds")
             .Value(cell.wall_seconds)
             .Key("reads_per_second")
             .Value(reads_per_second)

@@ -6,6 +6,10 @@
 //   ./read_mapper [flags] genome.fa reads.fq [k] [t] # FASTQ vs FASTA,
 //                                                    # t worker threads
 // Flags:
+//   --shards=N          cut the genome into N shards (parallel per-shard
+//                       index build, seam-exact routed search); overlap is
+//                       sized automatically to max read length + k so
+//                       output stays identical to the monolithic index
 //   --trace-out=FILE    write a Chrome trace-event JSON file (open it in
 //                       https://ui.perfetto.dev or chrome://tracing) with
 //                       sampled per-query traces + the slow-query log
@@ -25,6 +29,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -43,6 +48,7 @@ struct TraceFlags {
   std::string trace_out;
   double sample_rate = -1.0;  // <0: unset; resolves to 0.01 with trace_out
   size_t slow_count = 8;
+  size_t num_shards = 0;  // 0/1: monolithic index; >=2: sharded
 };
 
 double ResolvedSampleRate(const TraceFlags& flags) {
@@ -75,28 +81,60 @@ void PrintSlowQueries(const bwtk::obs::TraceSink& sink) {
 int RunPipeline(const std::vector<bwtk::DnaCode>& genome,
                 const std::vector<bwtk::FastqRecord>& reads, int32_t k,
                 int num_threads, const TraceFlags& trace_flags) {
-  bwtk::Stopwatch build_watch;
-  auto searcher_or = bwtk::KMismatchSearcher::Build(genome);
-  if (!searcher_or.ok()) {
-    std::fprintf(stderr, "index build failed: %s\n",
-                 searcher_or.status().ToString().c_str());
-    return 1;
-  }
-  const auto& searcher = *searcher_or;
-  std::printf("# indexed %zu bp in %.3f s (index memory: %.2f MB)\n",
-              genome.size(), build_watch.ElapsedSeconds(),
-              searcher.index().MemoryUsage() / 1048576.0);
-  std::printf("# rank kernel: %.*s, prefix table q: %u\n",
-              static_cast<int>(searcher.index().rank_kernel_name().size()),
-              searcher.index().rank_kernel_name().data(),
-              searcher.index().prefix_table_q());
-
-  // Queries 2i and 2i+1 are the forward and reverse strand of read i.
+  // Queries 2i and 2i+1 are the forward and reverse strand of read i. Built
+  // before the index so sharded mode can size its overlap to the longest
+  // read (+ k), the exactness bound of the seam router.
   std::vector<bwtk::BatchQuery> queries;
   queries.reserve(reads.size() * 2);
+  size_t max_read_length = 0;
   for (const auto& read : reads) {
+    if (read.sequence.size() > max_read_length) {
+      max_read_length = read.sequence.size();
+    }
     queries.push_back({read.sequence, k});
     queries.push_back({bwtk::ReverseComplement(read.sequence), k});
+  }
+
+  const size_t num_shards = trace_flags.num_shards;
+  std::optional<bwtk::KMismatchSearcher> searcher;
+  std::optional<bwtk::ShardedIndex> sharded;
+  bwtk::Stopwatch build_watch;
+  if (num_shards >= 2) {
+    bwtk::ShardedIndexOptions shard_options;
+    shard_options.num_shards = num_shards;
+    shard_options.overlap = max_read_length + static_cast<size_t>(k);
+    shard_options.num_build_threads = num_threads;
+    auto sharded_or = bwtk::ShardedIndex::Build(genome, shard_options);
+    if (!sharded_or.ok()) {
+      std::fprintf(stderr, "sharded index build failed: %s\n",
+                   sharded_or.status().ToString().c_str());
+      return 1;
+    }
+    sharded.emplace(std::move(sharded_or).value());
+    std::printf(
+        "# indexed %zu bp in %.3f s across %zu shards "
+        "(overlap %zu, index memory: %.2f MB)\n",
+        genome.size(), build_watch.ElapsedSeconds(), sharded->num_shards(),
+        sharded->overlap(), sharded->MemoryUsage() / 1048576.0);
+    const bwtk::FmIndex& shard0 = sharded->shard(0);
+    std::printf("# rank kernel: %.*s, prefix table q: %u\n",
+                static_cast<int>(shard0.rank_kernel_name().size()),
+                shard0.rank_kernel_name().data(), shard0.prefix_table_q());
+  } else {
+    auto searcher_or = bwtk::KMismatchSearcher::Build(genome);
+    if (!searcher_or.ok()) {
+      std::fprintf(stderr, "index build failed: %s\n",
+                   searcher_or.status().ToString().c_str());
+      return 1;
+    }
+    searcher.emplace(std::move(searcher_or).value());
+    std::printf("# indexed %zu bp in %.3f s (index memory: %.2f MB)\n",
+                genome.size(), build_watch.ElapsedSeconds(),
+                searcher->index().MemoryUsage() / 1048576.0);
+    std::printf("# rank kernel: %.*s, prefix table q: %u\n",
+                static_cast<int>(searcher->index().rank_kernel_name().size()),
+                searcher->index().rank_kernel_name().data(),
+                searcher->index().prefix_table_q());
   }
 
   bwtk::BatchOptions batch_options;
@@ -111,8 +149,26 @@ int RunPipeline(const std::vector<bwtk::DnaCode>& genome,
   const bwtk::obs::MetricsBlock before =
       bwtk::obs::MetricsRegistry::Instance().Snapshot();
   bwtk::Stopwatch map_watch;
-  bwtk::BatchSearcher batch(searcher, batch_options);
-  const bwtk::BatchResult result = batch.Search(queries);
+  // The engines stay alive past the search so the trace sink (borrowed
+  // below) remains valid through reporting.
+  std::optional<bwtk::BatchSearcher> mono_engine;
+  std::optional<bwtk::ShardedBatchSearcher> shard_engine;
+  bwtk::BatchResult result;
+  if (sharded) {
+    shard_engine.emplace(&*sharded, batch_options);
+    auto result_or = shard_engine->Search(queries);
+    if (!result_or.ok()) {
+      std::fprintf(stderr, "sharded search failed: %s\n",
+                   result_or.status().ToString().c_str());
+      return 1;
+    }
+    result = std::move(result_or).value();
+  } else {
+    mono_engine.emplace(*searcher, batch_options);
+    result = mono_engine->Search(queries);
+  }
+  const int used_threads =
+      sharded ? shard_engine->num_threads() : mono_engine->num_threads();
   const double map_seconds = map_watch.ElapsedSeconds();
   const bwtk::obs::MetricsBlock delta =
       bwtk::obs::Diff(bwtk::obs::MetricsRegistry::Instance().Snapshot(),
@@ -149,16 +205,22 @@ int RunPipeline(const std::vector<bwtk::DnaCode>& genome,
   std::printf(
       "# mapped %zu/%zu reads (%zu multi-mapping, %zu unmapped) "
       "in %.3f s on %d threads (%.0f reads/s)\n",
-      mapped, reads.size(), multi, unmapped, map_seconds, batch.num_threads(),
+      mapped, reads.size(), multi, unmapped, map_seconds, used_threads,
       reads.empty() ? 0.0 : reads.size() / map_seconds);
   std::printf("# M-tree leaves (n') total: %llu; search() calls: %llu\n",
               static_cast<unsigned long long>(result.stats.mtree_leaves),
               static_cast<unsigned long long>(result.stats.extend_calls));
+  if (sharded) {
+    std::printf("# sharded: %zu shards, %llu seam duplicates removed\n",
+                sharded->num_shards(),
+                static_cast<unsigned long long>(result.seam_hits_deduped));
+  }
 
   // The one-line batch summary: throughput + latency quantiles + slow log.
   const bwtk::obs::Histogram& latency =
       delta.hists[bwtk::obs::kHistQueryNanos];
-  const bwtk::obs::TraceSink* sink = batch.trace_sink();
+  const bwtk::obs::TraceSink* sink =
+      sharded ? shard_engine->trace_sink() : mono_engine->trace_sink();
   std::printf(
       "# batch: %zu reads in %.3f s (%.0f reads/s), query p50=%.1fus "
       "p95=%.1fus (n=%llu), slow-log %zu\n",
@@ -196,6 +258,9 @@ int main(int argc, char** argv) {
       trace_flags.sample_rate = std::atof(arg + 15);
     } else if (std::strncmp(arg, "--slow=", 7) == 0) {
       trace_flags.slow_count = static_cast<size_t>(std::atoi(arg + 7));
+    } else if (std::strncmp(arg, "--shards=", 9) == 0) {
+      const int shards = std::atoi(arg + 9);
+      trace_flags.num_shards = shards > 0 ? static_cast<size_t>(shards) : 0;
     } else if (std::strncmp(arg, "--", 2) == 0) {
       std::fprintf(stderr, "unknown flag %s\n", arg);
       return 2;

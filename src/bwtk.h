@@ -36,6 +36,9 @@
 #include "search/searcher.h"
 #include "search/stree_search.h"
 #include "search/wildcard_search.h"
+#include "shard/shard_plan.h"
+#include "shard/sharded_index.h"
+#include "shard/sharded_searcher.h"
 #include "simulate/genome_generator.h"
 #include "simulate/read_simulator.h"
 #include "util/status.h"

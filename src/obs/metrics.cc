@@ -13,6 +13,7 @@ constexpr std::string_view kCounterNames[kNumCounters] = {
     "lf_steps",        "locate_calls",   "rij_builds",   "rij_cache_hits",
     "merge_calls",     "chain_builds",   "batch_batches", "batch_queries",
     "prefix_table_hits", "prefix_table_skipped_steps",
+    "shard_queries",   "seam_hits_deduped",
 };
 
 constexpr std::string_view kPhaseNames[kNumPhases] = {

@@ -76,6 +76,10 @@ enum CounterId : uint32_t {
   /// Extend calls that would have run without the table; compare against
   /// extend_calls to see the fraction of stepping the table absorbed.
   kCounterPrefixTableSkippedSteps,
+  // shard layer (shard/sharded_searcher.h). Counted by the router, off the
+  // per-node hot path.
+  kCounterShardQueries,     ///< (query, shard) tasks fanned out by routers.
+  kCounterSeamHitsDeduped,  ///< overlap-seam hits discarded by ownership.
   kNumCounters
 };
 

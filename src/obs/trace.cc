@@ -136,7 +136,7 @@ void TraceSink::Clear() {
 ScopedQueryTrace::ScopedQueryTrace(TraceSink* sink, uint64_t trace_id,
                                    std::string_view engine, int32_t k,
                                    size_t pattern_length,
-                                   uint32_t thread_index) {
+                                   uint32_t thread_index, uint32_t shard_id) {
   if (sink == nullptr || !sink->ShouldSample(trace_id)) return;
   sink_ = sink;
   active_ = true;
@@ -144,6 +144,7 @@ ScopedQueryTrace::ScopedQueryTrace(TraceSink* sink, uint64_t trace_id,
   trace_.engine.assign(engine);
   trace_.k = k;
   trace_.thread_index = thread_index;
+  trace_.shard_id = shard_id;
   trace_.pattern_length = pattern_length;
   trace_.nodes_per_depth.reserve(pattern_length + 1);
   trace_.begin_ns = TraceClockNanos();

@@ -91,6 +91,10 @@ struct Trace {
   std::string engine;
   int32_t k = 0;
   uint32_t thread_index = 0;
+  /// Which index of a sharded/multi-index group ran the query (0 for the
+  /// monolithic engines). Set by BatchSearcher's fanout path so sharded
+  /// traces carry their shard as a first-class dimension.
+  uint32_t shard_id = 0;
   uint64_t pattern_length = 0;
   uint64_t begin_ns = 0;  ///< TraceClockNanos() when the query started.
   uint64_t wall_ns = 0;   ///< total query wall time.
@@ -253,7 +257,8 @@ class TraceSink {
 class ScopedQueryTrace {
  public:
   ScopedQueryTrace(TraceSink* sink, uint64_t trace_id, std::string_view engine,
-                   int32_t k, size_t pattern_length, uint32_t thread_index = 0);
+                   int32_t k, size_t pattern_length, uint32_t thread_index = 0,
+                   uint32_t shard_id = 0);
   ~ScopedQueryTrace();
   ScopedQueryTrace(const ScopedQueryTrace&) = delete;
   ScopedQueryTrace& operator=(const ScopedQueryTrace&) = delete;

@@ -71,6 +71,8 @@ void AppendChromeEvents(const Trace& trace, JsonWriter* writer) {
       .Value(trace.trace_id)
       .Key("k")
       .Value(static_cast<int64_t>(trace.k))
+      .Key("shard_id")
+      .Value(static_cast<uint64_t>(trace.shard_id))
       .Key("pattern_length")
       .Value(trace.pattern_length)
       .Key("matches")
@@ -98,6 +100,8 @@ void AppendTraceSummary(const Trace& trace, JsonWriter* writer) {
       .Value(trace.engine)
       .Key("thread")
       .Value(static_cast<uint64_t>(trace.thread_index))
+      .Key("shard_id")
+      .Value(static_cast<uint64_t>(trace.shard_id))
       .Key("k")
       .Value(static_cast<int64_t>(trace.k))
       .Key("pattern_length")
@@ -147,6 +151,8 @@ void AppendTraceTotals(const Trace& trace, JsonWriter* writer) {
       .Value(trace.trace_id)
       .Key("k")
       .Value(static_cast<uint64_t>(trace.k < 0 ? 0 : trace.k))
+      .Key("shard_id")
+      .Value(static_cast<uint64_t>(trace.shard_id))
       .Key("pattern_length")
       .Value(trace.pattern_length)
       .Key("wall_ns")

@@ -9,6 +9,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "obs/trace_export.h"
+#include "search/kerror_search.h"
 #include "util/logging.h"
 
 namespace bwtk {
@@ -22,17 +23,32 @@ int ResolveThreadCount(int requested) {
 }
 
 // Aux (worker-lane) trace ids live in the top of the per-batch id space so
-// they can never collide with query indices.
+// they can never collide with task indices.
 constexpr uint64_t kAuxIdBase = 0xFFFF0000ULL;
 
 }  // namespace
 
+std::string_view BatchEngineName(BatchEngine engine) {
+  switch (engine) {
+    case BatchEngine::kAlgorithmA:
+      return "algorithm_a";
+    case BatchEngine::kSTree:
+      return "stree";
+    case BatchEngine::kKError:
+      return "kerror";
+  }
+  return "unknown";
+}
+
 // All pool state. The mutex guards the batch hand-off (generation counter,
 // batch pointers, completion count); the query path itself is lock-free —
-// workers claim query indices from `cursor` and write disjoint slots of the
-// output vector, which is pre-sized before workers wake.
+// workers claim task indices from `cursor` and write disjoint slots of the
+// output vector, which is pre-sized before workers wake. A task is a
+// (query, index) pair: task t runs queries[t / S] against indexes[t % S],
+// where S = indexes.size(). For the common single-index pool the task index
+// IS the query index.
 struct BatchSearcher::Pool {
-  const FmIndex* index;
+  std::vector<const FmIndex*> indexes;
   BatchOptions options;
   int num_threads;
 
@@ -47,9 +63,11 @@ struct BatchSearcher::Pool {
   bool shutdown = false;            // (guarded by mu)
   int workers_left = 0;             // workers still in the batch (mu)
 
-  // Current batch, valid while workers_left > 0.
+  // Current batch, valid while workers_left > 0. `out` has one slot per
+  // task (query_count * indexes.size()).
   const BatchQuery* queries = nullptr;
   size_t query_count = 0;
+  size_t task_count = 0;
   std::vector<std::vector<Occurrence>>* out = nullptr;
   std::atomic<size_t> cursor{0};
 
@@ -63,10 +81,35 @@ struct BatchSearcher::Pool {
 
   void WorkerLoop(int tid) {
     uint64_t seen = 0;
-    // One engine per worker: AlgorithmA is a thin const view of the shared
-    // index plus options, so this costs nothing and keeps workers symmetric
-    // with serial callers.
-    const AlgorithmA engine(index, options.engine);
+    const size_t num_indexes = indexes.size();
+    // One engine per (worker, index): each engine is a thin const view of
+    // its shared index plus options, so this costs nothing and keeps
+    // workers symmetric with serial callers. Only the configured engine
+    // family is instantiated.
+    std::vector<AlgorithmA> a_engines;
+    std::vector<STreeSearch> stree_engines;
+    std::vector<KErrorSearch> kerror_engines;
+    switch (options.engine) {
+      case BatchEngine::kAlgorithmA:
+        a_engines.reserve(num_indexes);
+        for (const FmIndex* index : indexes) {
+          a_engines.emplace_back(index, options.algorithm_a);
+        }
+        break;
+      case BatchEngine::kSTree:
+        stree_engines.reserve(num_indexes);
+        for (const FmIndex* index : indexes) {
+          stree_engines.emplace_back(index, options.stree);
+        }
+        break;
+      case BatchEngine::kKError:
+        kerror_engines.reserve(num_indexes);
+        for (const FmIndex* index : indexes) {
+          kerror_engines.emplace_back(index);
+        }
+        break;
+    }
+    const std::string_view engine_name = BatchEngineName(options.engine);
     for (;;) {
       uint64_t base = 0;
       obs::TraceSink* tsink = nullptr;
@@ -87,24 +130,53 @@ struct BatchSearcher::Pool {
       }
       BWTK_SCOPED_TIMER(kPhaseWorkerSearch);
       SearchStats batch_stats;
-      uint64_t queries_run = 0;
+      uint64_t tasks_run = 0;
       for (;;) {
-        const size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
-        if (i >= query_count) break;
+        const size_t t = cursor.fetch_add(1, std::memory_order_relaxed);
+        if (t >= task_count) break;
+        const size_t q = t / num_indexes;
+        const size_t s = t % num_indexes;
+        const BatchQuery& query = queries[q];
+        // A negative budget marks a query skipped at decode time (ASCII
+        // fail_fast = false path); its slots stay empty.
+        if (query.k < 0) continue;
         BWTK_METRIC_COUNT(kCounterBatchQueries);
         SearchStats query_stats;
-        // Trace id = batch sequence | query index: stable across runs, so
+        // Trace id = batch sequence | task index: stable across runs, so
         // the sampled subset does not depend on thread assignment.
-        obs::ScopedQueryTrace qt(tsink, base | i, "algorithm_a",
-                                 queries[i].k, queries[i].pattern.size(),
-                                 static_cast<uint32_t>(tid));
-        std::vector<Occurrence> hits = engine.Search(
-            queries[i].pattern, queries[i].k, &query_stats, &scratches[tid]);
+        obs::ScopedQueryTrace qt(tsink, base | t, engine_name, query.k,
+                                 query.pattern.size(),
+                                 static_cast<uint32_t>(tid),
+                                 static_cast<uint32_t>(s));
+        std::vector<Occurrence> hits;
+        switch (options.engine) {
+          case BatchEngine::kAlgorithmA:
+            hits = a_engines[s].Search(query.pattern, query.k, &query_stats,
+                                       &scratches[tid]);
+            break;
+          case BatchEngine::kSTree:
+            hits = stree_engines[s].Search(query.pattern, query.k,
+                                           &query_stats);
+            break;
+          case BatchEngine::kKError: {
+            // Project each best-per-position alignment onto the Hamming
+            // result shape; the matched length is dropped (see BatchEngine).
+            // KErrorSearch is not SearchStats-instrumented; query_stats
+            // stays zero.
+            const std::vector<EditOccurrence> edits =
+                kerror_engines[s].Search(query.pattern, query.k);
+            hits.reserve(edits.size());
+            for (const EditOccurrence& e : edits) {
+              hits.push_back(Occurrence{e.position, e.edits});
+            }
+            break;
+          }
+        }
         if (options.deterministic_order) NormalizeOccurrences(&hits);
         qt.Finish(hits.size(), query_stats);
-        (*out)[i] = std::move(hits);
+        (*out)[t] = std::move(hits);
         batch_stats += query_stats;
-        ++queries_run;
+        ++tasks_run;
       }
       if (tsink != nullptr) {
         // One aux lane per (batch, worker): how long the worker queued and
@@ -115,7 +187,7 @@ struct BatchSearcher::Pool {
         lane.engine = "batch_worker";
         lane.thread_index = static_cast<uint32_t>(tid);
         lane.begin_ns = wait_begin_ns;
-        lane.matches = queries_run;
+        lane.matches = tasks_run;
         const uint64_t end_ns = obs::TraceClockNanos();
         lane.wall_ns = end_ns - wait_begin_ns;
         lane.spans.push_back(
@@ -130,12 +202,55 @@ struct BatchSearcher::Pool {
       }
     }
   }
+
+  // Runs one batch of query_count * indexes.size() tasks into `slots`
+  // (pre-sized by the caller) and returns the tid-order merged stats.
+  SearchStats RunTasks(const std::vector<BatchQuery>& batch,
+                       std::vector<std::vector<Occurrence>>* slots) {
+    BWTK_METRIC_COUNT(kCounterBatchBatches);
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      queries = batch.data();
+      query_count = batch.size();
+      task_count = batch.size() * indexes.size();
+      out = slots;
+      cursor.store(0, std::memory_order_relaxed);
+      trace_base = batch_seq << 32;
+      ++batch_seq;
+      workers_left = num_threads;
+      for (SearchStats& stats : thread_stats) stats = SearchStats{};
+      ++generation;
+    }
+    work_cv.notify_all();
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      done_cv.wait(lock, [&] { return workers_left == 0; });
+      queries = nullptr;
+      out = nullptr;
+    }
+    // Merge in tid order so the aggregate is reproducible run to run even
+    // though the task→thread assignment is not.
+    SearchStats total;
+    for (const SearchStats& stats : thread_stats) total += stats;
+    if (sink != nullptr && !options.trace_out.empty()) {
+      const Status status = obs::WriteTraceFile(*sink, options.trace_out);
+      if (!status.ok()) {
+        BWTK_LOG(Warning) << "trace export failed: " << status.message();
+      }
+    }
+    return total;
+  }
 };
 
 BatchSearcher::BatchSearcher(const FmIndex* index, const BatchOptions& options)
+    : BatchSearcher(std::vector<const FmIndex*>{index}, options) {}
+
+BatchSearcher::BatchSearcher(std::vector<const FmIndex*> indexes,
+                             const BatchOptions& options)
     : pool_(std::make_unique<Pool>()) {
-  BWTK_CHECK(index != nullptr);
-  pool_->index = index;
+  BWTK_CHECK(!indexes.empty());
+  for (const FmIndex* index : indexes) BWTK_CHECK(index != nullptr);
+  pool_->indexes = std::move(indexes);
   pool_->options = options;
   pool_->num_threads = ResolveThreadCount(options.num_threads);
   if (BWTK_METRICS_ENABLED && options.trace_sample_rate > 0.0) {
@@ -166,46 +281,50 @@ BatchSearcher::~BatchSearcher() {
 
 int BatchSearcher::num_threads() const { return pool_->num_threads; }
 
+size_t BatchSearcher::num_indexes() const { return pool_->indexes.size(); }
+
 const obs::TraceSink* BatchSearcher::trace_sink() const {
   return pool_->sink.get();
 }
 
 BatchResult BatchSearcher::Search(const std::vector<BatchQuery>& queries) {
   BatchResult result;
-  result.occurrences.resize(queries.size());
   if (queries.empty()) return result;
-  BWTK_METRIC_COUNT(kCounterBatchBatches);
-
-  Pool& pool = *pool_;
-  {
-    std::lock_guard<std::mutex> lock(pool.mu);
-    pool.queries = queries.data();
-    pool.query_count = queries.size();
-    pool.out = &result.occurrences;
-    pool.cursor.store(0, std::memory_order_relaxed);
-    pool.trace_base = pool.batch_seq << 32;
-    ++pool.batch_seq;
-    pool.workers_left = pool.num_threads;
-    for (SearchStats& stats : pool.thread_stats) stats = SearchStats{};
-    ++pool.generation;
+  const size_t num_indexes = pool_->indexes.size();
+  if (num_indexes == 1) {
+    result.occurrences.resize(queries.size());
+    result.stats = pool_->RunTasks(queries, &result.occurrences);
+    return result;
   }
-  pool.work_cv.notify_all();
-  {
-    std::unique_lock<std::mutex> lock(pool.mu);
-    pool.done_cv.wait(lock, [&] { return pool.workers_left == 0; });
-    pool.queries = nullptr;
-    pool.out = nullptr;
-  }
-  // Merge in tid order so the aggregate is reproducible run to run even
-  // though the query→thread assignment is not.
-  for (const SearchStats& stats : pool.thread_stats) result.stats += stats;
-  if (pool.sink != nullptr && !pool.options.trace_out.empty()) {
-    const Status status =
-        obs::WriteTraceFile(*pool.sink, pool.options.trace_out);
-    if (!status.ok()) {
-      BWTK_LOG(Warning) << "trace export failed: " << status.message();
+  // Index group: run the full fanout, then fold each query's per-index
+  // lists into one sorted union (local coordinates, duplicates kept — seam
+  // semantics belong to ShardedBatchSearcher).
+  std::vector<std::vector<Occurrence>> slots(queries.size() * num_indexes);
+  result.stats = pool_->RunTasks(queries, &slots);
+  result.occurrences.resize(queries.size());
+  for (size_t q = 0; q < queries.size(); ++q) {
+    std::vector<Occurrence>& merged = result.occurrences[q];
+    size_t total = 0;
+    for (size_t s = 0; s < num_indexes; ++s) {
+      total += slots[q * num_indexes + s].size();
     }
+    merged.reserve(total);
+    for (size_t s = 0; s < num_indexes; ++s) {
+      std::vector<Occurrence>& part = slots[q * num_indexes + s];
+      merged.insert(merged.end(), part.begin(), part.end());
+      part.clear();
+    }
+    if (pool_->options.deterministic_order) NormalizeOccurrences(&merged);
   }
+  return result;
+}
+
+BatchFanoutResult BatchSearcher::SearchFanout(
+    const std::vector<BatchQuery>& queries) {
+  BatchFanoutResult result;
+  result.occurrences.resize(queries.size() * pool_->indexes.size());
+  if (queries.empty()) return result;
+  result.stats = pool_->RunTasks(queries, &result.occurrences);
   return result;
 }
 
@@ -221,7 +340,7 @@ Result<BatchResult> BatchSearcher::Search(
                                        ": " + codes.status().message());
       }
       ++failed;
-      queries[i].k = -1;  // empty pattern + negative budget: engine no-ops
+      queries[i].k = -1;  // negative budget: the worker skips the task
       continue;
     }
     queries[i].pattern = std::move(codes).value();

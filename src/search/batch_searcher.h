@@ -1,9 +1,10 @@
-// BatchSearcher — parallel k-mismatch search over one shared FM-index.
+// BatchSearcher — parallel k-mismatch search over one (or a group of)
+// shared FM-indexes.
 //
-// The FM-index is immutable after Build() and every query-path method on it
+// An FmIndex is immutable after Build() and every query-path method on it
 // is const, so N threads can search the same index with no locks. This class
 // packages that: a fixed-size std::thread worker pool, an atomic cursor
-// handing out queries, and one AlgorithmAScratch per worker so the engine
+// handing out work items, and one AlgorithmAScratch per worker so the engine
 // allocates nothing per query after warm-up. Results come back in input
 // order; per-thread SearchStats are merged into one aggregate at batch end.
 //
@@ -11,6 +12,15 @@
 //   std::vector<bwtk::BatchQuery> queries = ...;   // (pattern, k) pairs
 //   bwtk::BatchResult result = batch.Search(queries);
 //   // result.occurrences[i] == serial searcher.Search(queries[i].pattern, k)
+//
+// A BatchSearcher may also be constructed over an *index group* — an ordered
+// list of FM-indexes (typically the shards of a ShardedIndex, see
+// shard/sharded_index.h). The work item is then a (query, index) pair:
+// SearchFanout() runs every query against every index and returns the
+// per-pair hit lists, which is the substrate ShardedBatchSearcher's seam
+// de-duplication is built on. The plain Search() over a group returns the
+// per-query union across indexes (no de-duplication — overlapping indexes
+// will repeat hits; use ShardedBatchSearcher for exact sharded search).
 //
 // Thread safety: a BatchSearcher drives its own pool and is NOT itself
 // thread-safe — issue one batch at a time (concurrent Search calls on one
@@ -23,6 +33,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "alphabet/dna.h"
@@ -31,6 +42,7 @@
 #include "search/algorithm_a.h"
 #include "search/match.h"
 #include "search/searcher.h"
+#include "search/stree_search.h"
 #include "util/status.h"
 
 namespace bwtk {
@@ -41,17 +53,37 @@ struct BatchQuery {
   int32_t k = 0;
 };
 
+/// Which search engine the worker pool runs per query. All three return
+/// position-sorted Occurrence lists over the same index; they differ in the
+/// distance function and the amount of reuse machinery.
+enum class BatchEngine {
+  /// The paper's Algorithm A (Hamming distance, full reuse). Default.
+  kAlgorithmA,
+  /// The BWT-baseline S-tree search (Hamming distance, no reuse).
+  kSTree,
+  /// KErrorSearch (Levenshtein distance). Each EditOccurrence is projected
+  /// to Occurrence{position, edits}; the matched-substring *length* is not
+  /// representable in Occurrence and is dropped. Intended for small k.
+  /// SearchStats stay zero — the k-error walk is not counter-instrumented
+  /// (see ROADMAP "Wildcard/k-error parity"; wildcard_search is not routed
+  /// at all yet for the same reason).
+  kKError,
+};
+
+/// Stable engine label used for traces and bench reports ("algorithm_a",
+/// "stree", "kerror").
+std::string_view BatchEngineName(BatchEngine engine);
+
 /// Pool configuration, fixed at construction.
 struct BatchOptions {
   /// Worker threads; 0 means std::thread::hardware_concurrency().
   int num_threads = 0;
 
   /// When true (default), every per-query occurrence vector is guaranteed
-  /// byte-identical to what serial KMismatchSearcher::Search returns
-  /// (position-sorted), regardless of which worker ran it. When false the
-  /// engine may return per-query hits in any order — a latitude future
-  /// engines (e.g. sharded indexes whose partial results would need an extra
-  /// merge) can use; the current engine sorts either way.
+  /// byte-identical to what the serial engine returns (position-sorted),
+  /// regardless of which worker ran it. When false the engine may return
+  /// per-query hits in any order — a latitude multi-index groups use; the
+  /// current engines sort either way.
   bool deterministic_order = true;
 
   /// ASCII batches only: when true, the first undecodable pattern fails the
@@ -60,14 +92,23 @@ struct BatchOptions {
   /// BatchResult::failed_queries.
   bool fail_fast = false;
 
-  /// Engine knobs, passed through to every worker's AlgorithmA.
-  AlgorithmAOptions engine = {};
+  /// Which engine the workers run (see BatchEngine).
+  BatchEngine engine = BatchEngine::kAlgorithmA;
+
+  /// Engine knobs for BatchEngine::kAlgorithmA, passed through to every
+  /// worker's AlgorithmA.
+  AlgorithmAOptions algorithm_a = {};
+
+  /// Engine knobs for BatchEngine::kSTree.
+  STreeOptions stree = {};
 
   /// Per-query tracing (see obs/trace.h). 0 disables tracing entirely — no
   /// sink is created and the query path pays nothing. In (0, 1] each query
   /// is traced with this probability; the decision hashes the stable trace
-  /// id `(batch sequence << 32) | query index`, so the sampled subset is
-  /// reproducible across runs and independent of thread assignment.
+  /// id `(batch sequence << 32) | task index`, so the sampled subset is
+  /// reproducible across runs and independent of thread assignment. (For a
+  /// single-index group the task index is the query index; for a group of S
+  /// indexes it is `query * S + shard`.)
   double trace_sample_rate = 0.0;
 
   /// Slow-query log depth: the sink retains this many of the worst sampled
@@ -87,10 +128,25 @@ struct BatchOptions {
 struct BatchResult {
   /// occurrences[i] holds the hits for queries[i].
   std::vector<std::vector<Occurrence>> occurrences;
-  /// Sum of every query's SearchStats across all workers.
+  /// Sum of every query's SearchStats across all workers (and, for sharded
+  /// batches, across shards — counters measure total work done, seam
+  /// redundancy included).
   SearchStats stats;
   /// ASCII batches with fail_fast = false: number of undecodable patterns.
   size_t failed_queries = 0;
+  /// Overlap-seam hits discarded by the ownership rule. Only set by
+  /// ShardedBatchSearcher; always 0 for a plain BatchSearcher.
+  uint64_t seam_hits_deduped = 0;
+};
+
+/// Output of BatchSearcher::SearchFanout over an index group of S indexes:
+/// one hit list per (query, index) pair.
+struct BatchFanoutResult {
+  /// occurrences[q * S + s] holds the hits of queries[q] against index s,
+  /// in that index's local coordinates.
+  std::vector<std::vector<Occurrence>> occurrences;
+  /// Sum of every task's SearchStats.
+  SearchStats stats;
 };
 
 /// Fixed worker pool executing batches of k-mismatch queries.
@@ -99,6 +155,12 @@ class BatchSearcher {
   /// `index` must outlive the BatchSearcher. Workers start (and block idle)
   /// here.
   explicit BatchSearcher(const FmIndex* index,
+                         const BatchOptions& options = {});
+
+  /// Index-group form: every index must be non-null and outlive the
+  /// BatchSearcher. The group must be non-empty. Work items are
+  /// (query, index) pairs; see SearchFanout.
+  explicit BatchSearcher(std::vector<const FmIndex*> indexes,
                          const BatchOptions& options = {});
 
   /// Convenience: searches `searcher`'s index. The searcher must outlive
@@ -114,9 +176,16 @@ class BatchSearcher {
   BatchSearcher& operator=(const BatchSearcher&) = delete;
 
   /// Runs every query and blocks until the batch is complete. Results are
-  /// in input order; each equals what serial Search would return for that
-  /// (pattern, k). An empty batch returns immediately.
+  /// in input order; over a single index each equals what the serial engine
+  /// would return for that (pattern, k). Over an index group, each query's
+  /// list is the sorted union of its per-index hits (local coordinates, no
+  /// seam handling). An empty batch returns immediately.
   BatchResult Search(const std::vector<BatchQuery>& queries);
+
+  /// Runs every query against every index of the group and blocks until all
+  /// (query, index) tasks are complete. This is the router substrate:
+  /// ShardedBatchSearcher translates and de-duplicates the per-shard lists.
+  BatchFanoutResult SearchFanout(const std::vector<BatchQuery>& queries);
 
   /// ASCII convenience: same budget `k` for every pattern. Decoding happens
   /// up front on the calling thread; see BatchOptions::fail_fast for how
@@ -126,6 +195,9 @@ class BatchSearcher {
 
   /// Actual pool size (after resolving num_threads = 0 and clamping).
   int num_threads() const;
+
+  /// Number of indexes in the group (1 for the single-index constructors).
+  size_t num_indexes() const;
 
   /// The trace collector, or nullptr when tracing is disabled
   /// (trace_sample_rate == 0, or the library was built with

@@ -1,0 +1,74 @@
+#include "shard/shard_plan.h"
+
+#include <algorithm>
+#include <string>
+
+#include "util/logging.h"
+
+namespace bwtk {
+
+Result<ShardPlan> ShardPlan::Make(size_t text_size, size_t num_shards,
+                                  size_t overlap) {
+  if (num_shards == 0) {
+    return Status::InvalidArgument("shard plan needs at least one shard");
+  }
+  if (text_size < num_shards) {
+    return Status::InvalidArgument(
+        "shard plan: text of size " + std::to_string(text_size) +
+        " cannot fill " + std::to_string(num_shards) + " shards");
+  }
+  ShardPlan plan;
+  plan.text_size_ = text_size;
+  plan.overlap_ = overlap;
+  plan.slices_.resize(num_shards);
+  for (size_t i = 0; i < num_shards; ++i) {
+    ShardSlice& s = plan.slices_[i];
+    // Balanced split: |core| is floor(n/S) or ceil(n/S), never zero.
+    s.core_begin = i * text_size / num_shards;
+    s.core_end = (i + 1) * text_size / num_shards;
+    s.end = std::min(s.core_end + overlap, text_size);
+  }
+  return plan;
+}
+
+size_t ShardPlan::ShardOfPosition(size_t position) const {
+  BWTK_DCHECK_LT(position, text_size_);
+  // Core begins are sorted; the core containing `position` is the last one
+  // beginning at or before it.
+  size_t lo = 0;
+  size_t hi = slices_.size() - 1;
+  while (lo < hi) {
+    const size_t mid = (lo + hi + 1) / 2;
+    if (slices_[mid].core_begin <= position) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return lo;
+}
+
+size_t ShardPlan::OwnerShard(size_t position, size_t window_length) const {
+  BWTK_DCHECK_LT(position, text_size_);
+  BWTK_DCHECK_LE(window_length, overlap_);
+  const size_t window_end = std::min(position + window_length, text_size_);
+  // Slice ends are non-decreasing: binary-search the lowest shard whose
+  // slice reaches the window end. Because window_length <= overlap, the
+  // core shard of `position` reaches it too, so the answer is at or before
+  // that shard — which also guarantees its slice *begins* at or before
+  // `position`, i.e. the whole window is inside the owner's slice.
+  size_t lo = 0;
+  size_t hi = slices_.size() - 1;
+  while (lo < hi) {
+    const size_t mid = (lo + hi) / 2;
+    if (slices_[mid].end >= window_end) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  BWTK_DCHECK_LE(slices_[lo].core_begin, position);
+  return lo;
+}
+
+}  // namespace bwtk

@@ -1,0 +1,103 @@
+// Deterministic partitioning of a text into overlapping shard slices.
+//
+// A genome-scale text is split into `num_shards` contiguous *cores* that
+// partition [0, n) exactly; each shard then indexes its core plus the next
+// `overlap` characters (clamped at n). The overlap is what makes sharded
+// search exact: any window of length L <= overlap that *starts* inside a
+// core lies entirely inside that shard's slice, so the shard's FM-index
+// sees the whole occurrence. Windows starting near a seam are seen by more
+// than one shard; the ownership rule in OwnerShard picks a unique canonical
+// reporter so the union over shards equals the monolithic result with no
+// duplicates (see DESIGN.md §2d for the proof sketch).
+//
+// The plan is pure arithmetic over (text_size, num_shards, overlap): two
+// processes that agree on those three numbers agree on every slice boundary
+// and on the owner of every window. That determinism is what lets the
+// manifest loader verify a saved plan by recomputation.
+
+#ifndef BWTK_SHARD_SHARD_PLAN_H_
+#define BWTK_SHARD_SHARD_PLAN_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/status.h"
+
+namespace bwtk {
+
+/// One shard's extent. The core intervals partition [0, text_size) exactly;
+/// the slice is the core extended `overlap` characters to the right
+/// (clamped at the text end). The slice always begins at the core begin —
+/// overlap only ever extends rightward, so slice begins and slice ends are
+/// both non-decreasing in the shard number.
+struct ShardSlice {
+  /// First text position of this shard's core (== first slice position).
+  size_t core_begin = 0;
+  /// One past the last core position.
+  size_t core_end = 0;
+  /// One past the last slice position: min(core_end + overlap, text_size).
+  size_t end = 0;
+
+  /// Slice length in characters — what the shard actually indexes.
+  size_t size() const { return end - core_begin; }
+
+  bool operator==(const ShardSlice&) const = default;
+};
+
+/// The partition itself: balanced cores plus a fixed right overlap.
+///
+/// Core i is [floor(i*n/S), floor((i+1)*n/S)) — the balanced split, never
+/// producing an empty core when n >= S (ceil-division schemes can strand
+/// empty trailing shards; this one cannot).
+class ShardPlan {
+ public:
+  /// Validates and builds a plan. Fails with InvalidArgument when
+  /// `num_shards` is zero or exceeds `text_size` (an empty core could never
+  /// own anything and would only hide seams).
+  static Result<ShardPlan> Make(size_t text_size, size_t num_shards,
+                                size_t overlap);
+
+  size_t text_size() const { return text_size_; }
+  size_t num_shards() const { return slices_.size(); }
+  size_t overlap() const { return overlap_; }
+
+  const ShardSlice& slice(size_t shard) const { return slices_[shard]; }
+  const std::vector<ShardSlice>& slices() const { return slices_; }
+
+  /// The shard whose *core* contains `position`. Requires
+  /// position < text_size.
+  size_t ShardOfPosition(size_t position) const;
+
+  /// The unique owner of the window [position, position + window_length):
+  /// the lowest-numbered shard whose slice contains the whole window
+  /// (clamped at the text end). Well-defined for every start position when
+  /// window_length <= overlap — the core shard of `position` always
+  /// qualifies, so the owner is never past it. Requires
+  /// position < text_size and window_length <= overlap.
+  size_t OwnerShard(size_t position, size_t window_length) const;
+
+  /// Translates a position local to `shard`'s slice into a text position.
+  size_t LocalToGlobal(size_t shard, size_t local) const {
+    return slices_[shard].core_begin + local;
+  }
+
+  /// Translates a text position inside `shard`'s slice into a local one.
+  size_t GlobalToLocal(size_t shard, size_t global) const {
+    return global - slices_[shard].core_begin;
+  }
+
+  bool operator==(const ShardPlan&) const = default;
+
+  /// An empty plan (no shards); useful only as a placeholder to assign a
+  /// Make() result into. Every populated plan comes from Make().
+  ShardPlan() = default;
+
+ private:
+  size_t text_size_ = 0;
+  size_t overlap_ = 0;
+  std::vector<ShardSlice> slices_;
+};
+
+}  // namespace bwtk
+
+#endif  // BWTK_SHARD_SHARD_PLAN_H_

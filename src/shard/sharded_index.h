@@ -1,0 +1,117 @@
+// A group of per-shard FM-indexes over one text.
+//
+// The monolithic FmIndex holds the whole suffix array, BWT, and rank
+// machinery of the text in one allocation; at genome scale (gigabases) both
+// the build and the resident index benefit from being cut into independent
+// pieces. A ShardedIndex is exactly that: a ShardPlan (shard_plan.h) plus
+// one FmIndex per slice, built in parallel — each shard's suffix sort and
+// checkpoint construction is independent of the others, so the build scales
+// with cores where the monolithic build is one long serial pass.
+//
+// The shards alone are NOT a drop-in replacement for the monolithic index:
+// their hit positions are slice-local and the overlap regions are indexed
+// twice. ShardedBatchSearcher (sharded_searcher.h) layers coordinate
+// translation and seam de-duplication on top to restore exact monolithic
+// semantics.
+//
+// Persistence mirrors the FM-index serializer (bwt/serialize.cc): a small
+// versioned, checksummed *manifest* records the plan, and each shard saves
+// through the existing FmIndex format into its own file. Loading verifies
+// the manifest against a recomputed plan and every shard against its slice,
+// so a truncated, foreign, or mismatched file set fails with a Status
+// instead of producing wrong coordinates.
+
+#ifndef BWTK_SHARD_SHARDED_INDEX_H_
+#define BWTK_SHARD_SHARDED_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "alphabet/dna.h"
+#include "bwt/fm_index.h"
+#include "shard/shard_plan.h"
+#include "util/status.h"
+
+namespace bwtk {
+
+/// On-disk format constants of the shard manifest. The per-shard index
+/// files themselves use the FM-index format (bwt/serialize.h).
+///
+/// Version history:
+///   1 — magic, version, text_size, num_shards, overlap, the slice table
+///       (three u64 per shard), FNV-1a checksum over the slice table.
+struct ShardManifestFormat {
+  static constexpr uint32_t kMagic = 0x42575453;  // "BWTS"
+  static constexpr uint32_t kVersion = 1;
+  static constexpr uint32_t kMinSupportedVersion = 1;
+};
+
+/// Build/search configuration of a sharded index.
+struct ShardedIndexOptions {
+  /// How many shards to cut the text into. Must be >= 1 and <= text size.
+  size_t num_shards = 1;
+  /// Slice overlap in characters. Sharded search is exact only for query
+  /// windows no longer than this — pick max pattern length, plus k for the
+  /// kerror engine (see ShardedBatchSearcher::Search, which enforces it).
+  size_t overlap = 256;
+  /// Per-shard FmIndex build options (checkpoint rate, SA sample rate,
+  /// prefix table q, rank kernel) — every shard uses the same ones.
+  FmIndex::Options index_options = {};
+  /// Threads for the parallel shard build; 0 means
+  /// std::thread::hardware_concurrency(). Never more than num_shards run.
+  int num_build_threads = 0;
+};
+
+/// One FM-index per ShardPlan slice, with save/load.
+///
+/// Thread safety: immutable after Build()/Load(), like FmIndex — any number
+/// of threads may query the shards concurrently.
+class ShardedIndex {
+ public:
+  /// Cuts `text` by ShardPlan::Make(text.size(), num_shards, overlap) and
+  /// builds every shard's FmIndex in parallel.
+  static Result<ShardedIndex> Build(const std::vector<DnaCode>& text,
+                                    const ShardedIndexOptions& options);
+
+  const ShardPlan& plan() const { return plan_; }
+  size_t num_shards() const { return shards_.size(); }
+  size_t text_size() const { return plan_.text_size(); }
+  size_t overlap() const { return plan_.overlap(); }
+
+  /// The FM-index over slice `shard` (local coordinates).
+  const FmIndex& shard(size_t shard) const { return shards_[shard]; }
+
+  /// Borrowed pointers to every shard, in shard order — the form
+  /// BatchSearcher's index-group constructor takes.
+  std::vector<const FmIndex*> ShardPointers() const;
+
+  /// Sum of the shards' heap footprints.
+  size_t MemoryUsage() const;
+
+  /// Writes `<prefix>.manifest` plus one `<prefix>.shard-<i>` per shard.
+  Status Save(const std::string& prefix) const;
+
+  /// Loads a saved group. Fails with Corruption when the manifest is
+  /// truncated, has the wrong magic/version/checksum, or disagrees with the
+  /// plan recomputed from its own parameters; and when a shard file's text
+  /// size does not match its slice.
+  static Result<ShardedIndex> Load(const std::string& prefix);
+
+ private:
+  ShardedIndex() = default;
+
+  ShardPlan plan_;
+  std::vector<FmIndex> shards_;  // shard order; moved in at build/load
+};
+
+/// Path of shard `i`'s index file for a given save prefix (also used by
+/// tests to corrupt specific files).
+std::string ShardFilePath(const std::string& prefix, size_t shard);
+
+/// Path of the manifest file for a given save prefix.
+std::string ShardManifestPath(const std::string& prefix);
+
+}  // namespace bwtk
+
+#endif  // BWTK_SHARD_SHARDED_INDEX_H_

@@ -1,0 +1,102 @@
+#include "shard/sharded_searcher.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace bwtk {
+
+namespace {
+
+// Text window a query's occurrences can span: the pattern itself for the
+// Hamming engines, up to k extra characters for kerror alignments.
+size_t QueryWindow(const BatchQuery& query, BatchEngine engine) {
+  size_t window = query.pattern.size();
+  if (engine == BatchEngine::kKError && query.k > 0) {
+    window += static_cast<size_t>(query.k);
+  }
+  return window;
+}
+
+}  // namespace
+
+ShardedBatchSearcher::ShardedBatchSearcher(const ShardedIndex* index,
+                                           const BatchOptions& options)
+    : index_(index),
+      options_(options),
+      batch_(index->ShardPointers(), options) {}
+
+Result<BatchResult> ShardedBatchSearcher::Search(
+    const std::vector<BatchQuery>& queries) {
+  const ShardPlan& plan = index_->plan();
+  const size_t num_shards = plan.num_shards();
+  for (size_t q = 0; q < queries.size(); ++q) {
+    if (queries[q].k < 0) continue;  // decode-failed placeholder, skipped
+    const size_t window = QueryWindow(queries[q], options_.engine);
+    if (window > plan.overlap()) {
+      return Status::InvalidArgument(
+          "sharded query " + std::to_string(q) + " needs a window of " +
+          std::to_string(window) + " characters but the index overlap is " +
+          std::to_string(plan.overlap()) +
+          "; rebuild the sharded index with a larger overlap");
+    }
+  }
+
+  BWTK_METRIC_COUNT_N(kCounterShardQueries, queries.size() * num_shards);
+  BatchFanoutResult fanout = batch_.SearchFanout(queries);
+
+  BatchResult result;
+  result.stats = fanout.stats;
+  result.occurrences.resize(queries.size());
+  uint64_t deduped = 0;
+  for (size_t q = 0; q < queries.size(); ++q) {
+    const size_t window = QueryWindow(queries[q], options_.engine);
+    std::vector<Occurrence>& merged = result.occurrences[q];
+    for (size_t s = 0; s < num_shards; ++s) {
+      std::vector<Occurrence>& part = fanout.occurrences[q * num_shards + s];
+      for (const Occurrence& hit : part) {
+        const size_t global = plan.LocalToGlobal(s, hit.position);
+        // Keep the hit only in the one shard that owns its window; every
+        // other slice containing it reports a seam duplicate.
+        if (plan.OwnerShard(global, window) == s) {
+          merged.push_back(Occurrence{global, hit.mismatches});
+        } else {
+          ++deduped;
+        }
+      }
+      part.clear();
+    }
+    // Shard-order concatenation is position-sorted per shard but the seams
+    // interleave; restore the canonical order.
+    NormalizeOccurrences(&merged);
+  }
+  BWTK_METRIC_COUNT_N(kCounterSeamHitsDeduped, deduped);
+  result.seam_hits_deduped = deduped;
+  return result;
+}
+
+Result<BatchResult> ShardedBatchSearcher::Search(
+    const std::vector<std::string>& patterns, int32_t k) {
+  std::vector<BatchQuery> queries(patterns.size());
+  size_t failed = 0;
+  for (size_t i = 0; i < patterns.size(); ++i) {
+    auto codes = EncodeDna(patterns[i]);
+    if (!codes.ok()) {
+      if (options_.fail_fast) {
+        return Status::InvalidArgument("batch query " + std::to_string(i) +
+                                       ": " + codes.status().message());
+      }
+      ++failed;
+      queries[i].k = -1;  // negative budget: the worker skips the task
+      continue;
+    }
+    queries[i].pattern = std::move(codes).value();
+    queries[i].k = k;
+  }
+  BWTK_ASSIGN_OR_RETURN(BatchResult result, Search(queries));
+  result.failed_queries = failed;
+  return result;
+}
+
+}  // namespace bwtk

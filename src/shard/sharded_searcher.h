@@ -1,0 +1,74 @@
+// Exact batched search over a ShardedIndex.
+//
+// The router fans every query of a batch across every shard on the
+// BatchSearcher worker pool (one (query, shard) task each), translates the
+// per-shard hits back to global text coordinates, and resolves the seams:
+// a window starting near a core boundary lies in more than one slice and is
+// found by each of them, so every hit is kept only by its *owner* shard —
+// the lowest-numbered shard whose slice contains the whole window
+// (ShardPlan::OwnerShard). The result is byte-identical to running the same
+// engine over one monolithic FmIndex of the whole text, provided every
+// query's window fits the overlap; Search() rejects batches that don't with
+// InvalidArgument rather than silently dropping seam occurrences.
+//
+// The required window length per query is the pattern length for the
+// Hamming engines (kAlgorithmA, kSTree) and pattern length + k for kerror,
+// whose alignments may consume up to k extra text characters. Using the
+// worst-case kerror window for ownership also preserves that engine's
+// best-alignment-per-position semantics: the owner's slice contains every
+// candidate alignment at the position, so its local best is the global
+// best.
+//
+// Observability: fanned-out tasks are counted in the `shard_queries`
+// counter and discarded seam duplicates in `seam_hits_deduped`
+// (docs/OBSERVABILITY.md); per-query traces flow through the inner
+// BatchSearcher's sink with their shard in Trace::shard_id.
+
+#ifndef BWTK_SHARD_SHARDED_SEARCHER_H_
+#define BWTK_SHARD_SHARDED_SEARCHER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "search/batch_searcher.h"
+#include "shard/sharded_index.h"
+#include "util/status.h"
+
+namespace bwtk {
+
+/// Shard router: BatchSearcher fanout + coordinate translation + seam
+/// de-duplication. Same single-batch-at-a-time contract as BatchSearcher.
+class ShardedBatchSearcher {
+ public:
+  /// `index` must outlive the searcher. The pool (options.num_threads
+  /// workers) starts here; engine selection and tracing knobs in `options`
+  /// apply per (query, shard) task.
+  explicit ShardedBatchSearcher(const ShardedIndex* index,
+                                const BatchOptions& options = {});
+
+  /// Runs the batch and blocks. occurrences[i] holds queries[i]'s hits in
+  /// global coordinates, equal to the monolithic engine's output for the
+  /// whole text. Fails with InvalidArgument if any query needs a window
+  /// longer than the index's overlap (pattern length, + k for kerror).
+  Result<BatchResult> Search(const std::vector<BatchQuery>& queries);
+
+  /// ASCII convenience, mirroring BatchSearcher: same budget `k` for every
+  /// pattern; see BatchOptions::fail_fast for undecodable-pattern handling.
+  Result<BatchResult> Search(const std::vector<std::string>& patterns,
+                             int32_t k);
+
+  const ShardedIndex& index() const { return *index_; }
+  int num_threads() const { return batch_.num_threads(); }
+  const obs::TraceSink* trace_sink() const { return batch_.trace_sink(); }
+
+ private:
+  const ShardedIndex* index_;  // not owned
+  BatchOptions options_;
+  BatchSearcher batch_;
+};
+
+}  // namespace bwtk
+
+#endif  // BWTK_SHARD_SHARDED_SEARCHER_H_

@@ -9,7 +9,9 @@
 #include <vector>
 
 #include "search/batch_searcher.h"
+#include "search/kerror_search.h"
 #include "search/searcher.h"
+#include "search/stree_search.h"
 #include "simulate/genome_generator.h"
 #include "test_util.h"
 #include "util/random.h"
@@ -177,6 +179,73 @@ TEST(BatchSearcherTest, ScratchReuseMatchesFreshScratch) {
     EXPECT_EQ(
         workload.searcher.Search(query.pattern, query.k, nullptr, &scratch),
         workload.searcher.Search(query.pattern, query.k));
+  }
+}
+
+TEST(BatchSearcherTest, STreeEngineMatchesSerialSTree) {
+  Workload workload = MakeWorkload(10000, 40, 83);
+  const STreeSearch serial(&workload.searcher.index());
+  BatchOptions options;
+  options.num_threads = 4;
+  options.engine = BatchEngine::kSTree;
+  BatchSearcher batch(workload.searcher, options);
+  const BatchResult result = batch.Search(workload.queries);
+  SearchStats serial_total;
+  for (size_t i = 0; i < workload.queries.size(); ++i) {
+    SearchStats stats;
+    EXPECT_EQ(result.occurrences[i],
+              serial.Search(workload.queries[i].pattern,
+                            workload.queries[i].k, &stats))
+        << "query " << i;
+    serial_total += stats;
+  }
+  EXPECT_EQ(result.stats.extend_calls, serial_total.extend_calls);
+  EXPECT_EQ(result.stats.stree_nodes, serial_total.stree_nodes);
+}
+
+TEST(BatchSearcherTest, KErrorEngineMatchesProjectedSerialResults) {
+  // The kerror engine routes KErrorSearch through the pool; each
+  // EditOccurrence projects to Occurrence{position, edits} (length dropped).
+  Workload workload = MakeWorkload(6000, 24, 89);
+  const KErrorSearch serial(&workload.searcher.index());
+  BatchOptions options;
+  options.num_threads = 4;
+  options.engine = BatchEngine::kKError;
+  BatchSearcher batch(workload.searcher, options);
+  std::vector<BatchQuery> queries = workload.queries;
+  for (BatchQuery& query : queries) query.k = std::min(query.k, 2);
+  const BatchResult result = batch.Search(queries);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    std::vector<Occurrence> expected;
+    for (const EditOccurrence& e :
+         serial.Search(queries[i].pattern, queries[i].k)) {
+      expected.push_back({e.position, e.edits});
+    }
+    NormalizeOccurrences(&expected);
+    EXPECT_EQ(result.occurrences[i], expected) << "query " << i;
+  }
+  // KErrorSearch is not SearchStats-instrumented: the aggregate stays zero.
+  EXPECT_EQ(result.stats, SearchStats{});
+}
+
+TEST(BatchSearcherTest, IndexGroupSearchIsPerQueryUnion) {
+  // Two copies of the same index in one group: plain Search must return
+  // each query's hits twice (union semantics, duplicates kept), and the
+  // fanout must slot per-(query, index) results at q * S + s.
+  Workload workload = MakeWorkload(5000, 10, 97);
+  const FmIndex& index = workload.searcher.index();
+  BatchSearcher group(std::vector<const FmIndex*>{&index, &index},
+                      {.num_threads = 3});
+  ASSERT_EQ(group.num_indexes(), 2u);
+  const BatchResult merged = group.Search(workload.queries);
+  const BatchFanoutResult fanout = group.SearchFanout(workload.queries);
+  ASSERT_EQ(fanout.occurrences.size(), workload.queries.size() * 2);
+  for (size_t q = 0; q < workload.queries.size(); ++q) {
+    const auto serial = workload.searcher.Search(workload.queries[q].pattern,
+                                                 workload.queries[q].k);
+    EXPECT_EQ(fanout.occurrences[q * 2], serial);
+    EXPECT_EQ(fanout.occurrences[q * 2 + 1], serial);
+    EXPECT_EQ(merged.occurrences[q].size(), serial.size() * 2);
   }
 }
 

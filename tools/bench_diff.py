@@ -3,6 +3,7 @@
 
 Usage:
     tools/bench_diff.py BASELINE.json NEW.json [--threshold PCT]
+                        [--genome-thresholds JSON|@FILE]
                         [--gate-wall] [--wall-threshold PCT]
 
 Runs are matched by (genome, k, engine, threads). For each matched pair
@@ -19,7 +20,13 @@ stats.mtree_nodes, stats.mtree_leaves — may not *increase* by more than
 the threshold. These are machine-independent (a fixed workload expands a
 fixed tree), which makes them the right CI gate: a committed baseline
 from one machine is comparable with a fresh run on another. Decreases
-are improvements and never gated.
+are improvements and never gated. --genome-thresholds overrides the
+global threshold per genome — either an inline JSON object or @FILE
+pointing at one, mapping genome name to max % increase, e.g.
+'{"uniform_1m": 5, "repetitive_1m": 25}'. Repetitive genomes expand
+deeper mismatch trees, so small code changes move their counters more;
+the map lets CI pin tight gates on stable genomes without flaking on
+volatile ones. Genomes absent from the map use --threshold.
 
 Wall time (informational by default): reads_per_second deltas are
 printed but only gated with --gate-wall (threshold --wall-threshold,
@@ -86,6 +93,32 @@ def load_runs(path):
     return doc, indexed
 
 
+def parse_genome_thresholds(spec):
+    """'{"g": 5}' or '@path/to.json' -> dict of genome name -> float pct."""
+    if spec is None:
+        return {}
+    if spec.startswith("@"):
+        with open(spec[1:], "r", encoding="utf-8") as f:
+            raw = json.load(f)
+    else:
+        raw = json.loads(spec)
+    if not isinstance(raw, dict):
+        raise ValueError("--genome-thresholds must be a JSON object")
+    thresholds = {}
+    for genome, value in raw.items():
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise ValueError(
+                f"--genome-thresholds[{genome!r}]: expected a number, "
+                f"got {value!r}"
+            )
+        if value < 0:
+            raise ValueError(
+                f"--genome-thresholds[{genome!r}]: must be >= 0, got {value}"
+            )
+        thresholds[genome] = float(value)
+    return thresholds
+
+
 def pct_change(baseline, new):
     if baseline == 0:
         return 0.0 if new == 0 else float("inf")
@@ -105,6 +138,14 @@ def main(argv):
         help="max allowed %% increase in work counters (default 10)",
     )
     parser.add_argument(
+        "--genome-thresholds",
+        default=None,
+        metavar="JSON|@FILE",
+        help="per-genome work-counter thresholds as a JSON object "
+        "(genome name -> max %% increase) or @FILE containing one; "
+        "genomes not in the map fall back to --threshold",
+    )
+    parser.add_argument(
         "--gate-wall",
         action="store_true",
         help="also fail on reads_per_second drops past --wall-threshold",
@@ -119,6 +160,7 @@ def main(argv):
     args = parser.parse_args(argv[1:])
 
     try:
+        genome_thresholds = parse_genome_thresholds(args.genome_thresholds)
         base_doc, base_runs = load_runs(args.baseline)
         new_doc, new_runs = load_runs(args.new)
     except (OSError, json.JSONDecodeError, ValueError) as e:
@@ -134,6 +176,12 @@ def main(argv):
     print(f"gate: work counters +{args.threshold:g}%; wall "
           + (f"gated at -{args.wall_threshold:g}%" if args.gate_wall
              else "informational"))
+    if genome_thresholds:
+        overrides = ", ".join(
+            f"{genome}=+{pct:g}%"
+            for genome, pct in sorted(genome_thresholds.items())
+        )
+        print(f"per-genome overrides: {overrides}")
     print()
 
     failures = []
@@ -153,6 +201,7 @@ def main(argv):
                   f"{'MISSING':>14} {'':>9}  FAIL")
             continue
         new = new_runs[key]
+        threshold = genome_thresholds.get(key[0], args.threshold)
 
         for metric, get in EXACT_FIELDS:
             b, n = get(base), get(new)
@@ -173,12 +222,12 @@ def main(argv):
             if b is None or n is None:
                 continue
             delta = pct_change(b, n)
-            over = delta > args.threshold
+            over = delta > threshold
             verdict = "FAIL" if over else "ok"
             if over:
                 failures.append(
                     f"{label}: {metric} +{delta:.1f}% "
-                    f"({b} -> {n}, threshold +{args.threshold:g}%)"
+                    f"({b} -> {n}, threshold +{threshold:g}%)"
                 )
             print(f"{label:<40} {metric:<16} {b:>14} {n:>14} "
                   f"{delta:>8.1f}%  {verdict}")

@@ -20,6 +20,11 @@ entries are optional (older reports predate them) but type-checked when
 present, and a run whose counters claim prefix_table_hits > 0 while its
 genome reports no prefix table is rejected — the counters must agree with
 the configuration that allegedly produced them.
+Reports produced with --shards N carry optional sharding fields: genome
+entries gain 'sharded_index_build_seconds' / 'num_shards' /
+'shard_overlap' / 'sharded_index_bytes', and every run with engine
+'sharded' must declare 'num_shards' >= 1 (other runs must not carry it).
+All are type-checked when present.
 
 bench_rank_kernel: checks the kernel-comparison schema — a 'measurements'
 array of {checkpoint_rate, kernel, rank_ns, rankall_ns, iters} covering
@@ -63,10 +68,14 @@ GENOME_FIELDS = {
 }
 
 # Optional genome keys: absent from reports produced before the prefix
-# table / rank kernel work, type-checked when present.
+# table / rank kernel / sharding work, type-checked when present.
 GENOME_OPTIONAL_FIELDS = {
     "rank_kernel": str,
     "prefix_table_q": UINT,
+    "sharded_index_build_seconds": NUM,
+    "num_shards": UINT,
+    "shard_overlap": UINT,
+    "sharded_index_bytes": UINT,
 }
 
 RANK_KERNELS = ("scalar", "word64", "avx2")
@@ -219,6 +228,13 @@ class Validator:
         self.check_histograms(run["histograms"], f"{where}.histograms")
         if run.get("wall_seconds", 0) < 0:
             self.error(where, "'wall_seconds' must be non-negative")
+        # Sharded runs must say how many shards; no other run may claim to.
+        num_shards = run.get("num_shards")
+        if run.get("engine") == "sharded":
+            if not isinstance(num_shards, int) or isinstance(num_shards, bool) or num_shards < 1:
+                self.error(where, "engine 'sharded' requires 'num_shards' >= 1")
+        elif num_shards is not None:
+            self.error(where, "'num_shards' is only valid on engine 'sharded'")
 
     def validate(self, doc):
         if not isinstance(doc, dict):
