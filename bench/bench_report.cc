@@ -30,6 +30,13 @@
 // backtracking state space grows steeply with the budget and would dominate
 // the grid's wall time at larger k.
 //
+// The wildcard engine runs the same reads with two positions per read
+// replaced by the wildcard code (deterministic positions, len/3 and
+// 2*len/3), so its cells measure genuine wildcard-branch fan-out rather
+// than the degenerate no-wildcard case. Its total_hits are therefore not
+// comparable to the other engines' (the workload differs by construction);
+// within the wildcard row the counters are as deterministic as any other.
+//
 // --shards S (0 = off) additionally builds an S-shard ShardedIndex per
 // genome — timing the parallel shard build against the monolithic one in
 // the genome entry ("sharded_index_build_seconds", "num_shards") — and adds
@@ -55,6 +62,7 @@
 #include "search/batch_searcher.h"
 #include "search/kerror_search.h"
 #include "search/stree_search.h"
+#include "search/wildcard_search.h"
 #include "shard/sharded_index.h"
 #include "shard/sharded_searcher.h"
 #include "util/stopwatch.h"
@@ -148,9 +156,36 @@ CellResult RunKError(const FmIndex& index,
   const obs::MetricsBlock before = obs::MetricsRegistry::Instance().Snapshot();
   Stopwatch watch;
   for (const auto& read : reads) {
-    // KErrorSearch is not SearchStats-instrumented (cell.stats stays zero);
-    // the registry delta still captures its rank/extend counter footprint.
-    cell.total_hits += kerror.Search(read, k).size();
+    SearchStats stats;
+    cell.total_hits += kerror.Search(read, k, &stats).size();
+    cell.stats += stats;
+  }
+  cell.wall_seconds = watch.ElapsedSeconds();
+  cell.delta =
+      obs::Diff(obs::MetricsRegistry::Instance().Snapshot(), before);
+  return cell;
+}
+
+// Wildcard cells run a derived workload: the same reads with two positions
+// punched to the wildcard code (see the file comment).
+CellResult RunWildcard(const FmIndex& index,
+                       const std::vector<std::vector<DnaCode>>& reads,
+                       int32_t k) {
+  CellResult cell;
+  cell.engine = "wildcard";
+  const WildcardSearch wildcard(&index);
+  std::vector<std::vector<DnaCode>> punched = reads;
+  for (auto& read : punched) {
+    if (read.size() < 3) continue;
+    read[read.size() / 3] = kWildcardCode;
+    read[2 * read.size() / 3] = kWildcardCode;
+  }
+  const obs::MetricsBlock before = obs::MetricsRegistry::Instance().Snapshot();
+  Stopwatch watch;
+  for (const auto& read : punched) {
+    SearchStats stats;
+    cell.total_hits += wildcard.Search(read, k, &stats).size();
+    cell.stats += stats;
   }
   cell.wall_seconds = watch.ElapsedSeconds();
   cell.delta =
@@ -291,7 +326,7 @@ int Run(int argc, char** argv) {
   const size_t read_count = smoke ? 6 : 20;
 
   std::vector<std::string> engines = {"stree", "algorithm_a", "kerror",
-                                      "batch"};
+                                      "wildcard", "batch"};
   if (shards > 0) engines.push_back("sharded");
   // Overlap covering every read window the grid issues, kerror included.
   const size_t shard_overlap =
@@ -440,6 +475,7 @@ int Run(int argc, char** argv) {
       if (k <= kMaxKErrorBudget) {
         cells.push_back(RunKError(g.index, g.reads, k));
       }
+      cells.push_back(RunWildcard(g.index, g.reads, k));
       cells.push_back(RunBatch(g.index, g.reads, k, threads));
       if (g.sharded != nullptr) {
         cells.push_back(RunSharded(*g.sharded, g.reads, k, threads));

@@ -1,0 +1,387 @@
+// Serving-layer benchmark: closed-loop clients against a long-lived
+// serve::Session, in-process (Submit/Wait) and over the loopback TCP
+// front-end. Emits BENCH_<name>.json (created_by "bench_serve",
+// validated by tools/validate_bench_json.py, gated by tools/bench_diff.py
+// on the (genome, k, engine, threads) key where threads = client count).
+//
+// The workload is seeded and fixed across client counts, so total_hits
+// and the aggregated SearchStats are deterministic: any change between a
+// committed baseline and a fresh run means the served answer changed, not
+// just the speed. Every run is verified against the direct serial engine
+// before it is written — the bench refuses to report wrong answers.
+//
+// Closed-loop means each client keeps exactly one query outstanding
+// (submit, wait, repeat), so concurrency = client count and the session
+// is never driven into admission rejections; rejected_overloaded is
+// reported and expected to be zero.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "alphabet/dna.h"
+#include "bwt/fm_index.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "search/algorithm_a.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "serve/session.h"
+#include "util/stopwatch.h"
+
+namespace bwtk::bench {
+namespace {
+
+struct RunResult {
+  double wall_seconds = 0;
+  uint64_t total_hits = 0;
+  uint64_t rejected_overloaded = 0;
+  SearchStats stats;            // aggregated; in-process runs only
+  bool has_stats = false;
+  std::vector<uint64_t> queue_ns;  // per-query queue wait (in-process)
+};
+
+uint64_t Quantile(std::vector<uint64_t>* samples, double q) {
+  if (samples->empty()) return 0;
+  std::sort(samples->begin(), samples->end());
+  const size_t rank = static_cast<size_t>(q * (samples->size() - 1));
+  return (*samples)[rank];
+}
+
+// Closed-loop in-process clients: each thread owns a slice of the query
+// list and drives it through Submit + Wait, one outstanding at a time.
+RunResult RunInProcess(serve::Session* session,
+                       const std::vector<BatchQuery>& queries,
+                       size_t clients) {
+  std::vector<std::vector<Occurrence>> hits(queries.size());
+  std::vector<SearchStats> stats(queries.size());
+  std::vector<uint64_t> queue_ns(queries.size());
+  std::atomic<bool> failed{false};
+  Stopwatch watch;
+  std::vector<std::thread> threads;
+  for (size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      for (size_t i = c; i < queries.size(); i += clients) {
+        auto ticket = session->Submit(queries[i]);
+        if (!ticket.ok()) {
+          failed = true;
+          return;
+        }
+        auto result = session->Wait(ticket.value());
+        if (!result.ok() || !result->status.ok()) {
+          failed = true;
+          return;
+        }
+        hits[i] = std::move(result->hits);
+        stats[i] = result->stats;
+        queue_ns[i] = result->queue_ns;
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  RunResult out;
+  out.wall_seconds = watch.ElapsedSeconds();
+  if (failed) {
+    std::fprintf(stderr, "in-process run failed (unexpected rejection)\n");
+    std::exit(1);
+  }
+  out.has_stats = true;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    out.total_hits += hits[i].size();
+    out.stats += stats[i];
+  }
+  out.queue_ns = std::move(queue_ns);
+  out.rejected_overloaded = session->Stats().rejected_overloaded;
+  return out;
+}
+
+// Closed-loop TCP clients: each thread owns one connection and drives its
+// slice through Client::Query (request/response, one outstanding).
+RunResult RunTcp(uint16_t port, const std::vector<std::string>& ascii,
+                 int32_t k, size_t clients) {
+  std::vector<uint64_t> hit_counts(ascii.size());
+  std::atomic<bool> failed{false};
+  Stopwatch watch;
+  std::vector<std::thread> threads;
+  for (size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      auto client = serve::Client::Connect("127.0.0.1", port);
+      if (!client.ok()) {
+        failed = true;
+        return;
+      }
+      for (size_t i = c; i < ascii.size(); i += clients) {
+        auto response = (*client)->Query(ascii[i], k);
+        if (!response.ok() || response->status != serve::WireStatus::kOk) {
+          failed = true;
+          return;
+        }
+        hit_counts[i] = response->hits.size();
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  RunResult out;
+  out.wall_seconds = watch.ElapsedSeconds();
+  if (failed) {
+    std::fprintf(stderr, "tcp run failed (transport or rejection)\n");
+    std::exit(1);
+  }
+  for (const uint64_t n : hit_counts) out.total_hits += n;
+  return out;
+}
+
+int Run(int argc, char** argv) {
+  bool smoke = false;
+  bool tcp = true;
+  std::string name = "serve";
+  std::string out_dir = ".";
+  int session_threads = 2;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--no-tcp") == 0) {
+      tcp = false;
+    } else if (std::strcmp(argv[i], "--name") == 0 && i + 1 < argc) {
+      name = argv[++i];
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      session_threads = std::atoi(argv[++i]);
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_serve [--name NAME] [--out DIR] [--smoke] "
+                   "[--threads N] [--no-tcp]\n");
+      return 2;
+    }
+  }
+  if (session_threads <= 0) session_threads = 2;
+
+  const std::string genome_name = smoke ? "smoke-32K" : "synth-1M";
+  const size_t genome_length = smoke ? (1u << 15) : Scaled(1u << 20);
+  const size_t read_length = smoke ? 50 : 100;
+  const size_t read_count = smoke ? 24 : Scaled(240);
+  const std::vector<int32_t> k_values =
+      smoke ? std::vector<int32_t>{1} : std::vector<int32_t>{1, 3};
+  const std::vector<size_t> client_counts =
+      smoke ? std::vector<size_t>{1, 2} : std::vector<size_t>{1, 2, 4};
+
+  PrintBanner("bench_serve: session serving throughput -> BENCH_" + name +
+                  ".json",
+              genome_name + ", " + std::to_string(read_count) + " reads of " +
+                  std::to_string(read_length) + " bp, session threads = " +
+                  std::to_string(session_threads));
+
+  const auto genome = MakeGenome(genome_length);
+  const auto reads = MakeReads(genome, read_length, read_count);
+  const auto index = FmIndex::Build(genome).value();
+
+  std::vector<std::string> ascii;
+  ascii.reserve(reads.size());
+  for (const auto& read : reads) {
+    std::string s;
+    for (const DnaCode code : read) s.push_back(CodeToChar(code));
+    ascii.push_back(std::move(s));
+  }
+
+  // Ground truth per k: the serial engine's total hit count. Every serve
+  // run must reproduce it exactly.
+  const AlgorithmA serial(&index);
+  AlgorithmAScratch scratch;
+  std::vector<uint64_t> expected_hits;
+  for (const int32_t k : k_values) {
+    uint64_t total = 0;
+    for (const auto& read : reads) {
+      total += serial.Search(read, k, nullptr, &scratch).size();
+    }
+    expected_hits.push_back(total);
+  }
+
+  obs::JsonWriter json;
+  json.BeginObject()
+      .Key("schema_version")
+      .Value(1)
+      .Key("name")
+      .Value(name)
+      .Key("created_by")
+      .Value("bench_serve")
+      .Key("smoke")
+      .Value(smoke)
+      .Key("scale")
+      .Value(BenchScale())
+      .Key("hardware")
+      .BeginObject()
+      .Key("hardware_concurrency")
+      .Value(static_cast<uint64_t>(std::thread::hardware_concurrency()))
+      .Key("metrics_compiled_in")
+      .Value(BWTK_METRICS_ENABLED != 0)
+      .EndObject()
+      .Key("workload")
+      .BeginObject()
+      .Key("genome")
+      .Value(genome_name)
+      .Key("genome_length")
+      .Value(static_cast<uint64_t>(genome.size()))
+      .Key("read_length")
+      .Value(static_cast<uint64_t>(read_length))
+      .Key("read_count")
+      .Value(static_cast<uint64_t>(reads.size()))
+      .Key("session_threads")
+      .Value(session_threads)
+      .EndObject();
+  json.Key("runs").BeginArray();
+
+  TablePrinter table({"transport", "k", "clients", "wall", "queries/s",
+                      "hits", "queue p95"});
+
+  for (size_t ki = 0; ki < k_values.size(); ++ki) {
+    const int32_t k = k_values[ki];
+    std::vector<BatchQuery> queries;
+    queries.reserve(reads.size());
+    for (const auto& read : reads) queries.push_back({read, k});
+
+    for (const size_t clients : client_counts) {
+      // Fresh session per run: its gauges and lifetime counters start at
+      // zero, so rejected_overloaded is attributable to this run alone.
+      serve::SessionOptions options;
+      options.num_threads = session_threads;
+      serve::Session session(&index, options);
+      RunResult r = RunInProcess(&session, queries, clients);
+      if (r.total_hits != expected_hits[ki]) {
+        std::fprintf(stderr,
+                     "serve_inproc k=%d clients=%zu: %llu hits, serial "
+                     "found %llu — refusing to report wrong answers\n",
+                     k, clients, static_cast<unsigned long long>(r.total_hits),
+                     static_cast<unsigned long long>(expected_hits[ki]));
+        return 1;
+      }
+      const double qps =
+          r.wall_seconds > 0 ? static_cast<double>(reads.size()) / r.wall_seconds : 0;
+      const uint64_t p50 = Quantile(&r.queue_ns, 0.50);
+      const uint64_t p95 = Quantile(&r.queue_ns, 0.95);
+      const uint64_t p99 = Quantile(&r.queue_ns, 0.99);
+      json.BeginObject()
+          .Key("genome")
+          .Value(genome_name)
+          .Key("genome_length")
+          .Value(static_cast<uint64_t>(genome.size()))
+          .Key("read_length")
+          .Value(static_cast<uint64_t>(read_length))
+          .Key("read_count")
+          .Value(static_cast<uint64_t>(reads.size()))
+          .Key("k")
+          .Value(k)
+          .Key("engine")
+          .Value("serve_inproc")
+          .Key("threads")
+          .Value(static_cast<uint64_t>(clients))
+          .Key("session_threads")
+          .Value(session_threads)
+          .Key("wall_seconds")
+          .Value(r.wall_seconds)
+          .Key("reads_per_second")
+          .Value(qps)
+          .Key("total_hits")
+          .Value(r.total_hits)
+          .Key("rejected_overloaded")
+          .Value(r.rejected_overloaded)
+          .Key("queue_p50_nanos")
+          .Value(p50)
+          .Key("queue_p95_nanos")
+          .Value(p95)
+          .Key("queue_p99_nanos")
+          .Value(p99);
+      json.Key("stats");
+      obs::AppendSearchStats(r.stats, &json);
+      json.EndObject();
+      table.AddRow({"inproc", std::to_string(k), std::to_string(clients),
+                    FormatSeconds(r.wall_seconds),
+                    std::to_string(static_cast<uint64_t>(qps)),
+                    FormatCount(r.total_hits),
+                    FormatSeconds(static_cast<double>(p95) * 1e-9)});
+    }
+
+    if (!tcp) continue;
+    for (const size_t clients : client_counts) {
+      serve::SessionOptions options;
+      options.num_threads = session_threads;
+      serve::Session session(&index, options);
+      serve::Server server(&session);
+      if (const Status status = server.Start(); !status.ok()) {
+        std::fprintf(stderr, "server start failed: %s\n",
+                     std::string(status.message()).c_str());
+        return 1;
+      }
+      RunResult r = RunTcp(server.port(), ascii, k, clients);
+      server.Stop();
+      if (r.total_hits != expected_hits[ki]) {
+        std::fprintf(stderr,
+                     "serve_tcp k=%d clients=%zu: %llu hits, serial found "
+                     "%llu — refusing to report wrong answers\n",
+                     k, clients, static_cast<unsigned long long>(r.total_hits),
+                     static_cast<unsigned long long>(expected_hits[ki]));
+        return 1;
+      }
+      const double qps =
+          r.wall_seconds > 0 ? static_cast<double>(reads.size()) / r.wall_seconds : 0;
+      json.BeginObject()
+          .Key("genome")
+          .Value(genome_name)
+          .Key("genome_length")
+          .Value(static_cast<uint64_t>(genome.size()))
+          .Key("read_length")
+          .Value(static_cast<uint64_t>(read_length))
+          .Key("read_count")
+          .Value(static_cast<uint64_t>(reads.size()))
+          .Key("k")
+          .Value(k)
+          .Key("engine")
+          .Value("serve_tcp")
+          .Key("threads")
+          .Value(static_cast<uint64_t>(clients))
+          .Key("session_threads")
+          .Value(session_threads)
+          .Key("wall_seconds")
+          .Value(r.wall_seconds)
+          .Key("reads_per_second")
+          .Value(qps)
+          .Key("total_hits")
+          .Value(r.total_hits)
+          .Key("rejected_overloaded")
+          .Value(r.rejected_overloaded)
+          .EndObject();
+      table.AddRow({"tcp", std::to_string(k), std::to_string(clients),
+                    FormatSeconds(r.wall_seconds),
+                    std::to_string(static_cast<uint64_t>(qps)),
+                    FormatCount(r.total_hits), "-"});
+    }
+  }
+  json.EndArray().EndObject();
+  table.Print();
+
+  const std::string path = out_dir + "/BENCH_" + name + ".json";
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return 1;
+  }
+  out << std::move(json).TakeString() << "\n";
+  if (!out.flush()) {
+    std::fprintf(stderr, "write to %s failed\n", path.c_str());
+    return 1;
+  }
+  std::printf("\nwrote %s\n", path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace bwtk::bench
+
+int main(int argc, char** argv) { return bwtk::bench::Run(argc, argv); }

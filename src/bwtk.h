@@ -36,6 +36,10 @@
 #include "search/searcher.h"
 #include "search/stree_search.h"
 #include "search/wildcard_search.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "serve/session.h"
+#include "serve/wire.h"
 #include "shard/shard_plan.h"
 #include "shard/sharded_index.h"
 #include "shard/sharded_searcher.h"

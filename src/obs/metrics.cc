@@ -14,6 +14,7 @@ constexpr std::string_view kCounterNames[kNumCounters] = {
     "merge_calls",     "chain_builds",   "batch_batches", "batch_queries",
     "prefix_table_hits", "prefix_table_skipped_steps",
     "shard_queries",   "seam_hits_deduped",
+    "serve_submitted", "serve_completed", "serve_overloaded",
 };
 
 constexpr std::string_view kPhaseNames[kNumPhases] = {
@@ -27,6 +28,7 @@ constexpr std::string_view kHistNames[kNumHists] = {
     "hits_per_query",
     "chain_length",
     "queue_wait_nanos",
+    "serve_queue_nanos",
 };
 
 }  // namespace

@@ -80,6 +80,13 @@ enum CounterId : uint32_t {
   // per-node hot path.
   kCounterShardQueries,     ///< (query, shard) tasks fanned out by routers.
   kCounterSeamHitsDeduped,  ///< overlap-seam hits discarded by ownership.
+  // serving layer (serve/session.h). Counted at admission/completion — once
+  // per ticket, never per node.
+  kCounterServeSubmitted,   ///< tickets admitted by Session::Submit.
+  kCounterServeCompleted,   ///< tickets whose search finished (any status).
+  /// Submissions rejected by admission control (queue full or the client's
+  /// in-flight budget exhausted) — the service's Overloaded responses.
+  kCounterServeOverloaded,
   kNumCounters
 };
 
@@ -104,6 +111,10 @@ enum HistId : uint32_t {
   kHistHitsPerQuery,    ///< occurrences reported per Search call.
   kHistChainLength,     ///< nodes per recorded chain.
   kHistQueueWaitNanos,  ///< nanoseconds per worker wait episode.
+  /// Nanoseconds a serving-layer ticket spent queued between admission and
+  /// worker pickup — the queue-wait component of service latency the
+  /// ROADMAP's serving item set out to measure and reclaim.
+  kHistServeQueueNanos,
   kNumHists
 };
 

@@ -10,6 +10,7 @@
 #include "obs/trace.h"
 #include "obs/trace_export.h"
 #include "search/kerror_search.h"
+#include "search/wildcard_search.h"
 #include "util/logging.h"
 
 namespace bwtk {
@@ -36,9 +37,116 @@ std::string_view BatchEngineName(BatchEngine engine) {
       return "stree";
     case BatchEngine::kKError:
       return "kerror";
+    case BatchEngine::kWildcard:
+      return "wildcard";
   }
   return "unknown";
 }
+
+Result<std::vector<DnaCode>> DecodeBatchPattern(BatchEngine engine,
+                                                std::string_view pattern) {
+  if (engine == BatchEngine::kWildcard) {
+    return ParseWildcardPattern(pattern);
+  }
+  return EncodeDna(pattern);
+}
+
+// One engine per (worker, index): each engine is a thin const view of its
+// shared index plus options, so a bank costs nothing to build and keeps
+// workers symmetric with serial callers. Only the configured engine family
+// is instantiated.
+struct EngineBank::Impl {
+  BatchOptions options;
+  size_t num_indexes = 0;
+  std::vector<AlgorithmA> a_engines;
+  std::vector<STreeSearch> stree_engines;
+  std::vector<KErrorSearch> kerror_engines;
+  std::vector<WildcardSearch> wildcard_engines;
+  AlgorithmAScratch scratch;  // reused across every Run, never shrinks
+};
+
+EngineBank::EngineBank(const std::vector<const FmIndex*>& indexes,
+                       const BatchOptions& options)
+    : impl_(std::make_unique<Impl>()) {
+  BWTK_CHECK(!indexes.empty());
+  for (const FmIndex* index : indexes) BWTK_CHECK(index != nullptr);
+  impl_->options = options;
+  impl_->num_indexes = indexes.size();
+  switch (options.engine) {
+    case BatchEngine::kAlgorithmA:
+      impl_->a_engines.reserve(indexes.size());
+      for (const FmIndex* index : indexes) {
+        impl_->a_engines.emplace_back(index, options.algorithm_a);
+      }
+      break;
+    case BatchEngine::kSTree:
+      impl_->stree_engines.reserve(indexes.size());
+      for (const FmIndex* index : indexes) {
+        impl_->stree_engines.emplace_back(index, options.stree);
+      }
+      break;
+    case BatchEngine::kKError:
+      impl_->kerror_engines.reserve(indexes.size());
+      for (const FmIndex* index : indexes) {
+        impl_->kerror_engines.emplace_back(index);
+      }
+      break;
+    case BatchEngine::kWildcard:
+      impl_->wildcard_engines.reserve(indexes.size());
+      for (const FmIndex* index : indexes) {
+        impl_->wildcard_engines.emplace_back(index);
+      }
+      break;
+  }
+}
+
+EngineBank::~EngineBank() = default;
+
+std::vector<Occurrence> EngineBank::Run(const BatchQuery& query,
+                                        size_t index_slot,
+                                        SearchStats* stats) {
+  std::vector<Occurrence> hits;
+  // A negative budget marks a query skipped at decode time (ASCII
+  // fail_fast = false path, or a rejected serve ticket); no search runs.
+  if (query.k < 0) {
+    if (stats != nullptr) *stats = SearchStats{};
+    return hits;
+  }
+  switch (impl_->options.engine) {
+    case BatchEngine::kAlgorithmA:
+      hits = impl_->a_engines[index_slot].Search(query.pattern, query.k,
+                                                 stats, &impl_->scratch);
+      break;
+    case BatchEngine::kSTree:
+      hits = impl_->stree_engines[index_slot].Search(query.pattern, query.k,
+                                                     stats);
+      break;
+    case BatchEngine::kKError: {
+      // Project each best-per-position alignment onto the Hamming result
+      // shape; the matched length is dropped (see BatchEngine).
+      const std::vector<EditOccurrence> edits =
+          impl_->kerror_engines[index_slot].Search(query.pattern, query.k,
+                                                   stats);
+      hits.reserve(edits.size());
+      for (const EditOccurrence& e : edits) {
+        hits.push_back(Occurrence{e.position, e.edits});
+      }
+      break;
+    }
+    case BatchEngine::kWildcard:
+      hits = impl_->wildcard_engines[index_slot].Search(query.pattern,
+                                                        query.k, stats);
+      break;
+  }
+  if (impl_->options.deterministic_order) NormalizeOccurrences(&hits);
+  return hits;
+}
+
+std::string_view EngineBank::engine_name() const {
+  return BatchEngineName(impl_->options.engine);
+}
+
+size_t EngineBank::num_indexes() const { return impl_->num_indexes; }
 
 // All pool state. The mutex guards the batch hand-off (generation counter,
 // batch pointers, completion count); the query path itself is lock-free —
@@ -53,8 +161,7 @@ struct BatchSearcher::Pool {
   int num_threads;
 
   std::vector<std::thread> workers;
-  std::vector<AlgorithmAScratch> scratches;  // one per worker, reused forever
-  std::vector<SearchStats> thread_stats;     // tid-indexed, valid per batch
+  std::vector<SearchStats> thread_stats;  // tid-indexed, valid per batch
 
   std::mutex mu;
   std::condition_variable work_cv;  // workers wait for a new generation
@@ -82,34 +189,11 @@ struct BatchSearcher::Pool {
   void WorkerLoop(int tid) {
     uint64_t seen = 0;
     const size_t num_indexes = indexes.size();
-    // One engine per (worker, index): each engine is a thin const view of
-    // its shared index plus options, so this costs nothing and keeps
-    // workers symmetric with serial callers. Only the configured engine
-    // family is instantiated.
-    std::vector<AlgorithmA> a_engines;
-    std::vector<STreeSearch> stree_engines;
-    std::vector<KErrorSearch> kerror_engines;
-    switch (options.engine) {
-      case BatchEngine::kAlgorithmA:
-        a_engines.reserve(num_indexes);
-        for (const FmIndex* index : indexes) {
-          a_engines.emplace_back(index, options.algorithm_a);
-        }
-        break;
-      case BatchEngine::kSTree:
-        stree_engines.reserve(num_indexes);
-        for (const FmIndex* index : indexes) {
-          stree_engines.emplace_back(index, options.stree);
-        }
-        break;
-      case BatchEngine::kKError:
-        kerror_engines.reserve(num_indexes);
-        for (const FmIndex* index : indexes) {
-          kerror_engines.emplace_back(index);
-        }
-        break;
-    }
-    const std::string_view engine_name = BatchEngineName(options.engine);
+    // The bank owns this worker's engines and AlgorithmA scratch; Run() is
+    // the same task-granular entry point the serving layer drives, so batch
+    // and streamed execution cannot drift apart.
+    EngineBank bank(indexes, options);
+    const std::string_view engine_name = bank.engine_name();
     for (;;) {
       uint64_t base = 0;
       obs::TraceSink* tsink = nullptr;
@@ -148,31 +232,7 @@ struct BatchSearcher::Pool {
                                  query.pattern.size(),
                                  static_cast<uint32_t>(tid),
                                  static_cast<uint32_t>(s));
-        std::vector<Occurrence> hits;
-        switch (options.engine) {
-          case BatchEngine::kAlgorithmA:
-            hits = a_engines[s].Search(query.pattern, query.k, &query_stats,
-                                       &scratches[tid]);
-            break;
-          case BatchEngine::kSTree:
-            hits = stree_engines[s].Search(query.pattern, query.k,
-                                           &query_stats);
-            break;
-          case BatchEngine::kKError: {
-            // Project each best-per-position alignment onto the Hamming
-            // result shape; the matched length is dropped (see BatchEngine).
-            // KErrorSearch is not SearchStats-instrumented; query_stats
-            // stays zero.
-            const std::vector<EditOccurrence> edits =
-                kerror_engines[s].Search(query.pattern, query.k);
-            hits.reserve(edits.size());
-            for (const EditOccurrence& e : edits) {
-              hits.push_back(Occurrence{e.position, e.edits});
-            }
-            break;
-          }
-        }
-        if (options.deterministic_order) NormalizeOccurrences(&hits);
+        std::vector<Occurrence> hits = bank.Run(query, s, &query_stats);
         qt.Finish(hits.size(), query_stats);
         (*out)[t] = std::move(hits);
         batch_stats += query_stats;
@@ -260,7 +320,6 @@ BatchSearcher::BatchSearcher(std::vector<const FmIndex*> indexes,
     sink_options.sample_seed = options.trace_seed;
     pool_->sink = std::make_unique<obs::TraceSink>(sink_options);
   }
-  pool_->scratches.resize(pool_->num_threads);
   pool_->thread_stats.resize(pool_->num_threads);
   pool_->workers.reserve(pool_->num_threads);
   for (int tid = 0; tid < pool_->num_threads; ++tid) {
@@ -333,7 +392,7 @@ Result<BatchResult> BatchSearcher::Search(
   std::vector<BatchQuery> queries(patterns.size());
   size_t failed = 0;
   for (size_t i = 0; i < patterns.size(); ++i) {
-    auto codes = EncodeDna(patterns[i]);
+    auto codes = DecodeBatchPattern(pool_->options.engine, patterns[i]);
     if (!codes.ok()) {
       if (pool_->options.fail_fast) {
         return Status::InvalidArgument("batch query " + std::to_string(i) +

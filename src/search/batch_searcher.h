@@ -53,9 +53,11 @@ struct BatchQuery {
   int32_t k = 0;
 };
 
-/// Which search engine the worker pool runs per query. All three return
+/// Which search engine the worker pool runs per query. All four return
 /// position-sorted Occurrence lists over the same index; they differ in the
-/// distance function and the amount of reuse machinery.
+/// distance function and the amount of reuse machinery. The per-engine
+/// SearchStats contract (which counters each engine fills) is documented in
+/// docs/API.md, "Per-engine stats contract".
 enum class BatchEngine {
   /// The paper's Algorithm A (Hamming distance, full reuse). Default.
   kAlgorithmA,
@@ -64,15 +66,23 @@ enum class BatchEngine {
   /// KErrorSearch (Levenshtein distance). Each EditOccurrence is projected
   /// to Occurrence{position, edits}; the matched-substring *length* is not
   /// representable in Occurrence and is dropped. Intended for small k.
-  /// SearchStats stay zero — the k-error walk is not counter-instrumented
-  /// (see ROADMAP "Wildcard/k-error parity"; wildcard_search is not routed
-  /// at all yet for the same reason).
   kKError,
+  /// WildcardSearch: patterns may contain kWildcardCode positions that
+  /// match any base, plus a Hamming budget k on the concrete positions.
+  /// ASCII batch overloads decode patterns with ParseWildcardPattern
+  /// ('?', '.', 'n', 'N' = wildcard) when this engine is selected.
+  kWildcard,
 };
 
 /// Stable engine label used for traces and bench reports ("algorithm_a",
-/// "stree", "kerror").
+/// "stree", "kerror", "wildcard").
 std::string_view BatchEngineName(BatchEngine engine);
+
+/// Decodes an ASCII pattern the way the batch overloads do for `engine`:
+/// ParseWildcardPattern for kWildcard (wildcards allowed), EncodeDna for
+/// every other engine (strict a/c/g/t).
+Result<std::vector<DnaCode>> DecodeBatchPattern(BatchEngine engine,
+                                                std::string_view pattern);
 
 /// Pool configuration, fixed at construction.
 struct BatchOptions {
@@ -147,6 +157,46 @@ struct BatchFanoutResult {
   std::vector<std::vector<Occurrence>> occurrences;
   /// Sum of every task's SearchStats.
   SearchStats stats;
+};
+
+/// One worker's bank of search engines over an index group — the
+/// task-granular execution seam under both batch and streaming dispatch.
+/// A bank instantiates one engine per index for the configured
+/// BatchEngine family plus a reusable AlgorithmAScratch, and Run() executes
+/// a single (query, index) task exactly as the serial engine would
+/// (including deterministic-order normalization). BatchSearcher's pool
+/// workers each own one bank and claim whole-batch task ranges from it;
+/// the serving layer (serve/session.h) gives each long-lived Session
+/// worker one bank and feeds it tickets one at a time. Engines are thin
+/// const views over the shared immutable indexes, so constructing a bank
+/// is cheap and banks on different threads never contend.
+///
+/// Not thread-safe: one bank per worker thread (the scratch is mutable
+/// per-query state).
+class EngineBank {
+ public:
+  /// Every index must be non-null and outlive the bank.
+  EngineBank(const std::vector<const FmIndex*>& indexes,
+             const BatchOptions& options);
+  ~EngineBank();
+  EngineBank(const EngineBank&) = delete;
+  EngineBank& operator=(const EngineBank&) = delete;
+
+  /// Runs `query` against index `index_slot` with the configured engine.
+  /// Returns the hit list (normalized when options.deterministic_order) and
+  /// fills `stats` with the engine's per-query counters. A query with
+  /// k < 0 (a decode-failed placeholder) returns empty without searching.
+  std::vector<Occurrence> Run(const BatchQuery& query, size_t index_slot,
+                              SearchStats* stats);
+
+  /// BatchEngineName(options.engine) — the stable trace/report label.
+  std::string_view engine_name() const;
+
+  size_t num_indexes() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
 };
 
 /// Fixed worker pool executing batches of k-mismatch queries.

@@ -39,10 +39,16 @@ struct StateKeyHash {
 }  // namespace
 
 std::vector<EditOccurrence> KErrorSearch::Search(
-    const std::vector<DnaCode>& pattern, int32_t k) const {
+    const std::vector<DnaCode>& pattern, int32_t k,
+    SearchStats* stats) const {
+  BWTK_SCOPED_HIST_TIMER(kHistQueryNanos);
+  SearchStats local_stats;
   std::vector<EditOccurrence> results;
   const size_t m = pattern.size();
-  if (m == 0 || k < 0) return results;
+  if (m == 0 || k < 0) {
+    if (stats != nullptr) *stats = local_stats;
+    return results;
+  }
   // Hoisted once; the per-state hook in push() is a single null check.
   [[maybe_unused]] obs::Trace* const trace = BWTK_TRACE_ACTIVE();
 
@@ -55,13 +61,20 @@ std::vector<EditOccurrence> KErrorSearch::Search(
   std::vector<Frame> stack;
   std::unordered_set<StateKey, StateKeyHash> visited;
   auto push = [&](const Frame& frame) {
-    if (frame.edits > k || frame.range.empty()) return;
+    if (frame.edits > k) {
+      // Only reachable from non-empty parent ranges: a real branch cut by
+      // the edit budget, the kerror analogue of budget_pruned.
+      if (!frame.range.empty()) ++local_stats.budget_pruned;
+      return;
+    }
+    if (frame.range.empty()) return;
     const StateKey key{(static_cast<uint64_t>(
                             static_cast<uint32_t>(frame.range.lo))
                         << 32) |
                            static_cast<uint32_t>(frame.range.hi),
                        frame.consumed, frame.depth, frame.edits};
     if (visited.insert(key).second) {
+      ++local_stats.stree_nodes;
       BWTK_TRACE_NODE(trace, frame.consumed);
       stack.push_back(frame);
     }
@@ -98,6 +111,7 @@ std::vector<EditOccurrence> KErrorSearch::Search(
     stack.pop_back();
     if (frame.consumed == m) {
       if (frame.depth == 0) continue;  // empty substring: not an occurrence
+      ++local_stats.completed_paths;
       for (const size_t pos : index_->Locate(frame.range, frame.depth)) {
         const EditOccurrence candidate{pos, frame.depth, frame.edits};
         const auto it = best.find(pos);
@@ -115,6 +129,7 @@ std::vector<EditOccurrence> KErrorSearch::Search(
     // pattern character) and as an insertion (not consuming it).
     FmIndex::Range next[kDnaAlphabetSize];
     index_->ExtendAll(frame.range, next);
+    local_stats.extend_calls += kDnaAlphabetSize;
     const DnaCode expected = pattern[frame.consumed];
     for (DnaCode c = 0; c < kDnaAlphabetSize; ++c) {
       if (next[c].empty()) continue;
@@ -127,6 +142,13 @@ std::vector<EditOccurrence> KErrorSearch::Search(
   results.reserve(best.size());
   for (const auto& [pos, occurrence] : best) results.push_back(occurrence);
   std::sort(results.begin(), results.end());
+  // Bulk-flushed rank work, mirroring STreeSearch: one ExtendAll = two
+  // RankAlls per kDnaAlphabetSize-sized extend_calls increment.
+  const uint64_t extend_alls = local_stats.extend_calls / kDnaAlphabetSize;
+  BWTK_METRIC_COUNT2(kCounterExtendAllCalls, extend_alls,
+                     kCounterRankAllCalls, 2 * extend_alls);
+  BWTK_METRIC_OBSERVE(kHistHitsPerQuery, results.size());
+  if (stats != nullptr) *stats = local_stats;
   return results;
 }
 

@@ -42,8 +42,20 @@ class KErrorSearch {
   /// the best (fewest-edit, then shortest) alignment per start position and
   /// sorted by position. Intended for small k (the backtracking state space
   /// grows steeply with the budget).
+  ///
+  /// When `stats` is non-null it receives this query's SearchStats. The
+  /// engine fills the subset that maps onto the edit-distance walk
+  /// (docs/API.md, "Per-engine stats contract"): `stree_nodes` counts
+  /// deduplicated backtracking states pushed, `extend_calls` the FM
+  /// search-primitive work (4 per ExtendAll, as in STreeSearch),
+  /// `completed_paths` the frames that consumed the whole pattern and
+  /// reported a range, and `budget_pruned` the expansions rejected for
+  /// exceeding the edit budget. The Algorithm-A-specific fields (mtree_*,
+  /// reused_nodes, derived_runs) and `tau_pruned` stay zero — this walk has
+  /// no M-tree and no τ bound.
   std::vector<EditOccurrence> Search(const std::vector<DnaCode>& pattern,
-                                     int32_t k) const;
+                                     int32_t k,
+                                     SearchStats* stats = nullptr) const;
 
  private:
   const FmIndex* index_;  // not owned

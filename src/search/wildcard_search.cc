@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace bwtk {
 
 Result<std::vector<DnaCode>> ParseWildcardPattern(std::string_view pattern) {
@@ -23,10 +26,18 @@ Result<std::vector<DnaCode>> ParseWildcardPattern(std::string_view pattern) {
 }
 
 std::vector<Occurrence> WildcardSearch::Search(
-    const std::vector<DnaCode>& pattern, int32_t k) const {
+    const std::vector<DnaCode>& pattern, int32_t k,
+    SearchStats* stats) const {
+  BWTK_SCOPED_HIST_TIMER(kHistQueryNanos);
+  // Hoisted once; the per-node hooks below are a single null check.
+  [[maybe_unused]] obs::Trace* const trace = BWTK_TRACE_ACTIVE();
+  SearchStats local_stats;
   std::vector<Occurrence> results;
   const size_t m = pattern.size();
-  if (m == 0 || m > index_->text_size() || k < 0) return results;
+  if (m == 0 || m > index_->text_size() || k < 0) {
+    if (stats != nullptr) *stats = local_stats;
+    return results;
+  }
 
   struct Frame {
     FmIndex::Range range;
@@ -35,10 +46,12 @@ std::vector<Occurrence> WildcardSearch::Search(
   };
   std::vector<Frame> stack;
   stack.push_back({index_->WholeRange(), 0, 0});
+  BWTK_TRACE_SPAN(trace, "tree_traversal");
   while (!stack.empty()) {
     const Frame frame = stack.back();
     stack.pop_back();
     if (frame.depth == m) {
+      ++local_stats.completed_paths;
       for (const size_t pos : index_->Locate(frame.range, m)) {
         results.push_back({pos, frame.mismatches});
       }
@@ -47,16 +60,28 @@ std::vector<Occurrence> WildcardSearch::Search(
     const DnaCode expected = pattern[frame.depth];
     FmIndex::Range next[kDnaAlphabetSize];
     index_->ExtendAll(frame.range, next);
+    local_stats.extend_calls += kDnaAlphabetSize;
     for (DnaCode c = 0; c < kDnaAlphabetSize; ++c) {
       if (next[c].empty()) continue;
+      ++local_stats.stree_nodes;
+      BWTK_TRACE_NODE(trace, frame.depth + 1);
       int32_t mismatches = frame.mismatches;
       if (expected != kWildcardCode && c != expected) {
-        if (++mismatches > k) continue;
+        if (++mismatches > k) {
+          ++local_stats.budget_pruned;
+          continue;
+        }
       }
       stack.push_back({next[c], frame.depth + 1, mismatches});
     }
   }
   NormalizeOccurrences(&results);
+  // Bulk-flushed rank work, mirroring STreeSearch.
+  const uint64_t extend_alls = local_stats.extend_calls / kDnaAlphabetSize;
+  BWTK_METRIC_COUNT2(kCounterExtendAllCalls, extend_alls,
+                     kCounterRankAllCalls, 2 * extend_alls);
+  BWTK_METRIC_OBSERVE(kHistHitsPerQuery, results.size());
+  if (stats != nullptr) *stats = local_stats;
   return results;
 }
 

@@ -34,8 +34,17 @@ class WildcardSearch {
   /// All occurrences of `pattern` where every concrete position matches up
   /// to `k` mismatches and wildcard positions match anything; `mismatches`
   /// in the result counts only concrete-position mismatches. Sorted.
+  ///
+  /// When `stats` is non-null it receives this query's SearchStats
+  /// (docs/API.md, "Per-engine stats contract"): `stree_nodes` counts
+  /// enumeration states pushed, `extend_calls` the FM search-primitive work
+  /// (4 per ExtendAll), `completed_paths` the states that reached full
+  /// pattern length, and `budget_pruned` the branches cut by the concrete
+  /// mismatch budget. `tau_pruned` and the Algorithm-A fields stay zero —
+  /// the wildcard walk uses neither τ nor reuse machinery.
   std::vector<Occurrence> Search(const std::vector<DnaCode>& pattern,
-                                 int32_t k = 0) const;
+                                 int32_t k = 0,
+                                 SearchStats* stats = nullptr) const;
 
  private:
   const FmIndex* index_;  // not owned

@@ -1,0 +1,84 @@
+// Blocking client for the TCP serving front-end (serve/server.h,
+// protocol in serve/wire.h and docs/SERVING.md).
+//
+// A Client owns one connection and is deliberately minimal: Connect does
+// the HELLO/HELLO_ACK handshake, Query() is the one-shot convenience, and
+// the Send/Receive pair supports pipelining — send a window of queries,
+// then collect RESULTs, matching them by request_id (the server answers
+// in completion order, not submission order).
+//
+//   auto client = bwtk::serve::Client::Connect("127.0.0.1", port);
+//   auto response = client.value()->Query("acgtacgt", 2);
+//   // response.value().hits — or a non-OK status, e.g. kOverloaded when
+//   // the server shed the query; back off and resend.
+//
+// Not thread-safe: one Client per thread (or lock around it).
+
+#ifndef BWTK_SERVE_CLIENT_H_
+#define BWTK_SERVE_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "serve/session.h"
+#include "serve/wire.h"
+#include "util/status.h"
+
+namespace bwtk::serve {
+
+class Client {
+ public:
+  /// Connects, handshakes, and returns a ready client. IoError on
+  /// connection failure, Corruption/InvalidArgument on a bad handshake.
+  static Result<std::unique_ptr<Client>> Connect(
+      const std::string& host, uint16_t port,
+      size_t max_frame_payload = kDefaultMaxFramePayload);
+
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// The server's handshake reply: wire version, engine name, whether the
+  /// index is sharded, and the per-connection in-flight cap.
+  const HelloAck& hello() const { return hello_; }
+
+  /// One-shot: SendQuery + receive until this request's RESULT arrives
+  /// (responses for other outstanding requests are queued internally).
+  /// The returned status is the *query's* outcome (FromWireStatus) —
+  /// kOverloaded etc. come back as statuses, transport failures as
+  /// IoError/Corruption.
+  Result<QueryResponse> Query(std::string_view pattern, int32_t k);
+
+  /// Pipelining: sends one QUERY frame with a self-assigned request id
+  /// (returned). Does not wait for the response.
+  Result<uint64_t> SendQuery(std::string_view pattern, int32_t k);
+
+  /// Receives the next RESULT in server completion order — any request id.
+  /// Internally-queued responses (collected while waiting inside Query)
+  /// are returned first.
+  Result<QueryResponse> ReceiveResponse();
+
+  /// Server-side gauges snapshot (STATS round-trip). Must not be called
+  /// with query responses outstanding (the reply would interleave).
+  Result<SessionStats> GetStats();
+
+ private:
+  Client() = default;
+
+  Status SendFrame(std::string_view frame);
+  /// Reads until one complete frame of `want` is available.
+  Result<Frame> ReceiveFrame(FrameType want);
+
+  int fd_ = -1;
+  uint64_t next_request_id_ = 1;
+  HelloAck hello_;
+  FrameReader reader_{kDefaultMaxFramePayload};
+  std::vector<QueryResponse> queued_;  // RESULTs read past, FIFO
+};
+
+}  // namespace bwtk::serve
+
+#endif  // BWTK_SERVE_CLIENT_H_

@@ -1,0 +1,421 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace bwtk::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// Writes the whole buffer, looping over partial sends. MSG_NOSIGNAL turns
+// a peer hang-up into EPIPE instead of killing the process.
+bool WriteAll(int fd, std::string_view data) {
+  size_t written = 0;
+  while (written < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + written, data.size() - written,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    written += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+// One client socket plus the bookkeeping for its outstanding requests.
+// Shared between the reader thread, Session worker callbacks, and the
+// timeout reaper; kept alive by shared_ptr until the last of them lets go.
+struct Connection {
+  int fd = -1;
+
+  // Guards fd liveness and serializes frame writes (a RESULT from a worker
+  // must not interleave with one from the reaper).
+  std::mutex write_mu;
+  bool closed = false;
+
+  // Outstanding QUERY bookkeeping.
+  struct PendingRequest {
+    bool responded = false;  // a RESULT (possibly kTimedOut) already went out
+    Clock::time_point deadline;
+  };
+  std::mutex request_mu;
+  std::unordered_map<uint64_t, PendingRequest> pending;
+  size_t inflight = 0;  // unanswered QUERYs (the per-connection gauge)
+
+  void Send(std::string_view frame) {
+    std::lock_guard<std::mutex> lock(write_mu);
+    if (closed) return;
+    if (!WriteAll(fd, frame)) {
+      // Peer is gone; stop writing. The reader thread notices on its side
+      // and tears the connection down.
+      closed = true;
+    }
+  }
+
+  void SendResponse(const QueryResponse& response) {
+    std::string frame;
+    AppendResultFrame(response, &frame);
+    Send(frame);
+  }
+
+  // Severs the socket so a blocked recv/send returns. Does not close the
+  // descriptor (the reader thread owns that).
+  void Sever() { ::shutdown(fd, SHUT_RDWR); }
+};
+
+}  // namespace
+
+struct Server::Impl {
+  Session* session = nullptr;
+  ServerOptions options;
+
+  int listen_fd = -1;
+  uint16_t bound_port = 0;
+
+  mutable std::mutex mu;
+  bool stopping = false;
+  std::vector<std::shared_ptr<Connection>> connections;  // open connections
+  std::vector<std::thread> reader_threads;  // joined at Stop
+  std::thread acceptor;
+  std::thread reaper;
+  std::condition_variable reaper_cv;  // wakes the reaper early on Stop
+
+  // --- Per-connection protocol ------------------------------------------
+
+  void HandleQuery(const std::shared_ptr<Connection>& conn,
+                   const std::string& payload) {
+    const Result<QueryRequest> parsed = ParseQueryPayload(payload);
+    if (!parsed.ok()) {
+      // Framing is intact but the payload is garbage: answer and carry on
+      // (the stream is still synchronized).
+      QueryResponse response;
+      response.status = WireStatus::kInvalidArgument;
+      response.message = parsed.status().message();
+      conn->SendResponse(response);
+      return;
+    }
+    const QueryRequest& request = parsed.value();
+    QueryResponse reject;
+    reject.request_id = request.request_id;
+
+    // Layer 1: per-connection admission, before touching the Session.
+    {
+      std::lock_guard<std::mutex> lock(conn->request_mu);
+      if (conn->pending.contains(request.request_id)) {
+        reject.status = WireStatus::kInvalidArgument;
+        reject.message = "request id " + std::to_string(request.request_id) +
+                         " is already outstanding on this connection";
+        conn->SendResponse(reject);
+        return;
+      }
+      if (conn->inflight >= options.max_inflight_per_connection) {
+        reject.status = WireStatus::kOverloaded;
+        reject.message = "connection in-flight cap (" +
+                         std::to_string(options.max_inflight_per_connection) +
+                         ") reached; read some results first";
+        conn->SendResponse(reject);
+        return;
+      }
+    }
+
+    auto codes = DecodeBatchPattern(session->engine(), request.pattern);
+    if (!codes.ok()) {
+      reject.status = WireStatus::kInvalidArgument;
+      reject.message = codes.status().message();
+      conn->SendResponse(reject);
+      return;
+    }
+
+    // Claim the in-flight slot, then submit. The callback owns releasing
+    // the slot (or the reaper does, on timeout).
+    {
+      std::lock_guard<std::mutex> lock(conn->request_mu);
+      Connection::PendingRequest entry;
+      if (options.request_timeout.count() > 0) {
+        entry.deadline = Clock::now() + options.request_timeout;
+      }
+      conn->pending.emplace(request.request_id, entry);
+      ++conn->inflight;
+    }
+    const uint64_t request_id = request.request_id;
+    const Result<Ticket> ticket = session->Submit(
+        BatchQuery{std::move(codes).value(), request.k},
+        [conn, request_id](QueryResult result) {
+          QueryResponse response;
+          response.request_id = request_id;
+          response.status = ToWireStatus(result.status);
+          response.message = result.status.message();
+          response.hits = std::move(result.hits);
+          {
+            std::lock_guard<std::mutex> lock(conn->request_mu);
+            const auto it = conn->pending.find(request_id);
+            if (it == conn->pending.end()) return;  // connection torn down
+            const bool already_responded = it->second.responded;
+            conn->pending.erase(it);
+            if (already_responded) return;  // the reaper timed it out
+            --conn->inflight;
+          }
+          conn->SendResponse(response);
+        });
+    if (!ticket.ok()) {
+      // Layer 2: session admission refused — release the slot and answer
+      // with the mapped wire status (kOverloaded / kUnavailable / ...).
+      {
+        std::lock_guard<std::mutex> lock(conn->request_mu);
+        conn->pending.erase(request_id);
+        --conn->inflight;
+      }
+      reject.status = ToWireStatus(ticket.status());
+      reject.message = ticket.status().message();
+      conn->SendResponse(reject);
+    }
+  }
+
+  // Returns false when the connection must close (protocol violation).
+  bool HandleFrame(const std::shared_ptr<Connection>& conn, Frame frame,
+                   bool* saw_hello) {
+    if (!*saw_hello) {
+      if (frame.type != FrameType::kHello) return false;
+      const Status status = ValidateHelloPayload(frame.payload);
+      if (!status.ok()) {
+        BWTK_LOG(Warning) << "serve: rejected client: " << status.message();
+        return false;
+      }
+      HelloAck ack;
+      ack.max_inflight =
+          static_cast<uint32_t>(options.max_inflight_per_connection);
+      ack.engine = std::string(session->engine_name());
+      ack.sharded = session->num_indexes() > 1;
+      std::string out;
+      AppendHelloAckFrame(ack, &out);
+      conn->Send(out);
+      *saw_hello = true;
+      return true;
+    }
+    switch (frame.type) {
+      case FrameType::kQuery:
+        HandleQuery(conn, frame.payload);
+        return true;
+      case FrameType::kStats: {
+        std::string out;
+        AppendStatsResultFrame(session->Stats(), &out);
+        conn->Send(out);
+        return true;
+      }
+      default:
+        // HELLO twice, or a server→client type: protocol violation.
+        return false;
+    }
+  }
+
+  void ReaderLoop(std::shared_ptr<Connection> conn) {
+    FrameReader reader(options.max_frame_payload);
+    bool saw_hello = false;
+    char buffer[64 * 1024];
+    for (;;) {
+      const ssize_t n = ::recv(conn->fd, buffer, sizeof(buffer), 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) break;  // EOF, error, or Stop's shutdown()
+      reader.Feed(buffer, static_cast<size_t>(n));
+      bool tear_down = false;
+      for (;;) {
+        Result<std::optional<Frame>> next = reader.Next();
+        if (!next.ok()) {
+          BWTK_LOG(Warning) << "serve: closing connection: "
+                            << next.status().message();
+          tear_down = true;
+          break;
+        }
+        if (!next.value().has_value()) break;
+        if (!HandleFrame(conn, std::move(next.value()).value(), &saw_hello)) {
+          tear_down = true;
+          break;
+        }
+      }
+      if (tear_down) break;
+    }
+    // Quiesce the connection: late worker callbacks find no pending entry
+    // and drop their responses; writes become no-ops.
+    {
+      std::lock_guard<std::mutex> lock(conn->request_mu);
+      conn->pending.clear();
+      conn->inflight = 0;
+    }
+    {
+      std::lock_guard<std::mutex> lock(conn->write_mu);
+      conn->closed = true;
+      ::close(conn->fd);
+    }
+    std::lock_guard<std::mutex> lock(mu);
+    std::erase(connections, conn);
+  }
+
+  // --- Timeout reaper ----------------------------------------------------
+
+  void ReaperLoop() {
+    // The scan interval bounds timeout precision at timeout/4 (min 1ms,
+    // max 50ms) — coarse on purpose; request_timeout is a shedding
+    // mechanism, not a scheduler.
+    const auto interval = std::clamp<std::chrono::milliseconds>(
+        options.request_timeout / 4, std::chrono::milliseconds(1),
+        std::chrono::milliseconds(50));
+    std::unique_lock<std::mutex> lock(mu);
+    while (!stopping) {
+      reaper_cv.wait_for(lock, interval);
+      if (stopping) return;
+      const std::vector<std::shared_ptr<Connection>> snapshot = connections;
+      lock.unlock();
+      const auto now = Clock::now();
+      for (const auto& conn : snapshot) {
+        std::vector<uint64_t> expired;
+        {
+          std::lock_guard<std::mutex> request_lock(conn->request_mu);
+          for (auto& [request_id, entry] : conn->pending) {
+            if (!entry.responded && entry.deadline <= now) {
+              // Keep the entry: the worker callback will erase it and see
+              // that a response already went out.
+              entry.responded = true;
+              --conn->inflight;
+              expired.push_back(request_id);
+            }
+          }
+        }
+        for (const uint64_t request_id : expired) {
+          QueryResponse response;
+          response.request_id = request_id;
+          response.status = WireStatus::kTimedOut;
+          response.message = "request timed out server-side; the search "
+                             "still runs but its result is discarded";
+          conn->SendResponse(response);
+        }
+      }
+      lock.lock();
+    }
+  }
+
+  // --- Acceptor ----------------------------------------------------------
+
+  void AcceptorLoop() {
+    for (;;) {
+      const int fd = ::accept(listen_fd, nullptr, nullptr);
+      if (fd < 0) {
+        if (errno == EINTR) continue;
+        return;  // listener closed by Stop
+      }
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      auto conn = std::make_shared<Connection>();
+      conn->fd = fd;
+      std::lock_guard<std::mutex> lock(mu);
+      if (stopping) {
+        ::close(fd);
+        return;
+      }
+      connections.push_back(conn);
+      reader_threads.emplace_back(
+          [this, conn = std::move(conn)]() mutable {
+            ReaderLoop(std::move(conn));
+          });
+    }
+  }
+};
+
+Server::Server(Session* session, const ServerOptions& options)
+    : impl_(std::make_unique<Impl>()) {
+  BWTK_CHECK(session != nullptr);
+  impl_->session = session;
+  impl_->options = options;
+}
+
+Server::~Server() { Stop(); }
+
+Status Server::Start() {
+  Impl& impl = *impl_;
+  BWTK_CHECK(impl.listen_fd < 0);  // Start is once-only
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IoError("socket: " + std::string(std::strerror(errno)));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(impl.options.port);
+  if (::inet_pton(AF_INET, impl.options.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad bind address: " + impl.options.host);
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(fd, impl.options.listen_backlog) < 0) {
+    const std::string error = std::strerror(errno);
+    ::close(fd);
+    return Status::IoError("bind/listen on " + impl.options.host + ":" +
+                           std::to_string(impl.options.port) + ": " + error);
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len);
+  impl.bound_port = ntohs(bound.sin_port);
+  impl.listen_fd = fd;
+  impl.acceptor = std::thread([&impl] { impl.AcceptorLoop(); });
+  if (impl.options.request_timeout.count() > 0) {
+    impl.reaper = std::thread([&impl] { impl.ReaperLoop(); });
+  }
+  return Status::OK();
+}
+
+uint16_t Server::port() const { return impl_->bound_port; }
+
+void Server::Stop() {
+  Impl& impl = *impl_;
+  std::vector<std::shared_ptr<Connection>> to_sever;
+  {
+    std::lock_guard<std::mutex> lock(impl.mu);
+    if (impl.stopping) return;
+    impl.stopping = true;
+    to_sever = impl.connections;
+  }
+  impl.reaper_cv.notify_all();
+  if (impl.listen_fd >= 0) {
+    // shutdown() unblocks a blocked accept(); close() releases the port.
+    ::shutdown(impl.listen_fd, SHUT_RDWR);
+    ::close(impl.listen_fd);
+  }
+  for (const auto& conn : to_sever) conn->Sever();
+  if (impl.acceptor.joinable()) impl.acceptor.join();
+  if (impl.reaper.joinable()) impl.reaper.join();
+  // Reader threads remove themselves from `connections` but their thread
+  // objects are joined here, after the acceptor can no longer add more.
+  std::vector<std::thread> readers;
+  {
+    std::lock_guard<std::mutex> lock(impl.mu);
+    readers.swap(impl.reader_threads);
+  }
+  for (std::thread& thread : readers) thread.join();
+}
+
+size_t Server::num_connections() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->connections.size();
+}
+
+}  // namespace bwtk::serve

@@ -1,0 +1,277 @@
+#include "serve/wire.h"
+
+#include <cstring>
+
+namespace bwtk::serve {
+
+namespace {
+
+// Little-endian primitive writers. memcpy keeps them alignment-safe; the
+// byte order is the host's on every supported target (the build asserts
+// little-endian in CMake for the serialized index format already).
+template <typename T>
+void PutInt(T value, std::string* out) {
+  char bytes[sizeof(T)];
+  std::memcpy(bytes, &value, sizeof(T));
+  out->append(bytes, sizeof(T));
+}
+
+// Bounds-checked little-endian reader over a payload cursor.
+struct Cursor {
+  const char* data;
+  size_t size;
+  size_t pos = 0;
+
+  template <typename T>
+  bool Read(T* value) {
+    if (size - pos < sizeof(T)) return false;
+    std::memcpy(value, data + pos, sizeof(T));
+    pos += sizeof(T);
+    return true;
+  }
+
+  bool ReadBytes(size_t n, std::string* out) {
+    if (size - pos < n) return false;
+    out->assign(data + pos, n);
+    pos += n;
+    return true;
+  }
+
+  bool AtEnd() const { return pos == size; }
+};
+
+Status Malformed(const char* what) {
+  return Status::Corruption(std::string("malformed ") + what + " payload");
+}
+
+void AppendFrame(FrameType type, std::string_view payload, std::string* out) {
+  PutInt(static_cast<uint32_t>(payload.size()), out);
+  out->push_back(static_cast<char>(type));
+  out->append(payload);
+}
+
+}  // namespace
+
+WireStatus ToWireStatus(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kOk:
+      return WireStatus::kOk;
+    case StatusCode::kInvalidArgument:
+      return WireStatus::kInvalidArgument;
+    case StatusCode::kOverloaded:
+      return WireStatus::kOverloaded;
+    case StatusCode::kUnavailable:
+      return WireStatus::kUnavailable;
+    case StatusCode::kTimedOut:
+      return WireStatus::kTimedOut;
+    default:
+      return WireStatus::kInternal;
+  }
+}
+
+Status FromWireStatus(WireStatus status, std::string message) {
+  switch (status) {
+    case WireStatus::kOk:
+      return Status::OK();
+    case WireStatus::kInvalidArgument:
+      return Status::InvalidArgument(std::move(message));
+    case WireStatus::kOverloaded:
+      return Status::Overloaded(std::move(message));
+    case WireStatus::kUnavailable:
+      return Status::Unavailable(std::move(message));
+    case WireStatus::kTimedOut:
+      return Status::TimedOut(std::move(message));
+    case WireStatus::kInternal:
+      break;
+  }
+  return Status::Internal(std::move(message));
+}
+
+void AppendHelloFrame(std::string* out) {
+  std::string payload;
+  PutInt(kWireMagic, &payload);
+  PutInt(kWireVersion, &payload);
+  PutInt(static_cast<uint16_t>(0), &payload);  // reserved
+  AppendFrame(FrameType::kHello, payload, out);
+}
+
+void AppendHelloAckFrame(const HelloAck& ack, std::string* out) {
+  std::string payload;
+  PutInt(ack.version, &payload);
+  PutInt(ack.max_inflight, &payload);
+  payload.push_back(static_cast<char>(ack.engine.size()));
+  payload.append(ack.engine);
+  payload.push_back(ack.sharded ? 1 : 0);
+  AppendFrame(FrameType::kHelloAck, payload, out);
+}
+
+void AppendQueryFrame(const QueryRequest& request, std::string* out) {
+  std::string payload;
+  PutInt(request.request_id, &payload);
+  PutInt(request.k, &payload);
+  PutInt(static_cast<uint32_t>(request.pattern.size()), &payload);
+  payload.append(request.pattern);
+  AppendFrame(FrameType::kQuery, payload, out);
+}
+
+void AppendResultFrame(const QueryResponse& response, std::string* out) {
+  std::string payload;
+  PutInt(response.request_id, &payload);
+  payload.push_back(static_cast<char>(response.status));
+  PutInt(static_cast<uint32_t>(response.message.size()), &payload);
+  payload.append(response.message);
+  PutInt(static_cast<uint32_t>(response.hits.size()), &payload);
+  for (const Occurrence& hit : response.hits) {
+    PutInt(static_cast<uint64_t>(hit.position), &payload);
+    PutInt(hit.mismatches, &payload);
+  }
+  AppendFrame(FrameType::kResult, payload, out);
+}
+
+void AppendStatsFrame(std::string* out) {
+  AppendFrame(FrameType::kStats, {}, out);
+}
+
+void AppendStatsResultFrame(const SessionStats& stats, std::string* out) {
+  std::string payload;
+  PutInt(static_cast<uint64_t>(stats.queue_depth), &payload);
+  PutInt(static_cast<uint64_t>(stats.running), &payload);
+  PutInt(static_cast<uint64_t>(stats.inflight), &payload);
+  PutInt(stats.submitted, &payload);
+  PutInt(stats.completed, &payload);
+  PutInt(stats.rejected_overloaded, &payload);
+  PutInt(stats.rejected_unavailable, &payload);
+  AppendFrame(FrameType::kStatsResult, payload, out);
+}
+
+void FrameReader::Feed(const char* data, size_t n) {
+  // Reclaim the consumed prefix before growing; keeps the buffer at the
+  // size of the partial frame, not the whole connection history.
+  if (consumed_ > 0) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  buffer_.append(data, n);
+}
+
+Result<std::optional<Frame>> FrameReader::Next() {
+  const size_t available = buffer_.size() - consumed_;
+  if (available < 5) return std::optional<Frame>{};
+  uint32_t payload_length = 0;
+  std::memcpy(&payload_length, buffer_.data() + consumed_, 4);
+  if (payload_length > max_payload_) {
+    return Status::Corruption("frame payload of " +
+                              std::to_string(payload_length) +
+                              " bytes exceeds the " +
+                              std::to_string(max_payload_) + "-byte cap");
+  }
+  if (available < 5 + static_cast<size_t>(payload_length)) {
+    return std::optional<Frame>{};
+  }
+  Frame frame;
+  frame.type =
+      static_cast<FrameType>(static_cast<uint8_t>(buffer_[consumed_ + 4]));
+  frame.payload.assign(buffer_, consumed_ + 5, payload_length);
+  consumed_ += 5 + payload_length;
+  return std::optional<Frame>{std::move(frame)};
+}
+
+Status ValidateHelloPayload(std::string_view payload) {
+  Cursor cursor{payload.data(), payload.size()};
+  uint32_t magic = 0;
+  uint16_t version = 0;
+  uint16_t reserved = 0;
+  if (!cursor.Read(&magic) || !cursor.Read(&version) ||
+      !cursor.Read(&reserved) || !cursor.AtEnd()) {
+    return Malformed("HELLO");
+  }
+  if (magic != kWireMagic) {
+    return Status::Corruption("bad HELLO magic (not a bwtk client?)");
+  }
+  if (version != kWireVersion) {
+    return Status::InvalidArgument(
+        "unsupported wire version " + std::to_string(version) +
+        " (server speaks " + std::to_string(kWireVersion) + ")");
+  }
+  return Status::OK();
+}
+
+Result<HelloAck> ParseHelloAckPayload(std::string_view payload) {
+  Cursor cursor{payload.data(), payload.size()};
+  HelloAck ack;
+  uint8_t engine_length = 0;
+  uint8_t sharded = 0;
+  if (!cursor.Read(&ack.version) || !cursor.Read(&ack.max_inflight) ||
+      !cursor.Read(&engine_length) ||
+      !cursor.ReadBytes(engine_length, &ack.engine) ||
+      !cursor.Read(&sharded) || !cursor.AtEnd()) {
+    return Malformed("HELLO_ACK");
+  }
+  ack.sharded = sharded != 0;
+  return ack;
+}
+
+Result<QueryRequest> ParseQueryPayload(std::string_view payload) {
+  Cursor cursor{payload.data(), payload.size()};
+  QueryRequest request;
+  uint32_t pattern_length = 0;
+  if (!cursor.Read(&request.request_id) || !cursor.Read(&request.k) ||
+      !cursor.Read(&pattern_length) ||
+      !cursor.ReadBytes(pattern_length, &request.pattern) ||
+      !cursor.AtEnd()) {
+    return Malformed("QUERY");
+  }
+  return request;
+}
+
+Result<QueryResponse> ParseResultPayload(std::string_view payload) {
+  Cursor cursor{payload.data(), payload.size()};
+  QueryResponse response;
+  uint8_t status = 0;
+  uint32_t message_length = 0;
+  uint32_t num_hits = 0;
+  if (!cursor.Read(&response.request_id) || !cursor.Read(&status) ||
+      !cursor.Read(&message_length) ||
+      !cursor.ReadBytes(message_length, &response.message) ||
+      !cursor.Read(&num_hits)) {
+    return Malformed("RESULT");
+  }
+  response.status = static_cast<WireStatus>(status);
+  // 12 bytes per hit; the remaining-size check rejects a lying num_hits
+  // before the reserve can balloon.
+  if ((payload.size() - cursor.pos) / 12 < num_hits) {
+    return Malformed("RESULT");
+  }
+  response.hits.reserve(num_hits);
+  for (uint32_t i = 0; i < num_hits; ++i) {
+    uint64_t position = 0;
+    int32_t mismatches = 0;
+    if (!cursor.Read(&position) || !cursor.Read(&mismatches)) {
+      return Malformed("RESULT");
+    }
+    response.hits.push_back(
+        Occurrence{static_cast<size_t>(position), mismatches});
+  }
+  if (!cursor.AtEnd()) return Malformed("RESULT");
+  return response;
+}
+
+Result<SessionStats> ParseStatsResultPayload(std::string_view payload) {
+  Cursor cursor{payload.data(), payload.size()};
+  uint64_t fields[7];
+  for (uint64_t& field : fields) {
+    if (!cursor.Read(&field)) return Malformed("STATS_RESULT");
+  }
+  if (!cursor.AtEnd()) return Malformed("STATS_RESULT");
+  SessionStats stats;
+  stats.queue_depth = static_cast<size_t>(fields[0]);
+  stats.running = static_cast<size_t>(fields[1]);
+  stats.inflight = static_cast<size_t>(fields[2]);
+  stats.submitted = fields[3];
+  stats.completed = fields[4];
+  stats.rejected_overloaded = fields[5];
+  stats.rejected_unavailable = fields[6];
+  return stats;
+}
+
+}  // namespace bwtk::serve

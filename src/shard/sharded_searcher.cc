@@ -7,11 +7,7 @@
 
 namespace bwtk {
 
-namespace {
-
-// Text window a query's occurrences can span: the pattern itself for the
-// Hamming engines, up to k extra characters for kerror alignments.
-size_t QueryWindow(const BatchQuery& query, BatchEngine engine) {
+size_t ShardedQueryWindow(const BatchQuery& query, BatchEngine engine) {
   size_t window = query.pattern.size();
   if (engine == BatchEngine::kKError && query.k > 0) {
     window += static_cast<size_t>(query.k);
@@ -19,7 +15,29 @@ size_t QueryWindow(const BatchQuery& query, BatchEngine engine) {
   return window;
 }
 
-}  // namespace
+uint64_t ResolveShardedHits(const ShardPlan& plan, size_t window,
+                            std::vector<Occurrence>* parts,
+                            std::vector<Occurrence>* merged) {
+  uint64_t deduped = 0;
+  for (size_t s = 0; s < plan.num_shards(); ++s) {
+    std::vector<Occurrence>& part = parts[s];
+    for (const Occurrence& hit : part) {
+      const size_t global = plan.LocalToGlobal(s, hit.position);
+      // Keep the hit only in the one shard that owns its window; every
+      // other slice containing it reports a seam duplicate.
+      if (plan.OwnerShard(global, window) == s) {
+        merged->push_back(Occurrence{global, hit.mismatches});
+      } else {
+        ++deduped;
+      }
+    }
+    part.clear();
+  }
+  // Shard-order concatenation is position-sorted per shard but the seams
+  // interleave; restore the canonical order.
+  NormalizeOccurrences(merged);
+  return deduped;
+}
 
 ShardedBatchSearcher::ShardedBatchSearcher(const ShardedIndex* index,
                                            const BatchOptions& options)
@@ -33,7 +51,7 @@ Result<BatchResult> ShardedBatchSearcher::Search(
   const size_t num_shards = plan.num_shards();
   for (size_t q = 0; q < queries.size(); ++q) {
     if (queries[q].k < 0) continue;  // decode-failed placeholder, skipped
-    const size_t window = QueryWindow(queries[q], options_.engine);
+    const size_t window = ShardedQueryWindow(queries[q], options_.engine);
     if (window > plan.overlap()) {
       return Status::InvalidArgument(
           "sharded query " + std::to_string(q) + " needs a window of " +
@@ -51,25 +69,10 @@ Result<BatchResult> ShardedBatchSearcher::Search(
   result.occurrences.resize(queries.size());
   uint64_t deduped = 0;
   for (size_t q = 0; q < queries.size(); ++q) {
-    const size_t window = QueryWindow(queries[q], options_.engine);
-    std::vector<Occurrence>& merged = result.occurrences[q];
-    for (size_t s = 0; s < num_shards; ++s) {
-      std::vector<Occurrence>& part = fanout.occurrences[q * num_shards + s];
-      for (const Occurrence& hit : part) {
-        const size_t global = plan.LocalToGlobal(s, hit.position);
-        // Keep the hit only in the one shard that owns its window; every
-        // other slice containing it reports a seam duplicate.
-        if (plan.OwnerShard(global, window) == s) {
-          merged.push_back(Occurrence{global, hit.mismatches});
-        } else {
-          ++deduped;
-        }
-      }
-      part.clear();
-    }
-    // Shard-order concatenation is position-sorted per shard but the seams
-    // interleave; restore the canonical order.
-    NormalizeOccurrences(&merged);
+    const size_t window = ShardedQueryWindow(queries[q], options_.engine);
+    deduped += ResolveShardedHits(plan, window,
+                                  &fanout.occurrences[q * num_shards],
+                                  &result.occurrences[q]);
   }
   BWTK_METRIC_COUNT_N(kCounterSeamHitsDeduped, deduped);
   result.seam_hits_deduped = deduped;
@@ -81,7 +84,7 @@ Result<BatchResult> ShardedBatchSearcher::Search(
   std::vector<BatchQuery> queries(patterns.size());
   size_t failed = 0;
   for (size_t i = 0; i < patterns.size(); ++i) {
-    auto codes = EncodeDna(patterns[i]);
+    auto codes = DecodeBatchPattern(options_.engine, patterns[i]);
     if (!codes.ok()) {
       if (options_.fail_fast) {
         return Status::InvalidArgument("batch query " + std::to_string(i) +

@@ -38,6 +38,25 @@
 
 namespace bwtk {
 
+/// Text window a query's occurrences can span — the seam-ownership unit:
+/// the pattern itself for the Hamming engines (kAlgorithmA, kSTree,
+/// kWildcard), up to k extra characters for kerror alignments. A sharded
+/// query is servable iff this window fits the index's overlap.
+size_t ShardedQueryWindow(const BatchQuery& query, BatchEngine engine);
+
+/// Folds one query's per-shard hit lists (`parts`, plan.num_shards()
+/// entries in shard order, local coordinates) into `merged` in global
+/// coordinates: translates each hit, keeps it only when its owner shard
+/// (lowest shard whose slice contains the whole window) reported it, and
+/// normalizes the result to canonical position order. Consumes `parts`
+/// (each list is cleared). Returns the number of seam duplicates
+/// discarded. This is THE seam rule — ShardedBatchSearcher and the
+/// serving layer both route through it, so batch and streamed sharded
+/// results cannot disagree.
+uint64_t ResolveShardedHits(const ShardPlan& plan, size_t window,
+                            std::vector<Occurrence>* parts,
+                            std::vector<Occurrence>* merged);
+
 /// Shard router: BatchSearcher fanout + coordinate translation + seam
 /// de-duplication. Same single-batch-at-a-time contract as BatchSearcher.
 class ShardedBatchSearcher {

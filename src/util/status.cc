@@ -20,6 +20,12 @@ const char* StatusCodeToString(StatusCode code) {
       return "Unimplemented";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
+    case StatusCode::kOverloaded:
+      return "Overloaded";
+    case StatusCode::kTimedOut:
+      return "TimedOut";
   }
   return "Unknown";
 }

@@ -23,6 +23,18 @@ enum class StatusCode {
   kOutOfRange,
   kUnimplemented,
   kInternal,
+  /// The target exists but is not accepting work right now (e.g. a serving
+  /// Session that has started draining). Retrying against a live target may
+  /// succeed; this request was refused before any work ran.
+  kUnavailable,
+  /// Admission control refused the request because a bounded resource
+  /// (submit queue, per-client in-flight budget) is full. The canonical
+  /// serving-layer rejection: explicit, immediate, and retryable after
+  /// backoff. See docs/SERVING.md.
+  kOverloaded,
+  /// A wait deadline elapsed before the operation completed. The operation
+  /// itself may still finish; only this wait gave up.
+  kTimedOut,
 };
 
 /// Returns a stable human-readable name for `code` ("OK", "InvalidArgument",
@@ -67,6 +79,15 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
+  }
+  static Status TimedOut(std::string msg) {
+    return Status(StatusCode::kTimedOut, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

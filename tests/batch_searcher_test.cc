@@ -12,6 +12,7 @@
 #include "search/kerror_search.h"
 #include "search/searcher.h"
 #include "search/stree_search.h"
+#include "search/wildcard_search.h"
 #include "simulate/genome_generator.h"
 #include "test_util.h"
 #include "util/random.h"
@@ -215,17 +216,68 @@ TEST(BatchSearcherTest, KErrorEngineMatchesProjectedSerialResults) {
   std::vector<BatchQuery> queries = workload.queries;
   for (BatchQuery& query : queries) query.k = std::min(query.k, 2);
   const BatchResult result = batch.Search(queries);
+  SearchStats serial_total;
   for (size_t i = 0; i < queries.size(); ++i) {
+    SearchStats stats;
     std::vector<Occurrence> expected;
     for (const EditOccurrence& e :
-         serial.Search(queries[i].pattern, queries[i].k)) {
+         serial.Search(queries[i].pattern, queries[i].k, &stats)) {
       expected.push_back({e.position, e.edits});
     }
     NormalizeOccurrences(&expected);
     EXPECT_EQ(result.occurrences[i], expected) << "query " << i;
+    serial_total += stats;
   }
-  // KErrorSearch is not SearchStats-instrumented: the aggregate stays zero.
-  EXPECT_EQ(result.stats, SearchStats{});
+  // The batch aggregate is the sum of the per-query serial stats
+  // (docs/API.md, "Per-engine stats contract"): the walk counters are
+  // filled, the Algorithm-A-only fields stay zero.
+  EXPECT_EQ(result.stats.stree_nodes, serial_total.stree_nodes);
+  EXPECT_EQ(result.stats.extend_calls, serial_total.extend_calls);
+  EXPECT_EQ(result.stats.completed_paths, serial_total.completed_paths);
+  EXPECT_EQ(result.stats.budget_pruned, serial_total.budget_pruned);
+  EXPECT_GT(result.stats.stree_nodes, 0u);
+  EXPECT_EQ(result.stats.mtree_nodes, 0u);
+  EXPECT_EQ(result.stats.tau_pruned, 0u);
+}
+
+TEST(BatchSearcherTest, WildcardEngineMatchesSerialWildcardSearch) {
+  // The wildcard engine decodes ASCII patterns with ParseWildcardPattern
+  // and runs WildcardSearch per task.
+  Workload workload = MakeWorkload(6000, 20, 53);
+  const WildcardSearch serial(&workload.searcher.index());
+  BatchOptions options;
+  options.num_threads = 4;
+  options.engine = BatchEngine::kWildcard;
+  BatchSearcher batch(workload.searcher, options);
+  // Punch wildcards into the encoded patterns and check against serial.
+  std::vector<BatchQuery> queries = workload.queries;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    queries[i].k = static_cast<int32_t>(i % 2);
+    if (queries[i].pattern.size() > 4) {
+      queries[i].pattern[1] = kWildcardCode;
+      queries[i].pattern[queries[i].pattern.size() / 2] = kWildcardCode;
+    }
+  }
+  const BatchResult result = batch.Search(queries);
+  SearchStats serial_total;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    SearchStats stats;
+    EXPECT_EQ(result.occurrences[i],
+              serial.Search(queries[i].pattern, queries[i].k, &stats))
+        << "query " << i;
+    serial_total += stats;
+  }
+  EXPECT_EQ(result.stats.stree_nodes, serial_total.stree_nodes);
+  EXPECT_EQ(result.stats.extend_calls, serial_total.extend_calls);
+  EXPECT_EQ(result.stats.completed_paths, serial_total.completed_paths);
+
+  // ASCII overload: '?' and 'n' must decode as wildcards under this engine.
+  const Result<BatchResult> ascii = batch.Search({"a?ccn"}, 0);
+  ASSERT_TRUE(ascii.ok());
+  const auto decoded = ParseWildcardPattern("a?ccn");
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(ascii.value().occurrences[0],
+            serial.Search(decoded.value(), 0));
 }
 
 TEST(BatchSearcherTest, IndexGroupSearchIsPerQueryUnion) {

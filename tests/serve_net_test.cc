@@ -1,0 +1,324 @@
+// Loopback TCP tests for the serving front-end: byte-identity of served
+// results against the direct engine, pipelined out-of-order completion,
+// connection-level admission control, protocol-violation handling, and the
+// stats round-trip. Servers bind 127.0.0.1 port 0 (kernel-assigned), so
+// these run anywhere without port coordination.
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "search/algorithm_a.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "serve/session.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace bwtk {
+namespace {
+
+using serve::Client;
+using serve::Server;
+using serve::ServerOptions;
+using serve::Session;
+using serve::SessionOptions;
+using serve::WireStatus;
+
+struct NetFixture {
+  std::vector<DnaCode> text;
+  FmIndex index;
+  std::vector<std::string> patterns;  // ASCII, as a client would send them
+  std::vector<int32_t> budgets;
+};
+
+NetFixture MakeNetFixture(size_t text_length, size_t num_queries,
+                          uint64_t seed) {
+  Rng rng(seed);
+  std::vector<DnaCode> text = testing::RandomDna(text_length, &rng);
+  FmIndex index = FmIndex::Build(text).value();
+  std::vector<std::string> patterns;
+  std::vector<int32_t> budgets;
+  for (size_t i = 0; i < num_queries; ++i) {
+    const size_t m = 8 + rng.NextBounded(12);
+    const size_t pos = rng.NextBounded(text_length - m);
+    std::string pattern;
+    for (size_t j = 0; j < m; ++j) {
+      pattern.push_back(CodeToChar(text[pos + j]));
+    }
+    patterns.push_back(std::move(pattern));
+    budgets.push_back(static_cast<int32_t>(rng.NextBounded(3)));
+  }
+  return NetFixture{std::move(text), std::move(index), std::move(patterns),
+                    std::move(budgets)};
+}
+
+TEST(ServeNetTest, ServedResultsAreByteIdenticalToDirectEngine) {
+  NetFixture fixture = MakeNetFixture(20000, 25, 61);
+  Session session(&fixture.index, {.num_threads = 2});
+  Server server(&session);
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_NE(server.port(), 0);
+
+  auto client = Client::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  EXPECT_EQ((*client)->hello().engine, "algorithm_a");
+  EXPECT_FALSE((*client)->hello().sharded);
+
+  const AlgorithmA serial(&fixture.index);
+  AlgorithmAScratch scratch;
+  for (size_t i = 0; i < fixture.patterns.size(); ++i) {
+    const auto response =
+        (*client)->Query(fixture.patterns[i], fixture.budgets[i]);
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    ASSERT_EQ(response->status, WireStatus::kOk) << response->message;
+    const auto codes = EncodeDna(fixture.patterns[i]);
+    ASSERT_TRUE(codes.ok());
+    std::vector<Occurrence> expected =
+        serial.Search(codes.value(), fixture.budgets[i], nullptr, &scratch);
+    NormalizeOccurrences(&expected);
+    EXPECT_EQ(response->hits, expected) << "query " << i;
+  }
+  EXPECT_EQ(server.num_connections(), 1u);
+}
+
+TEST(ServeNetTest, PipelinedResponsesMatchedByRequestId) {
+  NetFixture fixture = MakeNetFixture(20000, 30, 67);
+  Session session(&fixture.index, {.num_threads = 3});
+  Server server(&session);
+  ASSERT_TRUE(server.Start().ok());
+  auto client = Client::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+
+  // Fire everything, then collect: responses arrive in completion order;
+  // every request id must come back exactly once with the right payload.
+  std::vector<uint64_t> ids;
+  for (size_t i = 0; i < fixture.patterns.size(); ++i) {
+    const auto id =
+        (*client)->SendQuery(fixture.patterns[i], fixture.budgets[i]);
+    ASSERT_TRUE(id.ok());
+    ids.push_back(id.value());
+  }
+  const AlgorithmA serial(&fixture.index);
+  AlgorithmAScratch scratch;
+  std::vector<bool> answered(fixture.patterns.size(), false);
+  for (size_t n = 0; n < ids.size(); ++n) {
+    auto response = (*client)->ReceiveResponse();
+    ASSERT_TRUE(response.ok());
+    ASSERT_EQ(response->status, WireStatus::kOk);
+    // Recover the query from the id (ids are assigned 1,2,3,... by the
+    // client in submission order).
+    const size_t slot = static_cast<size_t>(response->request_id - ids[0]);
+    ASSERT_LT(slot, fixture.patterns.size());
+    EXPECT_FALSE(answered[slot]) << "duplicate response";
+    answered[slot] = true;
+    const auto codes = EncodeDna(fixture.patterns[slot]);
+    std::vector<Occurrence> expected =
+        serial.Search(codes.value(), fixture.budgets[slot], nullptr, &scratch);
+    NormalizeOccurrences(&expected);
+    EXPECT_EQ(response->hits, expected);
+  }
+  for (const bool got : answered) EXPECT_TRUE(got);
+}
+
+TEST(ServeNetTest, ConnectionInflightCapAnswersOverloaded) {
+  NetFixture fixture = MakeNetFixture(8000, 4, 71);
+  Session session(&fixture.index, {.num_threads = 1});
+  session.Pause();  // queries stay queued: the cap is hit deterministically
+  ServerOptions options;
+  options.max_inflight_per_connection = 2;
+  Server server(&session, options);
+  ASSERT_TRUE(server.Start().ok());
+  auto client = Client::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+  EXPECT_EQ((*client)->hello().max_inflight, 2u);
+
+  ASSERT_TRUE((*client)->SendQuery(fixture.patterns[0], 0).ok());
+  ASSERT_TRUE((*client)->SendQuery(fixture.patterns[1], 0).ok());
+  ASSERT_TRUE((*client)->SendQuery(fixture.patterns[2], 0).ok());
+  // The third answer arrives first — rejected immediately while the two
+  // admitted ones sit in the paused session.
+  auto response = (*client)->ReceiveResponse();
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->status, WireStatus::kOverloaded);
+  session.Resume();
+  for (int i = 0; i < 2; ++i) {
+    response = (*client)->ReceiveResponse();
+    ASSERT_TRUE(response.ok());
+    EXPECT_EQ(response->status, WireStatus::kOk) << response->message;
+  }
+}
+
+TEST(ServeNetTest, InvalidPatternAndBadBudgetAnswerInvalidArgument) {
+  NetFixture fixture = MakeNetFixture(8000, 1, 73);
+  Session session(&fixture.index, {.num_threads = 1});
+  Server server(&session);
+  ASSERT_TRUE(server.Start().ok());
+  auto client = Client::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+  // Undecodable pattern under the default engine.
+  auto response = (*client)->Query("not dna!", 1);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->status, WireStatus::kInvalidArgument);
+  // Negative budget.
+  response = (*client)->Query("acgt", -1);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->status, WireStatus::kInvalidArgument);
+  // The connection survives rejected queries.
+  response = (*client)->Query(fixture.patterns[0], 1);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->status, WireStatus::kOk);
+}
+
+// Opens a raw TCP connection (no Client handshake) so tests can push
+// arbitrary bytes at the server. Returns -1 on failure.
+int RawConnect(uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+// Blocks until the peer closes (recv == 0) or errors; true if closed.
+bool PeerClosed(int fd) {
+  char buffer[256];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n == 0) return true;
+    if (n < 0) return errno == ECONNRESET;
+  }
+}
+
+TEST(ServeNetTest, BadMagicAndMalformedFramesCloseConnection) {
+  NetFixture fixture = MakeNetFixture(8000, 1, 79);
+  Session session(&fixture.index, {.num_threads = 1});
+  Server server(&session);
+  ASSERT_TRUE(server.Start().ok());
+
+  {
+    // HELLO with a corrupt magic: server must drop the connection without
+    // answering.
+    const int fd = RawConnect(server.port());
+    ASSERT_GE(fd, 0);
+    std::string hello;
+    serve::AppendHelloFrame(&hello);
+    hello[5] ^= 0xff;  // flip a magic byte inside the payload
+    ASSERT_EQ(::send(fd, hello.data(), hello.size(), 0),
+              static_cast<ssize_t>(hello.size()));
+    EXPECT_TRUE(PeerClosed(fd));
+    ::close(fd);
+  }
+  {
+    // QUERY before HELLO is a protocol violation: same tear-down path.
+    const int fd = RawConnect(server.port());
+    ASSERT_GE(fd, 0);
+    std::string query;
+    serve::AppendQueryFrame({1, 1, "acgt"}, &query);
+    ASSERT_EQ(::send(fd, query.data(), query.size(), 0),
+              static_cast<ssize_t>(query.size()));
+    EXPECT_TRUE(PeerClosed(fd));
+    ::close(fd);
+  }
+  {
+    // Oversized declared frame length: server must refuse to buffer it.
+    const int fd = RawConnect(server.port());
+    ASSERT_GE(fd, 0);
+    const uint32_t huge = 0x7fffffff;
+    char header[5];
+    std::memcpy(header, &huge, 4);
+    header[4] = 1;  // kHello
+    ASSERT_EQ(::send(fd, header, sizeof(header), 0),
+              static_cast<ssize_t>(sizeof(header)));
+    EXPECT_TRUE(PeerClosed(fd));
+    ::close(fd);
+  }
+
+  // A well-behaved client on the same server still works after all that.
+  auto client = Client::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  const auto response = (*client)->Query(fixture.patterns[0], 0);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->status, WireStatus::kOk);
+}
+
+TEST(ServeNetTest, StatsRoundTripSeesServerSideCounters) {
+  NetFixture fixture = MakeNetFixture(8000, 3, 83);
+  Session session(&fixture.index, {.num_threads = 1});
+  Server server(&session);
+  ASSERT_TRUE(server.Start().ok());
+  auto client = Client::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+  for (const std::string& pattern : fixture.patterns) {
+    ASSERT_TRUE((*client)->Query(pattern, 1).ok());
+  }
+  const auto stats = (*client)->GetStats();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->submitted, fixture.patterns.size());
+  EXPECT_EQ(stats->completed, fixture.patterns.size());
+  EXPECT_EQ(stats->inflight, 0u);
+}
+
+TEST(ServeNetTest, RequestTimeoutAnswersTimedOutExactlyOnce) {
+  NetFixture fixture = MakeNetFixture(8000, 2, 89);
+  Session session(&fixture.index, {.num_threads = 1});
+  session.Pause();  // the query can never finish before the deadline
+  ServerOptions options;
+  options.request_timeout = std::chrono::milliseconds(30);
+  Server server(&session, options);
+  ASSERT_TRUE(server.Start().ok());
+  auto client = Client::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE((*client)->SendQuery(fixture.patterns[0], 0).ok());
+  auto response = (*client)->ReceiveResponse();
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->status, WireStatus::kTimedOut);
+  // The late real completion must be swallowed: the next response on the
+  // wire belongs to the next query, not a duplicate of the timed-out one.
+  session.Resume();
+  const auto id2 = (*client)->SendQuery(fixture.patterns[1], 0);
+  ASSERT_TRUE(id2.ok());
+  response = (*client)->ReceiveResponse();
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->request_id, id2.value());
+  EXPECT_EQ(response->status, WireStatus::kOk);
+}
+
+TEST(ServeNetTest, ServerStopWhileClientsConnectedIsClean) {
+  NetFixture fixture = MakeNetFixture(8000, 2, 97);
+  Session session(&fixture.index, {.num_threads = 2});
+  Server server(&session);
+  ASSERT_TRUE(server.Start().ok());
+  std::vector<std::unique_ptr<Client>> clients;
+  for (int i = 0; i < 3; ++i) {
+    auto client = Client::Connect("127.0.0.1", server.port());
+    ASSERT_TRUE(client.ok());
+    ASSERT_TRUE((*client)->Query(fixture.patterns[0], 1).ok());
+    clients.push_back(std::move(client.value()));
+  }
+  server.Stop();  // severs all three mid-session; must not hang or crash
+  for (auto& client : clients) {
+    EXPECT_FALSE(client->Query(fixture.patterns[1], 1).ok());
+  }
+  // The session itself is untouched by the front-end stopping.
+  EXPECT_TRUE(session.Submit(BatchQuery{{0, 1, 2, 3}, 1}).ok());
+}
+
+}  // namespace
+}  // namespace bwtk

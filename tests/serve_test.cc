@@ -1,0 +1,538 @@
+// Session lifecycle, admission control, and result-collection contract
+// (serve/session.h), plus wire encode/decode round-trips (serve/wire.h).
+// The TCP loopback tests live in serve_net_test.cc.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "search/algorithm_a.h"
+#include "search/kerror_search.h"
+#include "serve/session.h"
+#include "serve/wire.h"
+#include "shard/sharded_index.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace bwtk {
+namespace {
+
+using serve::Callback;
+using serve::QueryResult;
+using serve::Session;
+using serve::SessionOptions;
+using serve::Ticket;
+
+struct Fixture {
+  std::vector<DnaCode> text;
+  FmIndex index;
+  std::vector<BatchQuery> queries;
+};
+
+Fixture MakeFixture(size_t text_length, size_t num_queries, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<DnaCode> text = testing::RandomDna(text_length, &rng);
+  FmIndex index = FmIndex::Build(text).value();
+  std::vector<BatchQuery> queries;
+  for (size_t i = 0; i < num_queries; ++i) {
+    const size_t m = 8 + rng.NextBounded(12);
+    const size_t pos = rng.NextBounded(text_length - m);
+    BatchQuery query;
+    query.pattern.assign(text.begin() + pos, text.begin() + pos + m);
+    query.k = static_cast<int32_t>(rng.NextBounded(3));
+    queries.push_back(std::move(query));
+  }
+  return Fixture{std::move(text), std::move(index), std::move(queries)};
+}
+
+TEST(ServeSessionTest, SubmitWaitMatchesSerialEngine) {
+  Fixture fixture = MakeFixture(20000, 40, 11);
+  const AlgorithmA serial(&fixture.index);
+  Session session(&fixture.index, {.num_threads = 3});
+  std::vector<Ticket> tickets;
+  for (const BatchQuery& query : fixture.queries) {
+    auto ticket = session.Submit(query);
+    ASSERT_TRUE(ticket.ok()) << ticket.status().ToString();
+    tickets.push_back(ticket.value());
+  }
+  AlgorithmAScratch scratch;
+  for (size_t i = 0; i < tickets.size(); ++i) {
+    auto result = session.Wait(tickets[i]);
+    ASSERT_TRUE(result.ok());
+    EXPECT_TRUE(result->status.ok());
+    EXPECT_EQ(result->ticket, tickets[i]);
+    std::vector<Occurrence> expected =
+        serial.Search(fixture.queries[i].pattern, fixture.queries[i].k,
+                      nullptr, &scratch);
+    NormalizeOccurrences(&expected);
+    EXPECT_EQ(result->hits, expected) << "query " << i;
+    EXPECT_GT(result->stats.extend_calls, 0u);
+  }
+  const serve::SessionStats stats = session.Stats();
+  EXPECT_EQ(stats.submitted, fixture.queries.size());
+  EXPECT_EQ(stats.completed, fixture.queries.size());
+  EXPECT_EQ(stats.inflight, 0u);
+}
+
+TEST(ServeSessionTest, PollIsConsumeOnceAndNullWhilePending) {
+  Fixture fixture = MakeFixture(5000, 1, 13);
+  Session session(&fixture.index, {.num_threads = 1});
+  session.Pause();
+  const Ticket ticket = session.Submit(fixture.queries[0]).value();
+  // Paused: the query cannot complete, Poll must say "not yet".
+  EXPECT_FALSE(session.Poll(ticket).has_value());
+  session.Resume();
+  auto result = session.Wait(ticket);
+  ASSERT_TRUE(result.ok());
+  // Consumed: a second collect must not block or return data.
+  EXPECT_FALSE(session.Poll(ticket).has_value());
+  const auto again = session.Wait(ticket);
+  EXPECT_EQ(again.status().code(), StatusCode::kInvalidArgument);
+  // Unknown tickets are refused, not blocked on.
+  EXPECT_EQ(session.Wait(99999).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ServeSessionTest, OverloadRejectsBeyondQueueCapacity) {
+  Fixture fixture = MakeFixture(5000, 1, 17);
+  SessionOptions options;
+  options.num_threads = 1;
+  options.queue_capacity = 4;
+  options.max_inflight = 100;
+  Session session(&fixture.index, options);
+  session.Pause();  // nothing drains: admission is fully deterministic
+  std::vector<Ticket> admitted;
+  for (size_t i = 0; i < 4; ++i) {
+    auto ticket = session.Submit(fixture.queries[0]);
+    ASSERT_TRUE(ticket.ok()) << i;
+    admitted.push_back(ticket.value());
+  }
+  const auto rejected = session.Submit(fixture.queries[0]);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kOverloaded);
+  EXPECT_EQ(session.Stats().rejected_overloaded, 1u);
+  // Rejection is not sticky: capacity freed -> admission resumes.
+  session.Resume();
+  for (const Ticket ticket : admitted) {
+    EXPECT_TRUE(session.Wait(ticket).ok());
+  }
+  EXPECT_TRUE(session.Submit(fixture.queries[0]).ok());
+}
+
+TEST(ServeSessionTest, OverloadRejectsBeyondInflightBudget) {
+  Fixture fixture = MakeFixture(5000, 1, 19);
+  SessionOptions options;
+  options.num_threads = 1;
+  options.queue_capacity = 100;
+  options.max_inflight = 3;
+  Session session(&fixture.index, options);
+  std::vector<Ticket> tickets;
+  for (size_t i = 0; i < 3; ++i) {
+    tickets.push_back(session.Submit(fixture.queries[0]).value());
+  }
+  // The budget counts *uncollected* results: even once all three have
+  // executed, a fourth submit is refused until something is collected.
+  const auto rejected = session.Submit(fixture.queries[0]);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kOverloaded);
+  ASSERT_TRUE(session.Wait(tickets[0]).ok());  // frees one slot
+  EXPECT_TRUE(session.Submit(fixture.queries[0]).ok());
+}
+
+TEST(ServeSessionTest, SubmitBatchIsAllOrNothing) {
+  Fixture fixture = MakeFixture(5000, 1, 23);
+  SessionOptions options;
+  options.num_threads = 1;
+  options.queue_capacity = 3;
+  Session session(&fixture.index, options);
+  session.Pause();
+  std::vector<BatchQuery> burst(4, fixture.queries[0]);
+  const auto rejected = session.SubmitBatch(burst);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kOverloaded);
+  // Nothing was admitted by the failed batch.
+  EXPECT_EQ(session.Stats().submitted, 0u);
+  burst.pop_back();
+  const auto admitted = session.SubmitBatch(burst);
+  ASSERT_TRUE(admitted.ok());
+  ASSERT_EQ(admitted->size(), 3u);
+  session.Resume();
+  for (const Ticket ticket : *admitted) {
+    EXPECT_TRUE(session.Wait(ticket).ok());
+  }
+}
+
+TEST(ServeSessionTest, SubmitAfterDrainIsUnavailable) {
+  Fixture fixture = MakeFixture(5000, 4, 29);
+  Session session(&fixture.index, {.num_threads = 2});
+  std::vector<Ticket> tickets;
+  for (const BatchQuery& query : fixture.queries) {
+    tickets.push_back(session.Submit(query).value());
+  }
+  session.Drain();
+  const auto rejected = session.Submit(fixture.queries[0]);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(session.Stats().rejected_unavailable, 1u);
+  // Drain executed everything; results stay collectable afterwards.
+  for (const Ticket ticket : tickets) {
+    auto result = session.Poll(ticket);
+    ASSERT_TRUE(result.has_value());
+    EXPECT_TRUE(result->status.ok());
+  }
+}
+
+TEST(ServeSessionTest, CallbacksFireExactlyOnceIncludingShutdownOrphans) {
+  Fixture fixture = MakeFixture(5000, 1, 31);
+  std::mutex mu;
+  std::set<Ticket> seen;
+  std::atomic<int> ok_count{0};
+  std::atomic<int> unavailable_count{0};
+  {
+    SessionOptions options;
+    options.num_threads = 1;
+    options.queue_capacity = 64;
+    Session session(&fixture.index, options);
+    Callback callback = [&](QueryResult result) {
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        // Exactly-once: a repeated ticket would fail this insert.
+        ASSERT_TRUE(seen.insert(result.ticket).second);
+      }
+      if (result.status.ok()) {
+        ++ok_count;
+      } else {
+        EXPECT_EQ(result.status.code(), StatusCode::kUnavailable);
+        ++unavailable_count;
+      }
+    };
+    for (int i = 0; i < 8; ++i) {
+      ASSERT_TRUE(session.Submit(fixture.queries[0], callback).ok());
+    }
+    session.Pause();  // whatever is still queued now stays queued
+    for (int i = 0; i < 8; ++i) {
+      ASSERT_TRUE(session.Submit(fixture.queries[0], callback).ok());
+    }
+    session.Shutdown();
+  }
+  // Every one of the 16 callbacks fired exactly once: completed ones with
+  // OK, shutdown-orphaned ones with kUnavailable.
+  EXPECT_EQ(seen.size(), 16u);
+  EXPECT_EQ(ok_count.load() + unavailable_count.load(), 16);
+}
+
+TEST(ServeSessionTest, ShutdownExecutesPausedBacklogThenResultsCollectable) {
+  // Shutdown is graceful: Drain implies Resume, so work queued behind a
+  // Pause still executes, and its result stays collectable after the
+  // workers are gone. No ticket is ever stranded.
+  Fixture fixture = MakeFixture(5000, 1, 59);
+  const AlgorithmA serial(&fixture.index);
+  Session session(&fixture.index, {.num_threads = 1});
+  session.Pause();
+  const Ticket ticket = session.Submit(fixture.queries[0]).value();
+  session.Shutdown();
+  auto result = session.Poll(ticket);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->status.ok());
+  std::vector<Occurrence> expected =
+      serial.Search(fixture.queries[0].pattern, fixture.queries[0].k);
+  NormalizeOccurrences(&expected);
+  EXPECT_EQ(result->hits, expected);
+  // And admission is closed for good.
+  EXPECT_EQ(session.Submit(fixture.queries[0]).status().code(),
+            StatusCode::kUnavailable);
+}
+
+TEST(ServeSessionTest, WaitForTimesOutThenSucceeds) {
+  Fixture fixture = MakeFixture(5000, 1, 37);
+  Session session(&fixture.index, {.num_threads = 1});
+  session.Pause();
+  const Ticket ticket = session.Submit(fixture.queries[0]).value();
+  const auto timed_out =
+      session.WaitFor(ticket, std::chrono::milliseconds(20));
+  ASSERT_FALSE(timed_out.ok());
+  EXPECT_EQ(timed_out.status().code(), StatusCode::kTimedOut);
+  // The ticket survived the timeout and is still collectable.
+  session.Resume();
+  const auto result = session.WaitFor(ticket, std::chrono::seconds(30));
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->status.ok());
+}
+
+TEST(ServeSessionTest, ShardedSessionMatchesMonolithicEngine) {
+  Rng rng(41);
+  const auto text = testing::RandomDna(30000, &rng);
+  const auto mono_index = FmIndex::Build(text).value();
+  ShardedIndexOptions shard_options;
+  shard_options.num_shards = 4;
+  shard_options.overlap = 64;
+  const auto sharded =
+      ShardedIndex::Build(text, shard_options).value();
+  const AlgorithmA serial(&mono_index);
+  Session session(&sharded, {.num_threads = 3});
+  ASSERT_EQ(session.num_indexes(), 4u);
+  AlgorithmAScratch scratch;
+  std::vector<Ticket> tickets;
+  std::vector<BatchQuery> queries;
+  for (size_t i = 0; i < 30; ++i) {
+    const size_t m = 10 + rng.NextBounded(10);
+    const size_t pos = rng.NextBounded(text.size() - m);
+    BatchQuery query;
+    query.pattern.assign(text.begin() + pos, text.begin() + pos + m);
+    query.k = static_cast<int32_t>(rng.NextBounded(3));
+    tickets.push_back(session.Submit(query).value());
+    queries.push_back(std::move(query));
+  }
+  for (size_t i = 0; i < tickets.size(); ++i) {
+    auto result = session.Wait(tickets[i]);
+    ASSERT_TRUE(result.ok());
+    ASSERT_TRUE(result->status.ok());
+    std::vector<Occurrence> expected =
+        serial.Search(queries[i].pattern, queries[i].k, nullptr, &scratch);
+    NormalizeOccurrences(&expected);
+    EXPECT_EQ(result->hits, expected) << "query " << i;
+  }
+  // A pattern longer than the overlap is rejected at Submit, not served
+  // wrong.
+  BatchQuery too_long;
+  too_long.pattern = testing::RandomDna(80, &rng);
+  too_long.k = 0;
+  const auto rejected = session.Submit(too_long);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ServeSessionTest, KErrorEngineFillsStats) {
+  Fixture fixture = MakeFixture(8000, 5, 43);
+  const KErrorSearch serial(&fixture.index);
+  SessionOptions options;
+  options.num_threads = 2;
+  options.batch.engine = BatchEngine::kKError;
+  Session session(&fixture.index, options);
+  for (const BatchQuery& query : fixture.queries) {
+    const Ticket ticket =
+        session.Submit(BatchQuery{query.pattern, 1}).value();
+    auto result = session.Wait(ticket);
+    ASSERT_TRUE(result.ok());
+    SearchStats serial_stats;
+    std::vector<Occurrence> expected;
+    for (const EditOccurrence& e :
+         serial.Search(query.pattern, 1, &serial_stats)) {
+      expected.push_back({e.position, e.edits});
+    }
+    NormalizeOccurrences(&expected);
+    EXPECT_EQ(result->hits, expected);
+    EXPECT_EQ(result->stats.stree_nodes, serial_stats.stree_nodes);
+    EXPECT_GT(result->stats.stree_nodes, 0u);
+  }
+}
+
+TEST(ServeSessionTest, AsciiSubmitDecodesPerEngine) {
+  Fixture fixture = MakeFixture(8000, 1, 47);
+  SessionOptions options;
+  options.num_threads = 1;
+  options.batch.engine = BatchEngine::kWildcard;
+  Session session(&fixture.index, options);
+  // Wildcard syntax is accepted under the wildcard engine...
+  const auto ticket = session.Submit("ac?t", 0);
+  ASSERT_TRUE(ticket.ok());
+  EXPECT_TRUE(session.Wait(ticket.value()).ok());
+  // ...garbage is a synchronous InvalidArgument, costing no ticket.
+  const auto bad = session.Submit("ac!t", 0);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(session.Stats().submitted, 1u);
+}
+
+TEST(ServeSessionTest, ConcurrentSubmittersAndCollectorsStress) {
+  // TSan target: several threads submitting, waiting, and polling against
+  // one Session while it serves — exercises every lock path at once.
+  Fixture fixture = MakeFixture(20000, 8, 53);
+  SessionOptions options;
+  options.num_threads = 3;
+  options.queue_capacity = 64;
+  options.max_inflight = 64;
+  Session session(&fixture.index, options);
+  const AlgorithmA serial(&fixture.index);
+  std::atomic<int> mismatches{0};
+  std::atomic<int> served{0};
+  constexpr int kClientThreads = 4;
+  constexpr int kPerThread = 60;
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClientThreads; ++c) {
+    clients.emplace_back([&, c] {
+      AlgorithmAScratch scratch;
+      Rng rng(100 + static_cast<uint64_t>(c));
+      for (int i = 0; i < kPerThread; ++i) {
+        const BatchQuery& query =
+            fixture.queries[rng.NextBounded(fixture.queries.size())];
+        auto ticket = session.Submit(query);
+        if (!ticket.ok()) {
+          // kOverloaded is an acceptable answer under pressure; back off.
+          ASSERT_EQ(ticket.status().code(), StatusCode::kOverloaded);
+          std::this_thread::yield();
+          continue;
+        }
+        auto result = session.Wait(ticket.value());
+        ASSERT_TRUE(result.ok());
+        ASSERT_TRUE(result->status.ok());
+        std::vector<Occurrence> expected =
+            serial.Search(query.pattern, query.k, nullptr, &scratch);
+        NormalizeOccurrences(&expected);
+        if (result->hits != expected) ++mismatches;
+        ++served;
+      }
+    });
+  }
+  for (std::thread& thread : clients) thread.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_GT(served.load(), 0);
+  const serve::SessionStats stats = session.Stats();
+  EXPECT_EQ(stats.inflight, 0u);
+  EXPECT_EQ(stats.completed, stats.submitted);
+}
+
+// --- Wire round-trips ----------------------------------------------------
+
+TEST(ServeWireTest, QueryAndResultRoundTrip) {
+  serve::QueryRequest request;
+  request.request_id = 0xDEADBEEFCAFEBABEull;
+  request.k = 3;
+  request.pattern = "acgt?acg";
+  std::string bytes;
+  serve::AppendQueryFrame(request, &bytes);
+
+  serve::FrameReader reader;
+  reader.Feed(bytes.data(), bytes.size());
+  auto frame = reader.Next();
+  ASSERT_TRUE(frame.ok());
+  ASSERT_TRUE(frame->has_value());
+  EXPECT_EQ((*frame)->type, serve::FrameType::kQuery);
+  const auto parsed = serve::ParseQueryPayload((*frame)->payload);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, request);
+
+  serve::QueryResponse response;
+  response.request_id = request.request_id;
+  response.status = serve::WireStatus::kOk;
+  response.hits = {{5, 0}, {17, 2}, {123456789, 3}};
+  bytes.clear();
+  serve::AppendResultFrame(response, &bytes);
+  reader.Feed(bytes.data(), bytes.size());
+  auto result_frame = reader.Next();
+  ASSERT_TRUE(result_frame.ok());
+  ASSERT_TRUE(result_frame->has_value());
+  const auto parsed_response =
+      serve::ParseResultPayload((*result_frame)->payload);
+  ASSERT_TRUE(parsed_response.ok());
+  EXPECT_EQ(*parsed_response, response);
+}
+
+TEST(ServeWireTest, FrameReaderHandlesBytewiseDelivery) {
+  // TCP can fragment arbitrarily: a frame fed one byte at a time must
+  // come out whole, and only when complete.
+  std::string bytes;
+  serve::AppendHelloFrame(&bytes);
+  serve::AppendStatsFrame(&bytes);
+  serve::FrameReader reader;
+  std::vector<serve::FrameType> types;
+  for (const char byte : bytes) {
+    reader.Feed(&byte, 1);
+    for (;;) {
+      auto frame = reader.Next();
+      ASSERT_TRUE(frame.ok());
+      if (!frame->has_value()) break;
+      types.push_back((*frame)->type);
+    }
+  }
+  ASSERT_EQ(types.size(), 2u);
+  EXPECT_EQ(types[0], serve::FrameType::kHello);
+  EXPECT_EQ(types[1], serve::FrameType::kStats);
+  EXPECT_EQ(reader.pending_bytes(), 0u);
+}
+
+TEST(ServeWireTest, OversizedAndMalformedPayloadsAreErrors) {
+  serve::FrameReader reader(/*max_payload=*/16);
+  const char huge_header[5] = {0x40, 0x00, 0x00, 0x00, 0x03};  // 64 > 16
+  reader.Feed(huge_header, sizeof(huge_header));
+  EXPECT_FALSE(reader.Next().ok());
+
+  EXPECT_FALSE(serve::ParseQueryPayload("abc").ok());
+  EXPECT_FALSE(serve::ParseResultPayload("").ok());
+  EXPECT_FALSE(serve::ParseHelloAckPayload("x").ok());
+  EXPECT_FALSE(serve::ValidateHelloPayload("short").ok());
+  // RESULT whose num_hits lies about the remaining bytes must not OOM.
+  std::string lying;
+  serve::QueryResponse empty;
+  serve::AppendResultFrame(empty, &lying);
+  std::string payload = lying.substr(5);
+  payload[payload.size() - 4] = static_cast<char>(0xFF);  // num_hits = huge
+  payload[payload.size() - 3] = static_cast<char>(0xFF);
+  EXPECT_FALSE(serve::ParseResultPayload(payload).ok());
+}
+
+TEST(ServeWireTest, StatusMappingIsStableAndTotal) {
+  using serve::WireStatus;
+  EXPECT_EQ(serve::ToWireStatus(Status::OK()), WireStatus::kOk);
+  EXPECT_EQ(serve::ToWireStatus(Status::Overloaded("x")),
+            WireStatus::kOverloaded);
+  EXPECT_EQ(serve::ToWireStatus(Status::Unavailable("x")),
+            WireStatus::kUnavailable);
+  EXPECT_EQ(serve::ToWireStatus(Status::TimedOut("x")),
+            WireStatus::kTimedOut);
+  EXPECT_EQ(serve::ToWireStatus(Status::InvalidArgument("x")),
+            WireStatus::kInvalidArgument);
+  // Codes without a wire value collapse to kInternal rather than leaking
+  // enum ordinals onto the wire.
+  EXPECT_EQ(serve::ToWireStatus(Status::Corruption("x")),
+            WireStatus::kInternal);
+  EXPECT_EQ(serve::FromWireStatus(WireStatus::kOverloaded, "m").code(),
+            StatusCode::kOverloaded);
+  EXPECT_EQ(serve::FromWireStatus(WireStatus::kOk, "").code(),
+            StatusCode::kOk);
+}
+
+TEST(ServeWireTest, HelloAckAndStatsRoundTrip) {
+  serve::HelloAck ack;
+  ack.max_inflight = 256;
+  ack.engine = "algorithm_a";
+  ack.sharded = true;
+  std::string bytes;
+  serve::AppendHelloAckFrame(ack, &bytes);
+  serve::FrameReader reader;
+  reader.Feed(bytes.data(), bytes.size());
+  const auto frame = reader.Next();
+  ASSERT_TRUE(frame.ok() && frame->has_value());
+  const auto parsed = serve::ParseHelloAckPayload((*frame)->payload);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, ack);
+
+  serve::SessionStats stats;
+  stats.queue_depth = 3;
+  stats.running = 2;
+  stats.inflight = 7;
+  stats.submitted = 100;
+  stats.completed = 93;
+  stats.rejected_overloaded = 5;
+  stats.rejected_unavailable = 1;
+  bytes.clear();
+  serve::AppendStatsResultFrame(stats, &bytes);
+  reader.Feed(bytes.data(), bytes.size());
+  const auto stats_frame = reader.Next();
+  ASSERT_TRUE(stats_frame.ok() && stats_frame->has_value());
+  const auto parsed_stats =
+      serve::ParseStatsResultPayload((*stats_frame)->payload);
+  ASSERT_TRUE(parsed_stats.ok());
+  EXPECT_EQ(parsed_stats->submitted, 100u);
+  EXPECT_EQ(parsed_stats->rejected_overloaded, 5u);
+  EXPECT_EQ(parsed_stats->queue_depth, 3u);
+}
+
+}  // namespace
+}  // namespace bwtk
