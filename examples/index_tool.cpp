@@ -6,6 +6,14 @@
 //   $ ./index_tool                        # demo on a synthetic genome
 //   $ ./index_tool build genome.fa out.idx
 //   $ ./index_tool query out.idx acgtacgt [k]
+//   $ ./index_tool upgrade in.idx out.idx [--prefix-q Q]
+//
+// `upgrade` is the opt-in migration path for format-v1 index files, which
+// load fine but carry no q-gram prefix table: it loads the index, rebuilds
+// the table from the live rank structure (FmIndex::RebuildPrefixTable), and
+// saves a format-v2 file indistinguishable from one built with
+// prefix_table_q = Q (default 12). It also re-tables v2 files at a
+// different q; --prefix-q 0 strips the table instead. See docs/API.md.
 
 #include <cstdio>
 #include <cstdlib>
@@ -100,9 +108,48 @@ int main(int argc, char** argv) {
     std::printf("# %zu occurrences with k=%d\n", hits_or->size(), k);
     return 0;
   }
+  if (mode == "upgrade" && (argc == 4 || argc == 6)) {
+    uint32_t q = 12;
+    if (argc == 6) {
+      if (std::strcmp(argv[4], "--prefix-q") != 0) {
+        std::fprintf(stderr, "unknown option %s (expected --prefix-q)\n",
+                     argv[4]);
+        return 2;
+      }
+      q = static_cast<uint32_t>(std::atoi(argv[5]));
+    }
+    auto index_or = bwtk::FmIndex::LoadFromFile(argv[2]);
+    if (!index_or.ok()) {
+      std::fprintf(stderr, "%s\n", index_or.status().ToString().c_str());
+      return 1;
+    }
+    const uint32_t old_q = index_or->prefix_table_q();
+    std::printf("loaded %s: %zu bp, prefix table q=%u\n", argv[2],
+                index_or->text_size(), old_q);
+    bwtk::Stopwatch watch;
+    const auto rebuild = index_or->RebuildPrefixTable(q);
+    if (!rebuild.ok()) {
+      std::fprintf(stderr, "%s\n", rebuild.ToString().c_str());
+      return 1;
+    }
+    if (q > 0) {
+      std::printf("rebuilt prefix table at q=%u in %.3f s\n", q,
+                  watch.ElapsedSeconds());
+    } else {
+      std::printf("stripped the prefix table\n");
+    }
+    const auto save = index_or->SaveToFile(argv[3]);
+    if (!save.ok()) {
+      std::fprintf(stderr, "%s\n", save.ToString().c_str());
+      return 1;
+    }
+    PrintIndexReport(*index_or, watch.ElapsedSeconds());
+    std::printf("  saved to:        %s\n", argv[3]);
+    return 0;
+  }
   std::fprintf(stderr,
                "usage: %s | %s build genome.fa out.idx | %s query out.idx "
-               "pattern [k]\n",
-               argv[0], argv[0], argv[0]);
+               "pattern [k] | %s upgrade in.idx out.idx [--prefix-q Q]\n",
+               argv[0], argv[0], argv[0], argv[0]);
   return 2;
 }

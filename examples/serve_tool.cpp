@@ -104,10 +104,13 @@ bool ResolveEngine(const std::string& name, bwtk::BatchEngine* engine) {
     *engine = bwtk::BatchEngine::kKError;
   } else if (name == "wildcard") {
     *engine = bwtk::BatchEngine::kWildcard;
+  } else if (name == "dictionary") {
+    *engine = bwtk::BatchEngine::kDictionary;
   } else {
-    std::fprintf(stderr,
-                 "unknown engine %s (algorithm_a|stree|kerror|wildcard)\n",
-                 name.c_str());
+    std::fprintf(
+        stderr,
+        "unknown engine %s (algorithm_a|stree|kerror|wildcard|dictionary)\n",
+        name.c_str());
     return false;
   }
   return true;

@@ -51,6 +51,27 @@ Result<FmIndex> FmIndex::Build(const std::vector<DnaCode>& text,
   return index;
 }
 
+Status FmIndex::RebuildPrefixTable(uint32_t q) {
+  if (q > PrefixIntervalTable::kMaxQ) {
+    return Status::InvalidArgument(
+        "prefix_table_q must be at most " +
+        std::to_string(PrefixIntervalTable::kMaxQ) + ", got " +
+        std::to_string(q));
+  }
+  if (q == 0) {
+    prefix_table_.reset();
+    options_.prefix_table_q = 0;
+    return Status::OK();
+  }
+  // Built from the live rank structure exactly as Build() does, so the
+  // upgraded index is indistinguishable from one built with this q.
+  BWTK_ASSIGN_OR_RETURN(
+      auto table, PrefixIntervalTable::Build(occ_, first_row_.data(), q));
+  prefix_table_ = std::make_unique<PrefixIntervalTable>(std::move(table));
+  options_.prefix_table_q = q;
+  return Status::OK();
+}
+
 Status FmIndex::FinishConstruction() {
   BWTK_ASSIGN_OR_RETURN(occ_, OccTable::Build(bwt_.get(),
                                               options_.checkpoint_rate,

@@ -140,6 +140,17 @@ class FmIndex {
   uint32_t prefix_table_q() const {
     return prefix_table_ ? prefix_table_->q() : 0;
   }
+
+  /// (Re)builds the q-gram prefix table from the live index — the upgrade
+  /// path for format-v1 files, which load without one (index_tool's
+  /// `upgrade` mode drives this; see docs/API.md). q = 0 removes the table.
+  /// The result is byte-identical to having built the index with
+  /// Options::prefix_table_q = q; Save() then persists it.
+  ///
+  /// This is the one post-construction mutation the class allows, and it
+  /// breaks the concurrent-reader contract while running: callers must
+  /// ensure no other thread queries the index until it returns.
+  Status RebuildPrefixTable(uint32_t q);
   /// Name of the rank kernel resolved at build time ("word64", "avx2", ...).
   std::string_view rank_kernel_name() const { return occ_.kernel_name(); }
 

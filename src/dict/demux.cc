@@ -1,0 +1,42 @@
+#include "dict/demux.h"
+
+#include <string>
+
+#include "bwt/fm_index.h"
+#include "dict/dictionary_searcher.h"
+
+namespace bwtk {
+
+Result<std::vector<DemuxAssignment>> DemuxReads(
+    const PatternSetTrie& barcodes,
+    const std::vector<std::vector<DnaCode>>& reads,
+    const DemuxOptions& options) {
+  if (options.max_mismatches < 0) {
+    return Status::InvalidArgument("max_mismatches must be >= 0, got " +
+                                   std::to_string(options.max_mismatches));
+  }
+  std::vector<DemuxAssignment> assignments(reads.size());
+  if (barcodes.num_patterns() == 0 || barcodes.length() == 0) {
+    return assignments;  // every read stays unassigned
+  }
+  for (size_t i = 0; i < reads.size(); ++i) {
+    if (reads[i].size() < barcodes.length()) continue;  // cannot contain one
+    // A throw-away index over the read: reads are tens of bases, so this is
+    // microseconds — the expensive side (the barcode set) is amortized by
+    // the joint trie descent.
+    BWTK_ASSIGN_OR_RETURN(FmIndex read_index, FmIndex::Build(reads[i]));
+    const DictionarySearcher searcher(&read_index);
+    const DictionaryBestHit hit =
+        searcher.SearchBest(barcodes, options.max_mismatches);
+    DemuxAssignment& a = assignments[i];
+    if (hit.pattern < 0) continue;
+    a.outcome = hit.ambiguous ? DemuxAssignment::Outcome::kAmbiguous
+                              : DemuxAssignment::Outcome::kAssigned;
+    a.barcode = hit.pattern;
+    a.mismatches = hit.mismatches;
+    a.position = hit.position;
+  }
+  return assignments;
+}
+
+}  // namespace bwtk

@@ -1,0 +1,57 @@
+// Read demultiplexing on top of DictionarySearcher::SearchBest: assign each
+// read to the barcode with the fewest-mismatch occurrence anywhere in the
+// read, kaori-style — ties between different barcodes make the read
+// ambiguous, no hit within the budget leaves it unassigned.
+//
+// Each read is indexed (a throw-away FM-index over the read itself) and the
+// whole barcode trie is searched against it in one joint descent. Reads are
+// short, so the per-read index build is microseconds; the win is on the
+// barcode side, where thousands of barcodes cost one walk. examples/
+// demux_tool.cpp drives this end to end and docs/DICTIONARY.md walks the
+// tutorial.
+
+#ifndef BWTK_DICT_DEMUX_H_
+#define BWTK_DICT_DEMUX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "alphabet/dna.h"
+#include "dict/pattern_set_trie.h"
+#include "util/status.h"
+
+namespace bwtk {
+
+struct DemuxOptions {
+  /// Largest barcode mismatch count still considered a match.
+  int32_t max_mismatches = 1;
+};
+
+/// Where one read ended up.
+struct DemuxAssignment {
+  enum class Outcome : uint8_t {
+    kAssigned,    ///< exactly one best barcode within the budget
+    kAmbiguous,   ///< two different barcodes tied at the best count
+    kUnassigned,  ///< no barcode occurs within the budget
+  };
+  Outcome outcome = Outcome::kUnassigned;
+  /// Canonical barcode id (valid for kAssigned and kAmbiguous — for the
+  /// latter it is the first of the tied barcodes); -1 when unassigned.
+  int32_t barcode = -1;
+  /// Mismatches of the best hit; -1 when unassigned.
+  int32_t mismatches = -1;
+  /// Smallest read offset of the winning barcode's best hit.
+  size_t position = 0;
+};
+
+/// Assigns every read against the barcode trie. result[i] answers reads[i].
+/// Fails only on malformed input (a read shorter than the barcode length is
+/// not an error — it is simply unassigned).
+Result<std::vector<DemuxAssignment>> DemuxReads(
+    const PatternSetTrie& barcodes,
+    const std::vector<std::vector<DnaCode>>& reads,
+    const DemuxOptions& options = {});
+
+}  // namespace bwtk
+
+#endif  // BWTK_DICT_DEMUX_H_

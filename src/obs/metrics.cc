@@ -15,6 +15,8 @@ constexpr std::string_view kCounterNames[kNumCounters] = {
     "prefix_table_hits", "prefix_table_skipped_steps",
     "shard_queries",   "seam_hits_deduped",
     "serve_submitted", "serve_completed", "serve_overloaded",
+    "dict_searches",   "dict_patterns",   "dict_trie_nodes",
+    "dict_shared_extends",
 };
 
 constexpr std::string_view kPhaseNames[kNumPhases] = {

@@ -87,6 +87,16 @@ enum CounterId : uint32_t {
   /// Submissions rejected by admission control (queue full or the client's
   /// in-flight budget exhausted) — the service's Overloaded responses.
   kCounterServeOverloaded,
+  // dictionary layer (dict/dictionary_searcher.h). Flushed once per
+  // SearchAll/SearchBest call, never per node.
+  kCounterDictSearches,  ///< DictionarySearcher walks executed.
+  kCounterDictPatterns,  ///< patterns answered by those walks (set sizes).
+  kCounterDictTrieNodes,  ///< PatternSetTrie nodes allocated at build.
+  /// ExtendAll calls issued at joint-descent states with >= 2 live trie
+  /// children — the amortization events where one rank pass answered for
+  /// multiple patterns at once. Compare against extendall_calls to see how
+  /// much sharing the pattern set actually exposes.
+  kCounterDictSharedExtends,
   kNumCounters
 };
 

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <map>
 #include <mutex>
 #include <thread>
 #include <utility>
@@ -39,6 +40,8 @@ std::string_view BatchEngineName(BatchEngine engine) {
       return "kerror";
     case BatchEngine::kWildcard:
       return "wildcard";
+    case BatchEngine::kDictionary:
+      return "dictionary";
   }
   return "unknown";
 }
@@ -62,6 +65,7 @@ struct EngineBank::Impl {
   std::vector<STreeSearch> stree_engines;
   std::vector<KErrorSearch> kerror_engines;
   std::vector<WildcardSearch> wildcard_engines;
+  std::vector<DictionarySearcher> dict_engines;
   AlgorithmAScratch scratch;  // reused across every Run, never shrinks
 };
 
@@ -95,6 +99,12 @@ EngineBank::EngineBank(const std::vector<const FmIndex*>& indexes,
       impl_->wildcard_engines.reserve(indexes.size());
       for (const FmIndex* index : indexes) {
         impl_->wildcard_engines.emplace_back(index);
+      }
+      break;
+    case BatchEngine::kDictionary:
+      impl_->dict_engines.reserve(indexes.size());
+      for (const FmIndex* index : indexes) {
+        impl_->dict_engines.emplace_back(index, options.dictionary);
       }
       break;
   }
@@ -137,9 +147,33 @@ std::vector<Occurrence> EngineBank::Run(const BatchQuery& query,
       hits = impl_->wildcard_engines[index_slot].Search(query.pattern,
                                                         query.k, stats);
       break;
+    case BatchEngine::kDictionary: {
+      // Ticket-at-a-time form: a one-pattern trie, one joint descent. Build
+      // can only fail on malformed input (empty pattern, out-of-range
+      // codes), which — like an empty pattern under the other engines —
+      // yields an empty hit list.
+      Result<PatternSetTrie> trie = PatternSetTrie::Build({query.pattern});
+      if (trie.ok()) {
+        std::vector<std::vector<Occurrence>> per_pattern =
+            impl_->dict_engines[index_slot].SearchAll(*trie, query.k, stats);
+        hits = std::move(per_pattern[0]);
+      } else if (stats != nullptr) {
+        *stats = SearchStats{};
+      }
+      break;
+    }
   }
   if (impl_->options.deterministic_order) NormalizeOccurrences(&hits);
   return hits;
+}
+
+std::vector<std::vector<Occurrence>> EngineBank::RunDictionary(
+    const PatternSetTrie& trie, int32_t k, size_t index_slot,
+    SearchStats* stats) {
+  BWTK_CHECK(impl_->options.engine == BatchEngine::kDictionary);
+  // SearchAll's per-pattern lists are always position-sorted, so the
+  // deterministic_order contract holds with no extra pass.
+  return impl_->dict_engines[index_slot].SearchAll(trie, k, stats);
 }
 
 std::string_view EngineBank::engine_name() const {
@@ -171,12 +205,28 @@ struct BatchSearcher::Pool {
   int workers_left = 0;             // workers still in the batch (mu)
 
   // Current batch, valid while workers_left > 0. `out` has one slot per
-  // task (query_count * indexes.size()).
+  // (query, index) pair (query_count * indexes.size()).
   const BatchQuery* queries = nullptr;
   size_t query_count = 0;
   size_t task_count = 0;
   std::vector<std::vector<Occurrence>>* out = nullptr;
   std::atomic<size_t> cursor{0};
+
+  // kDictionary batches are dispatched at group granularity: the submitting
+  // thread folds the batch's valid queries into one PatternSetTrie per
+  // (pattern length, k) — usually a single group for a real barcode batch —
+  // and a task is a (group, index) pair whose worker answers the whole
+  // group with one joint descent, scattering per-pattern hits back into the
+  // same per-(query, index) `out` slots the per-query dispatch fills.
+  // Workers write disjoint slots because each query belongs to exactly one
+  // group. Valid for the live batch, guarded by the same hand-off as
+  // `queries`.
+  struct DictGroup {
+    PatternSetTrie trie;
+    int32_t k = 0;
+    std::vector<size_t> query_ids;  // indexes into the batch, input order
+  };
+  std::vector<DictGroup> dict_groups;
 
   // Tracing. The sink exists iff tracing is on (trace_sample_rate > 0 in a
   // metrics-enabled build); a null sink makes every per-query trace hook a
@@ -215,28 +265,60 @@ struct BatchSearcher::Pool {
       BWTK_SCOPED_TIMER(kPhaseWorkerSearch);
       SearchStats batch_stats;
       uint64_t tasks_run = 0;
-      for (;;) {
-        const size_t t = cursor.fetch_add(1, std::memory_order_relaxed);
-        if (t >= task_count) break;
-        const size_t q = t / num_indexes;
-        const size_t s = t % num_indexes;
-        const BatchQuery& query = queries[q];
-        // A negative budget marks a query skipped at decode time (ASCII
-        // fail_fast = false path); its slots stay empty.
-        if (query.k < 0) continue;
-        BWTK_METRIC_COUNT(kCounterBatchQueries);
-        SearchStats query_stats;
-        // Trace id = batch sequence | task index: stable across runs, so
-        // the sampled subset does not depend on thread assignment.
-        obs::ScopedQueryTrace qt(tsink, base | t, engine_name, query.k,
-                                 query.pattern.size(),
-                                 static_cast<uint32_t>(tid),
-                                 static_cast<uint32_t>(s));
-        std::vector<Occurrence> hits = bank.Run(query, s, &query_stats);
-        qt.Finish(hits.size(), query_stats);
-        (*out)[t] = std::move(hits);
-        batch_stats += query_stats;
-        ++tasks_run;
+      if (options.engine == BatchEngine::kDictionary) {
+        // Group-granular dispatch: task t answers dict_groups[t / S] against
+        // index t % S with ONE joint trie descent, then scatters the
+        // per-pattern lists into the (query, index) slots.
+        for (;;) {
+          const size_t t = cursor.fetch_add(1, std::memory_order_relaxed);
+          if (t >= task_count) break;
+          const size_t g = t / num_indexes;
+          const size_t s = t % num_indexes;
+          const DictGroup& group = dict_groups[g];
+          BWTK_METRIC_COUNT_N(kCounterBatchQueries, group.query_ids.size());
+          SearchStats task_stats;
+          // Trace id = batch sequence | task index, as below; one trace
+          // covers the whole group's descent.
+          obs::ScopedQueryTrace qt(tsink, base | t, engine_name, group.k,
+                                   group.trie.length(),
+                                   static_cast<uint32_t>(tid),
+                                   static_cast<uint32_t>(s));
+          std::vector<std::vector<Occurrence>> per_pattern =
+              bank.RunDictionary(group.trie, group.k, s, &task_stats);
+          uint64_t matches = 0;
+          for (size_t j = 0; j < group.query_ids.size(); ++j) {
+            matches += per_pattern[j].size();
+            (*out)[group.query_ids[j] * num_indexes + s] =
+                std::move(per_pattern[j]);
+          }
+          qt.Finish(matches, task_stats);
+          batch_stats += task_stats;
+          ++tasks_run;
+        }
+      } else {
+        for (;;) {
+          const size_t t = cursor.fetch_add(1, std::memory_order_relaxed);
+          if (t >= task_count) break;
+          const size_t q = t / num_indexes;
+          const size_t s = t % num_indexes;
+          const BatchQuery& query = queries[q];
+          // A negative budget marks a query skipped at decode time (ASCII
+          // fail_fast = false path); its slots stay empty.
+          if (query.k < 0) continue;
+          BWTK_METRIC_COUNT(kCounterBatchQueries);
+          SearchStats query_stats;
+          // Trace id = batch sequence | task index: stable across runs, so
+          // the sampled subset does not depend on thread assignment.
+          obs::ScopedQueryTrace qt(tsink, base | t, engine_name, query.k,
+                                   query.pattern.size(),
+                                   static_cast<uint32_t>(tid),
+                                   static_cast<uint32_t>(s));
+          std::vector<Occurrence> hits = bank.Run(query, s, &query_stats);
+          qt.Finish(hits.size(), query_stats);
+          (*out)[t] = std::move(hits);
+          batch_stats += query_stats;
+          ++tasks_run;
+        }
       }
       if (tsink != nullptr) {
         // One aux lane per (batch, worker): how long the worker queued and
@@ -263,16 +345,65 @@ struct BatchSearcher::Pool {
     }
   }
 
+  // Folds a kDictionary batch into per-(length, k) trie groups. Queries
+  // skipped at decode time (k < 0), empty patterns, and patterns carrying
+  // non-DNA codes get no group — their slots stay empty, matching the
+  // per-query engines' handling of the same inputs.
+  std::vector<DictGroup> BuildDictGroups(
+      const std::vector<BatchQuery>& batch) {
+    std::map<std::pair<size_t, int32_t>, size_t> group_of;  // key -> index
+    std::vector<DictGroup> groups;
+    std::vector<std::vector<std::vector<DnaCode>>> group_patterns;
+    for (size_t i = 0; i < batch.size(); ++i) {
+      const BatchQuery& query = batch[i];
+      if (query.k < 0 || query.pattern.empty()) continue;
+      bool valid = true;
+      for (const DnaCode c : query.pattern) {
+        if (c >= kDnaAlphabetSize) {
+          valid = false;
+          break;
+        }
+      }
+      if (!valid) continue;
+      const std::pair<size_t, int32_t> key{query.pattern.size(), query.k};
+      auto [it, inserted] = group_of.try_emplace(key, groups.size());
+      if (inserted) {
+        groups.emplace_back();
+        groups.back().k = query.k;
+        group_patterns.emplace_back();
+      }
+      groups[it->second].query_ids.push_back(i);
+      group_patterns[it->second].push_back(query.pattern);
+    }
+    for (size_t g = 0; g < groups.size(); ++g) {
+      // Cannot fail: the patterns are non-empty, equal-length, code-valid,
+      // and duplicates are explicitly allowed (each repeated pattern simply
+      // receives a copy of its canonical pattern's hits).
+      Result<PatternSetTrie> trie = PatternSetTrie::Build(
+          group_patterns[g], {.allow_duplicates = true});
+      BWTK_CHECK(trie.ok());
+      groups[g].trie = std::move(trie).value();
+    }
+    return groups;
+  }
+
   // Runs one batch of query_count * indexes.size() tasks into `slots`
   // (pre-sized by the caller) and returns the tid-order merged stats.
+  // kDictionary batches run dict_groups.size() * indexes.size() tasks
+  // instead, into the same slots.
   SearchStats RunTasks(const std::vector<BatchQuery>& batch,
                        std::vector<std::vector<Occurrence>>* slots) {
     BWTK_METRIC_COUNT(kCounterBatchBatches);
+    const bool dict = options.engine == BatchEngine::kDictionary;
+    std::vector<DictGroup> groups;
+    if (dict) groups = BuildDictGroups(batch);
     {
       std::lock_guard<std::mutex> lock(mu);
       queries = batch.data();
       query_count = batch.size();
-      task_count = batch.size() * indexes.size();
+      dict_groups = std::move(groups);
+      task_count = (dict ? dict_groups.size() : batch.size()) *
+                   indexes.size();
       out = slots;
       cursor.store(0, std::memory_order_relaxed);
       trace_base = batch_seq << 32;
@@ -287,6 +418,7 @@ struct BatchSearcher::Pool {
       done_cv.wait(lock, [&] { return workers_left == 0; });
       queries = nullptr;
       out = nullptr;
+      dict_groups.clear();
     }
     // Merge in tid order so the aggregate is reproducible run to run even
     // though the task→thread assignment is not.

@@ -38,6 +38,8 @@
 
 #include "alphabet/dna.h"
 #include "bwt/fm_index.h"
+#include "dict/dictionary_searcher.h"
+#include "dict/pattern_set_trie.h"
 #include "obs/trace.h"
 #include "search/algorithm_a.h"
 #include "search/match.h"
@@ -53,7 +55,7 @@ struct BatchQuery {
   int32_t k = 0;
 };
 
-/// Which search engine the worker pool runs per query. All four return
+/// Which search engine the worker pool runs per query. All five return
 /// position-sorted Occurrence lists over the same index; they differ in the
 /// distance function and the amount of reuse machinery. The per-engine
 /// SearchStats contract (which counters each engine fills) is documented in
@@ -72,10 +74,20 @@ enum class BatchEngine {
   /// ASCII batch overloads decode patterns with ParseWildcardPattern
   /// ('?', '.', 'n', 'N' = wildcard) when this engine is selected.
   kWildcard,
+  /// DictionarySearcher (Hamming distance, dict/dictionary_searcher.h):
+  /// the batch's equal-length patterns are folded into PatternSetTrie
+  /// groups on the submitting thread and each group is answered by ONE
+  /// joint trie ∩ FM-index descent per index, so shared pattern prefixes
+  /// are searched once across the whole batch. Per query the hits are
+  /// byte-identical to kSTree/kAlgorithmA; the win is throughput on large
+  /// pattern sets (see docs/DICTIONARY.md and BENCH_dictionary.json).
+  /// Patterns of different lengths (or different k) simply land in
+  /// different groups.
+  kDictionary,
 };
 
 /// Stable engine label used for traces and bench reports ("algorithm_a",
-/// "stree", "kerror", "wildcard").
+/// "stree", "kerror", "wildcard", "dictionary").
 std::string_view BatchEngineName(BatchEngine engine);
 
 /// Decodes an ASCII pattern the way the batch overloads do for `engine`:
@@ -111,6 +123,10 @@ struct BatchOptions {
 
   /// Engine knobs for BatchEngine::kSTree.
   STreeOptions stree = {};
+
+  /// Engine knobs for BatchEngine::kDictionary, passed through to every
+  /// worker's DictionarySearcher.
+  DictionaryOptions dictionary = {};
 
   /// Per-query tracing (see obs/trace.h). 0 disables tracing entirely — no
   /// sink is created and the query path pays nothing. In (0, 1] each query
@@ -186,8 +202,20 @@ class EngineBank {
   /// Returns the hit list (normalized when options.deterministic_order) and
   /// fills `stats` with the engine's per-query counters. A query with
   /// k < 0 (a decode-failed placeholder) returns empty without searching.
+  /// Under BatchEngine::kDictionary this is the degenerate one-pattern
+  /// form — a single-pattern trie answered by one joint descent — which is
+  /// how ticket-at-a-time callers (serve::Session) run the engine; batch
+  /// callers amortize via RunDictionary.
   std::vector<Occurrence> Run(const BatchQuery& query, size_t index_slot,
                               SearchStats* stats);
+
+  /// BatchEngine::kDictionary only: answers every pattern of `trie` against
+  /// index `index_slot` in one joint descent. result[id] answers
+  /// trie.pattern(id), byte-identical to Run() on that pattern alone.
+  std::vector<std::vector<Occurrence>> RunDictionary(const PatternSetTrie& trie,
+                                                     int32_t k,
+                                                     size_t index_slot,
+                                                     SearchStats* stats);
 
   /// BatchEngineName(options.engine) — the stable trace/report label.
   std::string_view engine_name() const;

@@ -12,7 +12,8 @@
 // InvalidArgument rather than silently dropping seam occurrences.
 //
 // The required window length per query is the pattern length for the
-// Hamming engines (kAlgorithmA, kSTree) and pattern length + k for kerror,
+// Hamming engines (kAlgorithmA, kSTree, kWildcard, kDictionary) and
+// pattern length + k for kerror,
 // whose alignments may consume up to k extra text characters. Using the
 // worst-case kerror window for ownership also preserves that engine's
 // best-alignment-per-position semantics: the owner's slice contains every
@@ -40,7 +41,8 @@ namespace bwtk {
 
 /// Text window a query's occurrences can span — the seam-ownership unit:
 /// the pattern itself for the Hamming engines (kAlgorithmA, kSTree,
-/// kWildcard), up to k extra characters for kerror alignments. A sharded
+/// kWildcard, kDictionary), up to k extra characters for kerror
+/// alignments. A sharded
 /// query is servable iff this window fits the index's overlap.
 size_t ShardedQueryWindow(const BatchQuery& query, BatchEngine engine);
 
