@@ -17,6 +17,9 @@ constexpr std::string_view kCounterNames[kNumCounters] = {
     "serve_submitted", "serve_completed", "serve_overloaded",
     "dict_searches",   "dict_patterns",   "dict_trie_nodes",
     "dict_shared_extends",
+    "memo_lookups",    "memo_hits",       "memo_publishes",
+    "result_cache_hits", "result_cache_misses", "result_cache_evictions",
+    "shard_exact_shortcuts",
 };
 
 constexpr std::string_view kPhaseNames[kNumPhases] = {

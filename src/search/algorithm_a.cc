@@ -3,13 +3,15 @@
 #include <algorithm>
 #include <array>
 #include <optional>
-#include <unordered_map>
 
 #include "mismatch/kangaroo.h"
 #include "mismatch/mismatch_array.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "search/bump_arena.h"
+#include "search/epoch_map.h"
 #include "search/mtree.h"
+#include "search/subtree_memo.h"
 #include "search/tau_heuristic.h"
 #include "util/logging.h"
 
@@ -19,86 +21,10 @@ namespace {
 
 constexpr int32_t kNoChild = -1;
 
-// Open-addressing hash table from packed rank ranges to DAG node ids. The
-// paper's hash table of pairs sits on the search's hot path (one probe per
-// materialized node), so this is a flat linear-probing map instead of
-// std::unordered_map — no per-node allocation, one cache line per probe.
-//
-// Clear() is epoch-based: a slot is live only when its epoch stamp matches
-// the current epoch, so resetting between queries is O(1) instead of a
-// table-wide wipe. The table only ever grows, which is exactly what a
-// reusable scratch wants.
-class RangeMap {
- public:
-  RangeMap() { Reallocate(1 << 16); }
-
-  // Returns {slot for the value, inserted}. On a hit the existing value is
-  // untouched.
-  std::pair<int32_t*, bool> TryEmplace(uint64_t key, int32_t value) {
-    if ((size_ + 1) * 10 >= capacity() * 7) Rehash(capacity() * 2);
-    size_t slot = Mix(key) & mask_;
-    while (epochs_[slot] == epoch_) {
-      if (keys_[slot] == key) return {&values_[slot], false};
-      slot = (slot + 1) & mask_;
-    }
-    keys_[slot] = key;
-    values_[slot] = value;
-    epochs_[slot] = epoch_;
-    ++size_;
-    return {&values_[slot], true};
-  }
-
-  // Invalidates every entry while keeping the table's capacity.
-  void Clear() {
-    size_ = 0;
-    if (++epoch_ == 0) {  // wrapped: stamps from 2^32 queries ago are stale
-      std::fill(epochs_.begin(), epochs_.end(), uint32_t{0});
-      epoch_ = 1;
-    }
-  }
-
- private:
-  static uint64_t Mix(uint64_t x) {
-    x ^= x >> 33;
-    x *= 0xff51afd7ed558ccdULL;
-    x ^= x >> 33;
-    return x;
-  }
-
-  size_t capacity() const { return keys_.size(); }
-
-  void Reallocate(size_t new_capacity) {
-    keys_.assign(new_capacity, 0);
-    values_.assign(new_capacity, 0);
-    epochs_.assign(new_capacity, 0);
-    mask_ = new_capacity - 1;
-    size_ = 0;
-    epoch_ = 1;
-  }
-
-  void Rehash(size_t new_capacity) {
-    std::vector<uint64_t> old_keys = std::move(keys_);
-    std::vector<int32_t> old_values = std::move(values_);
-    std::vector<uint32_t> old_epochs = std::move(epochs_);
-    const uint32_t old_epoch = epoch_;
-    Reallocate(new_capacity);
-    for (size_t i = 0; i < old_keys.size(); ++i) {
-      if (old_epochs[i] == old_epoch) TryEmplace(old_keys[i], old_values[i]);
-    }
-  }
-
-  std::vector<uint64_t> keys_;
-  std::vector<int32_t> values_;
-  std::vector<uint32_t> epochs_;  // slot live iff epochs_[slot] == epoch_
-  size_t mask_ = 0;
-  size_t size_ = 0;
-  uint32_t epoch_ = 1;
-};
-
 // A node of the memoized search DAG. Children depend only on the rank range
 // (one search() step per symbol), so every distinct pair <x, [α, β]> is
 // expanded exactly once per Search() call — the role of the paper's hash
-// table.
+// table (EpochMap, search/epoch_map.h).
 struct DagNode {
   FmIndex::Range range;
   std::array<int32_t, kDnaAlphabetSize> child{kNoChild, kNoChild, kNoChild,
@@ -112,13 +38,19 @@ struct DagNode {
 // array recorded against the alignment of the first visit. Corresponds to
 // the paths through a repeated S-tree node whose mismatch information
 // Algorithm A derives instead of re-searching.
-struct Chain {
-  int32_t first_alignment = 0;    // pattern position of the first chain char
-  std::vector<int32_t> node_ids;  // chain nodes, top to bottom
-  std::vector<DnaCode> symbols;   // characters along the chain
-  // 1-based offsets t with symbols[t-1] != r[first_alignment + t - 1];
-  // exhaustive over the whole chain (the path's B_l array).
-  MismatchArray mm_vs_first;
+//
+// The record is a pure view: node ids and symbols live at [begin, begin +
+// length) of the scratch's shared chain_nodes/chain_symbols arenas, the
+// 1-based mismatch offsets (the path's B_l array, exhaustive over the whole
+// chain) at [mm_begin, mm_begin + mm_count) of chain_mms. Chains are built
+// strictly one at a time, so a walk appends to the arena tails and either
+// commits the run or truncates back to its marks — no per-chain heap blocks.
+struct ChainRec {
+  int32_t first_alignment = 0;  // pattern position of the first chain char
+  uint32_t begin = 0;
+  uint32_t length = 0;
+  uint32_t mm_begin = 0;
+  uint32_t mm_count = 0;
 };
 
 // One S-tree traversal frame.
@@ -129,31 +61,68 @@ struct Frame {
   int32_t mnode;  // current M-tree node
 };
 
+// A shared-memo capture in flight: the frame's key plus the stack/result
+// water marks that delimit its subtree (the traversal is LIFO, so the
+// subtree is exactly the work done until the stack shrinks back to the
+// mark, and its hits are exactly results[results_mark..]).
+struct PendingCapture {
+  uint32_t lo = 0;
+  uint32_t hi = 0;
+  int32_t budget = 0;
+  uint32_t depth = 0;
+  int32_t base_mismatches = 0;
+  size_t stack_mark = 0;
+  size_t results_mark = 0;
+};
+
 }  // namespace
 
 // The buffers one Search call needs, owned across calls so capacity is
-// reused. Reset() invalidates contents without releasing memory (the chain
-// store is a slot pool: inner vectors keep their capacity too).
+// reused. Reset() invalidates contents without releasing memory: the hash
+// tables clear by epoch bump (O(1)), the bump arenas by truncation, and the
+// R_ij slot pool keeps its inner arrays' capacity.
 struct AlgorithmAScratch::Impl {
   std::vector<DagNode> dag;
-  RangeMap node_of_range;
-  std::vector<Chain> chains;  // slot pool; [0, chains_used) are live
-  size_t chains_used = 0;
-  std::unordered_map<uint64_t, MismatchArray> rij_cache;
+  EpochMap node_of_range{1 << 16};
+
+  // Chain store: records + three shared arenas (see ChainRec).
+  BumpPool<ChainRec> chains;
+  BumpPool<int32_t> chain_nodes;
+  BumpPool<DnaCode> chain_symbols;
+  BumpPool<int32_t> chain_mms;
+
+  // R_ij cache: flat open-addressing index over a slot pool, replacing the
+  // former std::unordered_map (per-entry allocation + pointer-chasing
+  // probes on the merge hot path). Slots [0, rij_used) are live; a reused
+  // slot's vector keeps its capacity.
+  EpochMap rij_index{1 << 8};
+  std::vector<MismatchArray> rij_pool;
+  size_t rij_used = 0;
+
   std::optional<PatternLcp> pattern_lcp;
   MTree mtree;
   std::vector<Frame> stack;
+  std::vector<PendingCapture> captures;
   std::vector<int32_t> tau;
+  // Rolling per-depth suffix hashes for the shared memo (suffix_hashes[d]
+  // = hash of r[d..m)); filled only when a memo is attached.
+  std::vector<uint64_t> suffix_hashes;
 
   void Reset() {
     dag.clear();
     node_of_range.Clear();
-    chains_used = 0;
-    rij_cache.clear();
+    chains.clear();
+    chain_nodes.clear();
+    chain_symbols.clear();
+    chain_mms.clear();
+    rij_index.Clear();
+    rij_used = 0;
     pattern_lcp.reset();
     mtree.Reset();
     stack.clear();
+    captures.clear();
     tau.clear();
+    suffix_hashes.clear();
   }
 };
 
@@ -169,7 +138,8 @@ class SearchContext {
  public:
   SearchContext(const FmIndex& index, AlgorithmAScratch::Impl& scratch,
                 const std::vector<DnaCode>& pattern, int32_t k,
-                const AlgorithmAOptions& options)
+                const AlgorithmAOptions& options, SubtreeMemo* memo,
+                uint32_t memo_slot)
       : index_(index),
         r_(pattern),
         m_(pattern.size()),
@@ -177,16 +147,33 @@ class SearchContext {
         reuse_(options.reuse),
         use_tau_(options.use_tau),
         use_prefix_table_(options.use_prefix_table),
+        memo_(memo),
+        memo_slot_(memo_slot),
         scratch_(scratch),
         dag_(scratch.dag),
         node_of_range_(scratch.node_of_range),
         chains_(scratch.chains),
-        rij_cache_(scratch.rij_cache),
-        pattern_lcp_(scratch.pattern_lcp),
+        chain_nodes_(scratch.chain_nodes),
+        chain_symbols_(scratch.chain_symbols),
+        chain_mms_(scratch.chain_mms),
         mtree_(scratch.mtree),
         stack_(scratch.stack),
-        tau_(scratch.tau) {
+        captures_(scratch.captures),
+        tau_(scratch.tau),
+        suffix_hashes_(scratch.suffix_hashes) {
     scratch.Reset();
+    if (memo_ != nullptr) {
+      memo_max_depth_ = memo_->options().max_capture_depth;
+      memo_min_suffix_ = memo_->options().min_suffix_len;
+      // One backward pass fills every depth's suffix hash, so per-frame
+      // memo probes hash O(1) state instead of an O(m) suffix.
+      suffix_hashes_.resize(m_ + 1);
+      suffix_hashes_[m_] = SubtreeMemo::kEmptySuffixHash;
+      for (size_t d = m_; d-- > 0;) {
+        suffix_hashes_[d] =
+            SubtreeMemo::ExtendSuffixHash(suffix_hashes_[d + 1], r_[d]);
+      }
+    }
   }
 
   void Run() {
@@ -205,14 +192,25 @@ class SearchContext {
       BWTK_SCOPED_TIMER(kPhaseTreeTraversal);
       BWTK_TRACE_SPAN(trace_, "tree_traversal");
       while (!stack_.empty()) {
+        if (memo_ != nullptr) FinalizeCaptures(stack_.size());
         Frame frame = stack_.back();
         stack_.pop_back();
+        if (memo_ != nullptr && MemoEligible(frame.depth)) {
+          if (TryMemo(frame)) continue;
+        }
         ProcessFrame(frame);
       }
+      if (memo_ != nullptr) FinalizeCaptures(0);
     }
     NormalizeOccurrences(&results_);
     stats_.mtree_nodes = mtree_.node_count();
     stats_.mtree_leaves = mtree_.leaf_count();
+#if BWTK_METRICS_ENABLED
+    if (memo_ != nullptr && memo_lookups_ > 0) {
+      BWTK_METRIC_COUNT2(kCounterMemoLookups, memo_lookups_, kCounterMemoHits,
+                         memo_hits_);
+    }
+#endif
   }
 
   std::vector<Occurrence>& results() { return results_; }
@@ -264,6 +262,68 @@ class SearchContext {
                        kCounterPrefixTableSkippedSteps, hits * q);
     BWTK_TRACE_PREFIX_HITS(trace_, hits);
     return true;
+  }
+
+  // --- Shared-memo hooks (search/subtree_memo.h) -------------------------
+  // Active only when a memo is attached; the enumeration loop pays one null
+  // check per frame otherwise.
+
+  bool MemoEligible(uint32_t depth) const {
+    return depth <= memo_max_depth_ && m_ - depth >= memo_min_suffix_;
+  }
+
+  // Probes the memo for this frame's subtree. On a hit, replays the stored
+  // results in frame coordinates and skips the subtree entirely. On a miss,
+  // registers a pending capture so the subtree publishes once explored.
+  bool TryMemo(const Frame& frame) {
+    const FmIndex::Range range = dag_[frame.node].range;
+    const int32_t budget = k_ - frame.mismatches;
+    const DnaCode* suffix = r_.data() + frame.depth;
+    const size_t suffix_len = m_ - frame.depth;
+    ++memo_lookups_;
+    bool advise_capture = false;
+    const SubtreeMemo::Entry* entry =
+        memo_->Lookup(memo_slot_, static_cast<uint32_t>(range.lo),
+                      static_cast<uint32_t>(range.hi), budget, suffix,
+                      suffix_len, suffix_hashes_[frame.depth],
+                      &advise_capture);
+    if (entry == nullptr) {
+      if (advise_capture) {
+        captures_.push_back({static_cast<uint32_t>(range.lo),
+                             static_cast<uint32_t>(range.hi), budget,
+                             frame.depth, frame.mismatches, stack_.size(),
+                             results_.size()});
+      }
+      return false;
+    }
+    ++memo_hits_;
+    for (const MemoOccurrence& occ : *entry) {
+      results_.push_back(
+          {static_cast<size_t>(occ.position_plus_depth) - frame.depth,
+           frame.mismatches + occ.mismatch_delta});
+    }
+    return true;
+  }
+
+  // Publishes every pending capture whose subtree is complete — i.e. whose
+  // stack mark has been reached again. Called with the current stack size
+  // before each pop (and with 0 after the loop), so captures finalize
+  // innermost-first.
+  void FinalizeCaptures(size_t stack_size) {
+    while (!captures_.empty() && stack_size <= captures_.back().stack_mark) {
+      const PendingCapture cap = captures_.back();
+      captures_.pop_back();
+      SubtreeMemo::Entry entry;
+      entry.reserve(results_.size() - cap.results_mark);
+      for (size_t i = cap.results_mark; i < results_.size(); ++i) {
+        entry.push_back(
+            {static_cast<uint64_t>(results_[i].position) + cap.depth,
+             results_[i].mismatches - cap.base_mismatches});
+      }
+      memo_->Publish(memo_slot_, cap.lo, cap.hi, cap.budget,
+                     r_.data() + cap.depth, m_ - cap.depth,
+                     suffix_hashes_[cap.depth], std::move(entry));
+    }
   }
 
   // Descends from one frame, following chains inline; pushes sibling
@@ -365,31 +425,14 @@ class SearchContext {
     }
   }
 
-  // Hands out the next free slot of the chain pool without marking it live;
-  // CommitChain() does that once the walk decides the run is worth keeping.
-  Chain& NextChainSlot() {
-    if (scratch_.chains_used == chains_.size()) {
-      chains_.emplace_back();
-    }
-    Chain& chain = chains_[scratch_.chains_used];
-    chain.first_alignment = 0;
-    chain.node_ids.clear();
-    chain.symbols.clear();
-    chain.mm_vs_first.clear();
-    return chain;
-  }
-
-  int32_t CommitChain() {
-    return static_cast<int32_t>(scratch_.chains_used++);
-  }
-
   // First walk through a single-continuation run: records the chain and its
-  // mismatch array against the current alignment while walking it.
-  // Returns true if `frame` advanced past the chain, false if the path
-  // terminated inside it.
+  // mismatch array against the current alignment while walking it. The run
+  // is built speculatively on the arena tails; too-short runs truncate back
+  // to the entry marks. Returns true if `frame` advanced past the chain,
+  // false if the path terminated inside it.
   bool BuildChainWalk(Frame* frame) {
-    Chain& chain = NextChainSlot();
-    chain.first_alignment = static_cast<int32_t>(frame->depth);
+    const uint32_t node_mark = static_cast<uint32_t>(chain_nodes_.size());
+    const uint32_t mm_mark = static_cast<uint32_t>(chain_mms_.size());
     int32_t cur = frame->node;
     int32_t q = frame->mismatches;
     int32_t mnode = frame->mnode;
@@ -402,16 +445,16 @@ class SearchContext {
       DnaCode c = 0;
       while (dag_[cur].child[c] == kNoChild) ++c;
       const int32_t child = dag_[cur].child[c];
-      const size_t t = chain.node_ids.size() + 1;  // 1-based chain offset
-      const size_t ppos = frame->depth + t - 1;    // pattern position
-      chain.node_ids.push_back(child);
-      chain.symbols.push_back(c);
+      const size_t t = chain_nodes_.size() - node_mark + 1;  // 1-based offset
+      const size_t ppos = frame->depth + t - 1;              // pattern pos
+      chain_nodes_.push_back(child);
+      chain_symbols_.push_back(c);
       ++stats_.stree_nodes;
       BWTK_TRACE_NODE(trace_, ppos + 1);
       if (c == r_[ppos]) {
         mnode = mtree_.AddMatching(mnode);
       } else {
-        chain.mm_vs_first.push_back(static_cast<int32_t>(t));
+        chain_mms_.push_back(static_cast<int32_t>(t));
         ++q;
         mnode = mtree_.AddMismatching(mnode, c, static_cast<int32_t>(ppos));
         if (q > k_) {
@@ -434,16 +477,24 @@ class SearchContext {
       }
       cur = child;
     }
-    const size_t length = chain.node_ids.size();
-    const int32_t last_node = length > 0 ? chain.node_ids.back() : kNoChild;
+    const size_t length = chain_nodes_.size() - node_mark;
+    const int32_t last_node = length > 0 ? chain_nodes_.back() : kNoChild;
     // Short runs are not worth a stored record: a re-visit re-walks them in
     // a handful of O(1) steps anyway. Only runs of at least kMinChainLength
     // nodes are kept for merge-based derivation.
     constexpr size_t kMinChainLength = 4;
     if (length >= kMinChainLength) {
-      dag_[frame->node].chain_id = CommitChain();
+      dag_[frame->node].chain_id = static_cast<int32_t>(chains_.size());
+      chains_.push_back(ChainRec{
+          static_cast<int32_t>(frame->depth), node_mark,
+          static_cast<uint32_t>(length), mm_mark,
+          static_cast<uint32_t>(chain_mms_.size() - mm_mark)});
       BWTK_METRIC_COUNT(kCounterChainBuilds);
       BWTK_METRIC_OBSERVE(kHistChainLength, length);
+    } else {
+      chain_nodes_.Truncate(node_mark);
+      chain_symbols_.Truncate(node_mark);
+      chain_mms_.Truncate(mm_mark);
     }
     if (end == End::kComplete) {
       ReportAt(final_node, q, mnode);
@@ -468,18 +519,26 @@ class SearchContext {
     BWTK_SCOPED_TIMER(kPhaseMerge);
     BWTK_TRACE_SPAN(trace_, "merge");
     BWTK_METRIC_COUNT(kCounterMergeCalls);
-    const Chain& chain = chains_[dag_[frame->node].chain_id];
+    const ChainRec chain = chains_[dag_[frame->node].chain_id];
+    // Arena views; no chain is built while one is derived, so the spans are
+    // stable for the whole walk.
+    const int32_t* nodes = chain_nodes_.data() + chain.begin;
+    const DnaCode* symbols = chain_symbols_.data() + chain.begin;
+    const int32_t* mm = chain_mms_.data() + chain.mm_begin;
+    const size_t mm_size = chain.mm_count;
     const size_t i = static_cast<size_t>(chain.first_alignment);
     const size_t j = frame->depth;
-    const size_t lambda = chain.node_ids.size();
+    const size_t lambda = chain.length;
     const size_t need = m_ - j;
     ++stats_.derived_runs;
 
-    static const MismatchArray kEmptyArray;
-    const MismatchArray* rij = &kEmptyArray;
+    const int32_t* rij = nullptr;
+    size_t rij_size = 0;
     size_t horizon = lambda;
     if (i != j) {
-      rij = &GetRij(i, j);
+      const MismatchArray& built = GetRij(i, j);
+      rij = built.data();
+      rij_size = built.size();
       horizon = std::min(horizon, m_ - std::max(i, j));
     }
     horizon = std::min(horizon, need);
@@ -492,7 +551,7 @@ class SearchContext {
     auto on_mismatch = [&](size_t t) {
       if (t > last_event + 1) mnode = mtree_.AddMatching(mnode);
       ++q;
-      mnode = mtree_.AddMismatching(mnode, chain.symbols[t - 1],
+      mnode = mtree_.AddMismatching(mnode, symbols[t - 1],
                                     static_cast<int32_t>(j + t - 1));
       last_event = t;
       if (q > k_) {
@@ -511,16 +570,14 @@ class SearchContext {
     // character against r[j + t - 1].
     size_t p = 0;
     size_t s = 0;
-    const MismatchArray& mm = chain.mm_vs_first;
     while (!killed) {
-      const size_t t1 =
-          p < mm.size() ? static_cast<size_t>(mm[p]) : SIZE_MAX;
+      const size_t t1 = p < mm_size ? static_cast<size_t>(mm[p]) : SIZE_MAX;
       const size_t t2 =
-          s < rij->size() ? static_cast<size_t>((*rij)[s]) : SIZE_MAX;
+          s < rij_size ? static_cast<size_t>(rij[s]) : SIZE_MAX;
       const size_t t = std::min(t1, t2);
       if (t > horizon) break;
       if (t1 == t2) {
-        if (chain.symbols[t - 1] != r_[j + t - 1]) on_mismatch(t);
+        if (symbols[t - 1] != r_[j + t - 1]) on_mismatch(t);
         ++p;
         ++s;
       } else if (t1 < t2) {
@@ -535,16 +592,16 @@ class SearchContext {
     for (size_t t = horizon + 1; t <= limit && !killed; ++t) {
       ++stats_.stree_nodes;
       BWTK_TRACE_NODE(trace_, j + t);
-      if (chain.symbols[t - 1] != r_[j + t - 1]) on_mismatch(t);
+      if (symbols[t - 1] != r_[j + t - 1]) on_mismatch(t);
     }
     if (killed) return false;
     if (need <= lambda) {
       if (need > last_event) mnode = mtree_.AddMatching(mnode);
-      ReportAt(chain.node_ids[need - 1], q, mnode);
+      ReportAt(nodes[need - 1], q, mnode);
       return false;
     }
     if (lambda > last_event) mnode = mtree_.AddMatching(mnode);
-    frame->node = chain.node_ids.back();
+    frame->node = nodes[lambda - 1];
     frame->depth = static_cast<uint32_t>(j + lambda);
     frame->mismatches = q;
     frame->mnode = mnode;
@@ -558,26 +615,31 @@ class SearchContext {
   }
 
   // R_ij: mismatch offsets between r[i..] and r[j..] over their overlap,
-  // computed exactly with kangaroo jumps and cached per (i, j).
+  // computed exactly with kangaroo jumps and cached per (i, j) in a flat
+  // epoch-cleared index over a slot pool.
   const MismatchArray& GetRij(size_t i, size_t j) {
     const uint64_t key = static_cast<uint64_t>(i) * (m_ + 1) + j;
-    const auto it = rij_cache_.find(key);
-    if (it != rij_cache_.end()) {
+    const auto [slot, inserted] = scratch_.rij_index.TryEmplace(
+        key, static_cast<int32_t>(scratch_.rij_used));
+    if (!inserted) {
       BWTK_METRIC_COUNT(kCounterRijCacheHits);
-      return it->second;
+      return scratch_.rij_pool[static_cast<size_t>(*slot)];
     }
     BWTK_SCOPED_TIMER(kPhaseRiBuild);
     BWTK_TRACE_SPAN(trace_, "ri_build");
     BWTK_METRIC_COUNT(kCounterRijBuilds);
-    if (!pattern_lcp_.has_value()) {
+    if (!scratch_.pattern_lcp.has_value()) {
       auto built = PatternLcp::Build(r_);
       BWTK_CHECK(built.ok()) << built.status().ToString();
-      pattern_lcp_ = std::move(built).value();
+      scratch_.pattern_lcp = std::move(built).value();
     }
     const size_t overlap = m_ - std::max(i, j);
-    return rij_cache_
-        .emplace(key, pattern_lcp_->MismatchesBetween(i, j, overlap, overlap))
-        .first->second;
+    if (scratch_.rij_used == scratch_.rij_pool.size()) {
+      scratch_.rij_pool.emplace_back();
+    }
+    MismatchArray& out = scratch_.rij_pool[scratch_.rij_used++];
+    out = scratch_.pattern_lcp->MismatchesBetween(i, j, overlap, overlap);
+    return out;
   }
 
   void ReportAt(int32_t node, int32_t mismatches, int32_t mnode = -1) {
@@ -597,6 +659,14 @@ class SearchContext {
   const AlgorithmAOptions::Reuse reuse_;
   const bool use_tau_;
   const bool use_prefix_table_;
+  // The batch-scoped shared memo, or nullptr (the default) for the
+  // self-contained per-query search.
+  SubtreeMemo* const memo_;
+  const uint32_t memo_slot_;
+  uint32_t memo_max_depth_ = 0;
+  uint32_t memo_min_suffix_ = 0;
+  uint64_t memo_lookups_ = 0;
+  uint64_t memo_hits_ = 0;
   // The thread's active trace, hoisted once per query so per-node hooks are
   // a single null check (no TLS access in the enumeration loop).
   obs::Trace* const trace_ = BWTK_TRACE_ACTIVE();
@@ -604,13 +674,16 @@ class SearchContext {
   // Scratch-owned buffers, reset on entry and reused across queries.
   AlgorithmAScratch::Impl& scratch_;
   std::vector<DagNode>& dag_;
-  RangeMap& node_of_range_;
-  std::vector<Chain>& chains_;
-  std::unordered_map<uint64_t, MismatchArray>& rij_cache_;
-  std::optional<PatternLcp>& pattern_lcp_;
+  EpochMap& node_of_range_;
+  BumpPool<ChainRec>& chains_;
+  BumpPool<int32_t>& chain_nodes_;
+  BumpPool<DnaCode>& chain_symbols_;
+  BumpPool<int32_t>& chain_mms_;
   MTree& mtree_;
   std::vector<Frame>& stack_;
+  std::vector<PendingCapture>& captures_;
   std::vector<int32_t>& tau_;
+  std::vector<uint64_t>& suffix_hashes_;
 
   std::vector<Occurrence> results_;
   SearchStats stats_;
@@ -628,8 +701,17 @@ std::vector<Occurrence> AlgorithmA::Search(const std::vector<DnaCode>& pattern,
 std::vector<Occurrence> AlgorithmA::Search(const std::vector<DnaCode>& pattern,
                                            int32_t k, SearchStats* stats,
                                            AlgorithmAScratch* scratch) const {
+  return Search(pattern, k, stats, scratch, nullptr, 0);
+}
+
+std::vector<Occurrence> AlgorithmA::Search(const std::vector<DnaCode>& pattern,
+                                           int32_t k, SearchStats* stats,
+                                           AlgorithmAScratch* scratch,
+                                           SubtreeMemo* memo,
+                                           uint32_t memo_slot) const {
   BWTK_SCOPED_HIST_TIMER(kHistQueryNanos);
-  SearchContext context(*index_, *scratch->impl_, pattern, k, options_);
+  SearchContext context(*index_, *scratch->impl_, pattern, k, options_, memo,
+                        memo_slot);
   context.Run();
   if (stats != nullptr) *stats = context.stats();
   // Rank work is flushed in bulk here instead of per ExtendAll call so the

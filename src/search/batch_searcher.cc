@@ -67,6 +67,9 @@ struct EngineBank::Impl {
   std::vector<WildcardSearch> wildcard_engines;
   std::vector<DictionarySearcher> dict_engines;
   AlgorithmAScratch scratch;  // reused across every Run, never shrinks
+  // Cross-query shared subtree memo, attached by the pool/session that owns
+  // it (kAlgorithmA only). Not owned.
+  SubtreeMemo* shared_memo = nullptr;
 };
 
 EngineBank::EngineBank(const std::vector<const FmIndex*>& indexes,
@@ -124,8 +127,9 @@ std::vector<Occurrence> EngineBank::Run(const BatchQuery& query,
   }
   switch (impl_->options.engine) {
     case BatchEngine::kAlgorithmA:
-      hits = impl_->a_engines[index_slot].Search(query.pattern, query.k,
-                                                 stats, &impl_->scratch);
+      hits = impl_->a_engines[index_slot].Search(
+          query.pattern, query.k, stats, &impl_->scratch,
+          impl_->shared_memo, static_cast<uint32_t>(index_slot));
       break;
     case BatchEngine::kSTree:
       hits = impl_->stree_engines[index_slot].Search(query.pattern, query.k,
@@ -174,6 +178,10 @@ std::vector<std::vector<Occurrence>> EngineBank::RunDictionary(
   // SearchAll's per-pattern lists are always position-sorted, so the
   // deterministic_order contract holds with no extra pass.
   return impl_->dict_engines[index_slot].SearchAll(trie, k, stats);
+}
+
+void EngineBank::set_shared_memo(SubtreeMemo* memo) {
+  impl_->shared_memo = memo;
 }
 
 std::string_view EngineBank::engine_name() const {
@@ -228,6 +236,18 @@ struct BatchSearcher::Pool {
   };
   std::vector<DictGroup> dict_groups;
 
+  // Batch-scoped shared subtree memo (kAlgorithmA + shared_memo.enabled
+  // only). Cleared at every batch start — between generations the workers
+  // are idle, so the quiescence requirement of SubtreeMemo::Clear holds.
+  std::unique_ptr<SubtreeMemo> memo;
+
+  // Exact-duplicate result cache, consulted per (query, index) task before
+  // the engine runs. Either the caller-provided shared instance or a
+  // private one; null when caching is off. Dictionary batches bypass it
+  // (they dispatch at group granularity).
+  std::shared_ptr<ResultCache> cache;
+  std::vector<uint64_t> index_versions;  // per slot, for the cache key
+
   // Tracing. The sink exists iff tracing is on (trace_sample_rate > 0 in a
   // metrics-enabled build); a null sink makes every per-query trace hook a
   // cheap early-out. trace_base is the high half of this batch's trace ids,
@@ -243,7 +263,9 @@ struct BatchSearcher::Pool {
     // the same task-granular entry point the serving layer drives, so batch
     // and streamed execution cannot drift apart.
     EngineBank bank(indexes, options);
+    if (memo != nullptr) bank.set_shared_memo(memo.get());
     const std::string_view engine_name = bank.engine_name();
+    const uint8_t engine_id = static_cast<uint8_t>(options.engine);
     for (;;) {
       uint64_t base = 0;
       obs::TraceSink* tsink = nullptr;
@@ -306,6 +328,19 @@ struct BatchSearcher::Pool {
           // fail_fast = false path); its slots stay empty.
           if (query.k < 0) continue;
           BWTK_METRIC_COUNT(kCounterBatchQueries);
+          if (cache != nullptr) {
+            ResultCache::Entry cached;
+            if (cache->Lookup(engine_id, query.k, index_versions[s],
+                              query.pattern, &cached)) {
+              // Served from cache: the stored stats are the ones the
+              // original execution produced, so the aggregate is identical
+              // to a cold run.
+              (*out)[t] = std::move(cached.hits);
+              batch_stats += cached.stats;
+              ++tasks_run;
+              continue;
+            }
+          }
           SearchStats query_stats;
           // Trace id = batch sequence | task index: stable across runs, so
           // the sampled subset does not depend on thread assignment.
@@ -315,6 +350,11 @@ struct BatchSearcher::Pool {
                                    static_cast<uint32_t>(s));
           std::vector<Occurrence> hits = bank.Run(query, s, &query_stats);
           qt.Finish(hits.size(), query_stats);
+          if (cache != nullptr) {
+            cache->Insert(engine_id, query.k, index_versions[s],
+                          query.pattern,
+                          ResultCache::Entry{hits, query_stats, 0});
+          }
           (*out)[t] = std::move(hits);
           batch_stats += query_stats;
           ++tasks_run;
@@ -394,6 +434,9 @@ struct BatchSearcher::Pool {
   SearchStats RunTasks(const std::vector<BatchQuery>& batch,
                        std::vector<std::vector<Occurrence>>* slots) {
     BWTK_METRIC_COUNT(kCounterBatchBatches);
+    // Workers are idle between generations, so this is a quiescent point:
+    // the memo is batch-scoped and starts every batch empty.
+    if (memo != nullptr) memo->Clear();
     const bool dict = options.engine == BatchEngine::kDictionary;
     std::vector<DictGroup> groups;
     if (dict) groups = BuildDictGroups(batch);
@@ -451,6 +494,21 @@ BatchSearcher::BatchSearcher(std::vector<const FmIndex*> indexes,
     sink_options.slow_trace_count = options.slow_trace_count;
     sink_options.sample_seed = options.trace_seed;
     pool_->sink = std::make_unique<obs::TraceSink>(sink_options);
+  }
+  if (options.shared_memo.enabled &&
+      options.engine == BatchEngine::kAlgorithmA) {
+    pool_->memo = std::make_unique<SubtreeMemo>(options.shared_memo);
+  }
+  if (options.result_cache_instance != nullptr) {
+    pool_->cache = options.result_cache_instance;
+  } else if (options.result_cache.enabled) {
+    pool_->cache = std::make_shared<ResultCache>(options.result_cache);
+  }
+  if (pool_->cache != nullptr) {
+    pool_->index_versions.reserve(pool_->indexes.size());
+    for (const FmIndex* index : pool_->indexes) {
+      pool_->index_versions.push_back(FmIndexVersion(*index));
+    }
   }
   pool_->thread_stats.resize(pool_->num_threads);
   pool_->workers.reserve(pool_->num_threads);

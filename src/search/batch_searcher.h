@@ -43,8 +43,10 @@
 #include "obs/trace.h"
 #include "search/algorithm_a.h"
 #include "search/match.h"
+#include "search/result_cache.h"
 #include "search/searcher.h"
 #include "search/stree_search.h"
+#include "search/subtree_memo.h"
 #include "util/status.h"
 
 namespace bwtk {
@@ -127,6 +129,37 @@ struct BatchOptions {
   /// Engine knobs for BatchEngine::kDictionary, passed through to every
   /// worker's DictionarySearcher.
   DictionaryOptions dictionary = {};
+
+  /// Batch-scoped shared subtree memo (BatchEngine::kAlgorithmA only; see
+  /// subtree_memo.h). When enabled, the pool owns one SubtreeMemo, clears
+  /// it at every batch start, and workers publish/consume completed
+  /// subtrees across queries of the batch. Hits are byte-identical with the
+  /// memo on or off; SearchStats reflect the reduced work, and with more
+  /// than one worker their exact values depend on publish timing (run
+  /// single-threaded for stats-reproducible memoized runs). Off by default.
+  SharedMemoOptions shared_memo = {};
+
+  /// Exact-duplicate result cache (search/result_cache.h). When enabled the
+  /// pool consults it per (pattern, k, engine, index version) before
+  /// searching and inserts on miss. Cached entries store the original
+  /// execution's SearchStats, so aggregate stats are identical whether or
+  /// not the cache is warm. Off by default.
+  ResultCacheOptions result_cache = {};
+
+  /// Externally owned cache instance. When set, it is used (and
+  /// result_cache.enabled is ignored) — this is how several pools/sessions
+  /// share one cache, and how a cache survives an index rebuild (stale
+  /// entries miss by version). When null and result_cache.enabled is true,
+  /// the pool creates a private instance.
+  std::shared_ptr<ResultCache> result_cache_instance;
+
+  /// ShardedBatchSearcher only: answer k = 0 queries with one FM-index
+  /// point lookup per shard (backward search + locate + the owner-shard
+  /// seam rule) instead of fanning a (query, shard) task per shard through
+  /// the worker pool. Byte-identical hits for every engine — at k = 0 they
+  /// all degenerate to exact matching — but the skipped engine runs
+  /// contribute no SearchStats. Ignored by plain BatchSearcher. Default on.
+  bool sharded_exact_shortcut = true;
 
   /// Per-query tracing (see obs/trace.h). 0 disables tracing entirely — no
   /// sink is created and the query path pays nothing. In (0, 1] each query
@@ -216,6 +249,11 @@ class EngineBank {
                                                      int32_t k,
                                                      size_t index_slot,
                                                      SearchStats* stats);
+
+  /// Attaches (or detaches, with nullptr) the shared subtree memo consulted
+  /// by kAlgorithmA runs. The memo must outlive the bank or be detached
+  /// first; index_slot namespaces its entries per index.
+  void set_shared_memo(SubtreeMemo* memo);
 
   /// BatchEngineName(options.engine) — the stable trace/report label.
   std::string_view engine_name() const;

@@ -1,0 +1,90 @@
+// Append-only slab storage for per-query scratch state.
+//
+// The Algorithm A scratch (algorithm_a.h) rebuilds its chain store and
+// M-tree on every query. Backing them with std::vector already amortizes
+// the allocations, but a vector still pays for exception-safe growth and,
+// for the chain store, one heap block per chain's inner arrays. A BumpPool
+// is the minimal alternative: one contiguous slab per element type, grown
+// geometrically and never shrunk, with O(1) whole-pool reset and O(1)
+// truncation back to a mark (how a speculative chain walk abandons a run
+// that turned out too short to keep). Elements must be trivially copyable
+// so growth is a memcpy and truncation needs no destructor calls.
+
+#ifndef BWTK_SEARCH_BUMP_ARENA_H_
+#define BWTK_SEARCH_BUMP_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <type_traits>
+
+namespace bwtk {
+
+/// Trivially-copyable element pool with bump allocation and O(1) reset.
+/// Not thread-safe; owned by exactly one scratch.
+template <typename T>
+class BumpPool {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "BumpPool growth relies on memcpy relocation");
+
+ public:
+  BumpPool() = default;
+
+  /// Appends one element, growing the slab if needed. References returned
+  /// by operator[] are invalidated on growth, like std::vector.
+  void push_back(const T& value) {
+    if (size_ == capacity_) Grow(size_ + 1);
+    data_[size_++] = value;
+  }
+
+  /// Appends a default-initialized element and returns its index.
+  size_t emplace_index() {
+    if (size_ == capacity_) Grow(size_ + 1);
+    data_[size_] = T{};
+    return size_++;
+  }
+
+  T& operator[](size_t i) { return data_[i]; }
+  const T& operator[](size_t i) const { return data_[i]; }
+  T& back() { return data_[size_ - 1]; }
+  const T& back() const { return data_[size_ - 1]; }
+
+  T* data() { return data_.get(); }
+  const T* data() const { return data_.get(); }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t capacity() const { return capacity_; }
+
+  /// Drops every element, keeping the slab.
+  void clear() { size_ = 0; }
+
+  /// Drops elements [mark, size()), keeping the slab — the abandonment hook
+  /// for speculative appends. `mark` must be <= size().
+  void Truncate(size_t mark) { size_ = mark; }
+
+  void reserve(size_t capacity) {
+    if (capacity > capacity_) Grow(capacity);
+  }
+
+  size_t MemoryUsage() const { return capacity_ * sizeof(T); }
+
+ private:
+  void Grow(size_t at_least) {
+    size_t next = capacity_ == 0 ? 64 : capacity_ * 2;
+    if (next < at_least) next = at_least;
+    std::unique_ptr<T[]> bigger(new T[next]);
+    if (size_ > 0) std::memcpy(bigger.get(), data_.get(), size_ * sizeof(T));
+    data_ = std::move(bigger);
+    capacity_ = next;
+  }
+
+  std::unique_ptr<T[]> data_;
+  size_t size_ = 0;
+  size_t capacity_ = 0;
+};
+
+}  // namespace bwtk
+
+#endif  // BWTK_SEARCH_BUMP_ARENA_H_

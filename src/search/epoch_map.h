@@ -1,0 +1,105 @@
+// Open-addressing uint64 -> int32 hash table with epoch-tagged slots.
+//
+// Both hot-path lookup structures of Algorithm A — the range hash table
+// that detects repeated search-DAG nodes and the R_ij cache index — are
+// cleared once per query and probed millions of times in between. A
+// node-based map pays an allocation per entry and a pointer chase per
+// probe; this table is flat linear probing (one cache line per probe) with
+// power-of-two capacity, and Clear() is O(1): a slot is live only while its
+// epoch stamp equals the table's current epoch, so invalidating everything
+// is one counter bump. The table only ever grows, which is exactly what a
+// reusable scratch wants.
+
+#ifndef BWTK_SEARCH_EPOCH_MAP_H_
+#define BWTK_SEARCH_EPOCH_MAP_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace bwtk {
+
+/// Flat linear-probing map from uint64 keys to int32 values. Not
+/// thread-safe; owned by exactly one scratch.
+class EpochMap {
+ public:
+  /// `initial_capacity` must be a power of two.
+  explicit EpochMap(size_t initial_capacity = 1 << 16) {
+    Reallocate(initial_capacity);
+  }
+
+  /// Returns {slot for the value, inserted}. On a hit the existing value is
+  /// untouched. The slot pointer is invalidated by the next TryEmplace.
+  std::pair<int32_t*, bool> TryEmplace(uint64_t key, int32_t value) {
+    if ((size_ + 1) * 10 >= capacity() * 7) Rehash(capacity() * 2);
+    size_t slot = Mix(key) & mask_;
+    while (epochs_[slot] == epoch_) {
+      if (keys_[slot] == key) return {&values_[slot], false};
+      slot = (slot + 1) & mask_;
+    }
+    keys_[slot] = key;
+    values_[slot] = value;
+    epochs_[slot] = epoch_;
+    ++size_;
+    return {&values_[slot], true};
+  }
+
+  /// Invalidates every entry in O(1) while keeping the table's capacity.
+  void Clear() {
+    size_ = 0;
+    if (++epoch_ == 0) {  // wrapped: stamps from 2^32 queries ago are stale
+      std::fill(epochs_.begin(), epochs_.end(), uint32_t{0});
+      epoch_ = 1;
+    }
+  }
+
+  size_t size() const { return size_; }
+
+  size_t MemoryUsage() const {
+    return capacity() * (sizeof(uint64_t) + sizeof(int32_t) +
+                         sizeof(uint32_t));
+  }
+
+ private:
+  static uint64_t Mix(uint64_t x) {
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    return x;
+  }
+
+  size_t capacity() const { return keys_.size(); }
+
+  void Reallocate(size_t new_capacity) {
+    keys_.assign(new_capacity, 0);
+    values_.assign(new_capacity, 0);
+    epochs_.assign(new_capacity, 0);
+    mask_ = new_capacity - 1;
+    size_ = 0;
+    epoch_ = 1;
+  }
+
+  void Rehash(size_t new_capacity) {
+    std::vector<uint64_t> old_keys = std::move(keys_);
+    std::vector<int32_t> old_values = std::move(values_);
+    std::vector<uint32_t> old_epochs = std::move(epochs_);
+    const uint32_t old_epoch = epoch_;
+    Reallocate(new_capacity);
+    for (size_t i = 0; i < old_keys.size(); ++i) {
+      if (old_epochs[i] == old_epoch) TryEmplace(old_keys[i], old_values[i]);
+    }
+  }
+
+  std::vector<uint64_t> keys_;
+  std::vector<int32_t> values_;
+  std::vector<uint32_t> epochs_;  // slot live iff epochs_[slot] == epoch_
+  size_t mask_ = 0;
+  size_t size_ = 0;
+  uint32_t epoch_ = 1;
+};
+
+}  // namespace bwtk
+
+#endif  // BWTK_SEARCH_EPOCH_MAP_H_

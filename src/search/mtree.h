@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "alphabet/dna.h"
+#include "search/bump_arena.h"
 
 namespace bwtk {
 
@@ -42,11 +43,11 @@ class MTree {
     nodes_.push_back(Node{});
   }
 
-  /// Discards everything but the root, keeping the node buffer's capacity —
-  /// the reuse hook for AlgorithmAScratch.
+  /// Discards everything but the root, keeping the node slab's capacity —
+  /// the reuse hook for AlgorithmAScratch. The root is never mutated after
+  /// construction, so truncating back to it is the whole reset.
   void Reset() {
-    nodes_.resize(1);
-    nodes_[0] = Node{};
+    nodes_.Truncate(1);
     leaf_count_ = 0;
   }
 
@@ -86,7 +87,10 @@ class MTree {
   }
 
  private:
-  std::vector<Node> nodes_;
+  // Bump-arena slab (bump_arena.h): nodes are append-only and trivially
+  // copyable, so growth is a memcpy and Reset is a truncation — no
+  // destructor walks, no exception-safety machinery on the query hot path.
+  BumpPool<Node> nodes_;
   uint64_t leaf_count_ = 0;
 };
 

@@ -1,0 +1,145 @@
+#include "search/result_cache.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "obs/metrics.h"
+#include "util/logging.h"
+
+namespace bwtk {
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr uint64_t kFnvPrime = 0x100000001b3ULL;
+
+uint64_t FnvMix(uint64_t hash, uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    hash ^= value & 0xff;
+    hash *= kFnvPrime;
+    value >>= 8;
+  }
+  return hash;
+}
+
+}  // namespace
+
+uint64_t FmIndexVersion(const FmIndex& index) {
+  uint64_t hash = kFnvOffset;
+  hash = FnvMix(hash, index.text_size());
+  hash = FnvMix(hash, index.options().checkpoint_rate);
+  hash = FnvMix(hash, index.options().sa_sample_rate);
+  hash = FnvMix(hash, index.options().prefix_table_q);
+  const std::vector<uint64_t>& words = index.bwt().codes.words();
+  // Sample the BWT content: the full head and tail plus a constant number
+  // of strided probes. Fingerprinting stays O(1) on genome-scale indexes
+  // while any realistic rebuild (different text, different length) changes
+  // sampled words.
+  constexpr size_t kEdge = 256;
+  constexpr size_t kProbes = 1024;
+  if (words.size() <= 2 * kEdge + kProbes) {
+    for (const uint64_t w : words) hash = FnvMix(hash, w);
+    return hash;
+  }
+  for (size_t i = 0; i < kEdge; ++i) hash = FnvMix(hash, words[i]);
+  for (size_t i = words.size() - kEdge; i < words.size(); ++i) {
+    hash = FnvMix(hash, words[i]);
+  }
+  const size_t stride = (words.size() - 2 * kEdge) / kProbes;
+  for (size_t p = 0; p < kProbes; ++p) {
+    hash = FnvMix(hash, words[kEdge + p * stride]);
+  }
+  return hash;
+}
+
+ResultCache::ResultCache(const ResultCacheOptions& options)
+    : options_(options) {}
+
+std::string ResultCache::MakeKey(uint8_t engine, int32_t k,
+                                 uint64_t index_version,
+                                 const std::vector<DnaCode>& pattern) {
+  std::string key;
+  key.reserve(13 + pattern.size());
+  key.push_back(static_cast<char>(engine));
+  key.append(reinterpret_cast<const char*>(&k), sizeof(k));
+  key.append(reinterpret_cast<const char*>(&index_version),
+             sizeof(index_version));
+  key.append(reinterpret_cast<const char*>(pattern.data()), pattern.size());
+  return key;
+}
+
+size_t ResultCache::EntryBytes(const std::string& key,
+                               const Entry& entry) const {
+  // Key + hits + a fixed allowance for the two map/list nodes.
+  return key.size() + entry.hits.size() * sizeof(Occurrence) +
+         sizeof(Entry) + 160;
+}
+
+bool ResultCache::Lookup(uint8_t engine, int32_t k, uint64_t index_version,
+                         const std::vector<DnaCode>& pattern, Entry* out) {
+  const std::string key = MakeKey(engine, k, index_version, pattern);
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++stats_.misses;
+    BWTK_METRIC_COUNT(kCounterResultCacheMisses);
+    return false;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+  *out = it->second.entry;
+  ++stats_.hits;
+  BWTK_METRIC_COUNT(kCounterResultCacheHits);
+  return true;
+}
+
+void ResultCache::Insert(uint8_t engine, int32_t k, uint64_t index_version,
+                         const std::vector<DnaCode>& pattern, Entry entry) {
+  std::string key = MakeKey(engine, k, index_version, pattern);
+  const size_t bytes = EntryBytes(key, entry);
+  if (bytes > options_.capacity_bytes) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = map_.find(key);
+  if (it != map_.end()) {
+    // Refresh (identical by construction, but keep LRU position honest).
+    bytes_ -= it->second.bytes;
+    bytes_ += bytes;
+    it->second.entry = std::move(entry);
+    it->second.bytes = bytes;
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    EvictToFitLocked(0);
+    return;
+  }
+  EvictToFitLocked(bytes);
+  lru_.push_front(std::move(key));
+  map_.emplace(lru_.front(), Slot{std::move(entry), bytes, lru_.begin()});
+  bytes_ += bytes;
+}
+
+void ResultCache::EvictToFitLocked(size_t incoming_bytes) {
+  while (bytes_ + incoming_bytes > options_.capacity_bytes && !lru_.empty()) {
+    const auto victim = map_.find(lru_.back());
+    BWTK_DCHECK(victim != map_.end());
+    bytes_ -= victim->second.bytes;
+    map_.erase(victim);
+    lru_.pop_back();
+    ++stats_.evictions;
+    BWTK_METRIC_COUNT(kCounterResultCacheEvictions);
+  }
+}
+
+void ResultCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  map_.clear();
+  bytes_ = 0;
+}
+
+ResultCache::CacheStats ResultCache::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  CacheStats out = stats_;
+  out.entries = map_.size();
+  out.bytes = bytes_;
+  return out;
+}
+
+}  // namespace bwtk

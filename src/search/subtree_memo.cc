@@ -1,0 +1,206 @@
+#include "search/subtree_memo.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace bwtk {
+
+namespace {
+
+// splitmix64 finalizer: full-avalanche word mixing. Lookup hashes a key
+// per *probed frame* (millions per query batch), so the mixer must be a
+// handful of multiplies, not a byte loop.
+uint64_t Mix64(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+uint64_t HashKey(uint32_t index_slot, uint32_t lo, uint32_t hi,
+                 int32_t budget, size_t suffix_len, uint64_t suffix_hash) {
+  uint64_t hash = Mix64(suffix_hash ^ ((static_cast<uint64_t>(lo) << 32) | hi));
+  hash = Mix64(hash ^ ((static_cast<uint64_t>(index_slot) << 32) |
+                       static_cast<uint32_t>(budget)));
+  return Mix64(hash ^ suffix_len);
+}
+
+// The owning key. The precomputed full hash doubles as the map hash and as
+// a cheap first-stage equality filter before the suffix memcmp.
+struct Key {
+  uint64_t hash = 0;
+  uint32_t index_slot = 0;
+  uint32_t lo = 0;
+  uint32_t hi = 0;
+  int32_t budget = 0;
+  std::string suffix;  // the pattern tail, byte-exact
+};
+
+// A borrowed key for allocation-free lookups (heterogeneous find).
+struct KeyView {
+  uint64_t hash = 0;
+  uint32_t index_slot = 0;
+  uint32_t lo = 0;
+  uint32_t hi = 0;
+  int32_t budget = 0;
+  const DnaCode* suffix = nullptr;
+  size_t suffix_len = 0;
+};
+
+struct KeyHash {
+  using is_transparent = void;
+  size_t operator()(const Key& k) const { return k.hash; }
+  size_t operator()(const KeyView& k) const { return k.hash; }
+};
+
+struct KeyEq {
+  using is_transparent = void;
+  bool operator()(const Key& a, const Key& b) const {
+    return a.hash == b.hash && a.index_slot == b.index_slot && a.lo == b.lo &&
+           a.hi == b.hi && a.budget == b.budget && a.suffix == b.suffix;
+  }
+  bool operator()(const KeyView& a, const Key& b) const {
+    return a.hash == b.hash && a.index_slot == b.index_slot && a.lo == b.lo &&
+           a.hi == b.hi && a.budget == b.budget &&
+           a.suffix_len == b.suffix.size() &&
+           (a.suffix_len == 0 ||
+            std::memcmp(a.suffix, b.suffix.data(), a.suffix_len) == 0);
+  }
+  bool operator()(const Key& a, const KeyView& b) const {
+    return operator()(b, a);
+  }
+};
+
+size_t EntryBytes(const Key& key, const SubtreeMemo::Entry& entry) {
+  // Key + suffix + occurrences + a fixed allowance for the map node.
+  return sizeof(Key) + key.suffix.size() +
+         entry.size() * sizeof(MemoOccurrence) + 96;
+}
+
+}  // namespace
+
+struct SubtreeMemo::Shard {
+  mutable std::shared_mutex mu;
+  std::unordered_map<Key, Entry, KeyHash, KeyEq> map;
+  size_t bytes = 0;  // guarded by mu
+};
+
+SubtreeMemo::SubtreeMemo(const SharedMemoOptions& options)
+    : options_(options), shards_(new Shard[kNumShards]) {
+  if (options_.probation_bits > 0) {
+    probation_ = std::vector<std::atomic<uint64_t>>(
+        size_t{1} << std::min<uint32_t>(options_.probation_bits, 24));
+  }
+}
+
+SubtreeMemo::~SubtreeMemo() = default;
+
+const SubtreeMemo::Entry* SubtreeMemo::Lookup(
+    uint32_t index_slot, uint32_t lo, uint32_t hi, int32_t budget,
+    const DnaCode* suffix, size_t suffix_len, uint64_t suffix_hash,
+    bool* advise_capture) const {
+  KeyView view;
+  view.hash = HashKey(index_slot, lo, hi, budget, suffix_len, suffix_hash);
+  view.index_slot = index_slot;
+  view.lo = lo;
+  view.hi = hi;
+  view.budget = budget;
+  view.suffix = suffix;
+  view.suffix_len = suffix_len;
+  if (entry_count_.load(std::memory_order_acquire) != 0) {
+    Shard& shard = shards_[view.hash % kNumShards];
+    std::shared_lock<std::shared_mutex> lock(shard.mu);
+    const auto it = shard.map.find(view);
+    if (it != shard.map.end()) {
+      // Node-based storage: the entry's address survives rehash and is only
+      // invalidated by Clear(), which requires quiescence.
+      return &it->second;
+    }
+  }
+  if (advise_capture != nullptr) {
+    if (probation_.empty()) {
+      *advise_capture = true;  // probation disabled: capture on first miss
+    } else {
+      // Second touch of this fingerprint => the subtree repeats; worth the
+      // capture/publish cost. First touch just leaves the fingerprint.
+      std::atomic<uint64_t>& slot =
+          probation_[view.hash & (probation_.size() - 1)];
+      if (slot.load(std::memory_order_relaxed) == view.hash) {
+        *advise_capture = true;
+      } else {
+        slot.store(view.hash, std::memory_order_relaxed);
+        *advise_capture = false;
+      }
+    }
+  }
+  return nullptr;
+}
+
+void SubtreeMemo::Publish(uint32_t index_slot, uint32_t lo, uint32_t hi,
+                          int32_t budget, const DnaCode* suffix,
+                          size_t suffix_len, uint64_t suffix_hash,
+                          Entry entry) {
+  Key key;
+  key.hash = HashKey(index_slot, lo, hi, budget, suffix_len, suffix_hash);
+  key.index_slot = index_slot;
+  key.lo = lo;
+  key.hi = hi;
+  key.budget = budget;
+  key.suffix.assign(reinterpret_cast<const char*>(suffix), suffix_len);
+  Shard& shard = shards_[key.hash % kNumShards];
+  const size_t bytes = EntryBytes(key, entry);
+  std::unique_lock<std::shared_mutex> lock(shard.mu);
+  if (shard.bytes + bytes > options_.capacity_bytes / kNumShards) return;
+  const auto [it, inserted] =
+      shard.map.try_emplace(std::move(key), std::move(entry));
+  if (inserted) {
+    shard.bytes += bytes;
+    entry_count_.fetch_add(1, std::memory_order_release);
+    BWTK_METRIC_COUNT(kCounterMemoPublishes);
+  }
+}
+
+void SubtreeMemo::Clear() {
+  for (size_t s = 0; s < kNumShards; ++s) {
+    std::unique_lock<std::shared_mutex> lock(shards_[s].mu);
+    shards_[s].map.clear();
+    shards_[s].bytes = 0;
+  }
+  // Stale fingerprints would advise captures for keys of a previous batch;
+  // callers are quiescent here (the Clear contract), so relaxed stores
+  // suffice.
+  for (std::atomic<uint64_t>& slot : probation_) {
+    slot.store(0, std::memory_order_relaxed);
+  }
+  entry_count_.store(0, std::memory_order_relaxed);
+}
+
+size_t SubtreeMemo::MemoryUsage() const {
+  size_t total = 0;
+  for (size_t s = 0; s < kNumShards; ++s) {
+    std::shared_lock<std::shared_mutex> lock(shards_[s].mu);
+    total += shards_[s].bytes;
+  }
+  return total;
+}
+
+size_t SubtreeMemo::size() const {
+  size_t total = 0;
+  for (size_t s = 0; s < kNumShards; ++s) {
+    std::shared_lock<std::shared_mutex> lock(shards_[s].mu);
+    total += shards_[s].map.size();
+  }
+  return total;
+}
+
+}  // namespace bwtk

@@ -1,0 +1,167 @@
+// Batch-scoped shared subtree memo for Algorithm A.
+//
+// Algorithm A's reuse machinery (algorithm_a.h) stops at the boundary of one
+// query: the range hash table, chain store, and M-tree are rebuilt from
+// scratch per Search call. But the subtree a search explores below a frame
+// is fully determined by (FM-index, rank range, remaining mismatch budget,
+// remaining pattern suffix) — none of which mention the query's prefix — so
+// two queries of one batch that reach the same rank range with the same
+// budget and an identical pattern suffix explore byte-identical subtrees.
+// Reads from one sample share long suffixes and exact duplicates constantly;
+// a serving tier sees heavily skewed query streams. This memo lets workers
+// publish completed subtree results once and every later query skip the
+// whole subtree.
+//
+// Correctness argument (why a hit is byte-identical to exploration):
+//  * Children of a DAG node depend only on the rank range (one backward
+//    search step per symbol).
+//  * The budget test is `mismatches_so_far > k`, i.e. (q - q_at_frame) >
+//    (k - q_at_frame): only the *remaining* budget matters.
+//  * The τ(i) cut (tau_heuristic.h) compares the remaining budget against
+//    τ of a pattern *suffix* — τ(i) depends only on r[i..m) and the text.
+//  * A completed path at depth m locates positions n - m - p; for a fixed
+//    suffix of length L = m - d the quantity position + d = n - L - p is
+//    independent of the total pattern length m, so results stored as
+//    (position + depth, mismatches - mismatches_at_frame) replay exactly
+//    under any frame with the same (range, budget, suffix).
+//
+// What a hit does NOT replay is the per-query instrumentation of the
+// skipped subtree (stree_nodes, M-tree growth, completed_paths): those
+// count work *done*, and a memo hit's whole point is not doing it. Hits are
+// byte-identical; SearchStats under the memo reflect the reduced work. The
+// memo is off by default and opt-in per BatchOptions::shared_memo.
+//
+// Concurrency: the table is sharded 16 ways, each shard a std::shared_mutex
+// over a node-based map. Lookups take the shared lock; publishes take the
+// exclusive lock; entry values are immutable once published and node-based
+// storage keeps their addresses stable across rehash, so a lookup may
+// return a borrowed pointer that stays valid until Clear(). Clear() is only
+// legal at a quiescent point (no Search in flight) — BatchSearcher calls it
+// between batches.
+
+#ifndef BWTK_SEARCH_SUBTREE_MEMO_H_
+#define BWTK_SEARCH_SUBTREE_MEMO_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "alphabet/dna.h"
+
+namespace bwtk {
+
+/// Knobs for the shared memo, carried in BatchOptions::shared_memo.
+struct SharedMemoOptions {
+  /// Master switch; everything else is ignored while false.
+  bool enabled = false;
+
+  /// Only frames at depth <= max_capture_depth are memo candidates.
+  /// Shallow frames root large subtrees (big skips, few distinct keys);
+  /// deep frames would flood the table with tiny entries — and the number
+  /// of eligible frames (hence per-frame probe overhead on streams that
+  /// never hit) grows multiplicatively with depth, while duplicate queries
+  /// replay from their shallowest shared frame anyway.
+  uint32_t max_capture_depth = 4;
+
+  /// Only frames with at least this many pattern characters left are memo
+  /// candidates — skipping a short tail is not worth the lookup.
+  uint32_t min_suffix_len = 12;
+
+  /// Soft capacity across all shards. Publishes are rejected once a shard's
+  /// slice of this budget is spent (lookups still hit existing entries);
+  /// there is no eviction — a batch-scoped memo is cleared wholesale.
+  size_t capacity_bytes = size_t{64} << 20;
+
+  /// Two-touch admission: a missed key is only *advised for capture* (see
+  /// Lookup) after it has already missed once before, tracked in a
+  /// fixed-size fingerprint table of 2^probation_bits slots. All-unique
+  /// query streams then never pay the capture/publish cost — every key
+  /// misses exactly once — while any repeated subtree is published on its
+  /// second appearance and served from its third on. 0 disables probation:
+  /// every miss is advised for capture immediately.
+  uint32_t probation_bits = 16;
+};
+
+/// One stored occurrence of a completed subtree, in frame-relative form:
+/// `position_plus_depth` is the occurrence position plus the capture
+/// frame's depth (invariant across total pattern lengths for a fixed
+/// suffix), `mismatch_delta` the mismatches accumulated inside the subtree.
+struct MemoOccurrence {
+  uint64_t position_plus_depth = 0;
+  int32_t mismatch_delta = 0;
+};
+
+/// The shared memo. Thread-safe per the file comment.
+class SubtreeMemo {
+ public:
+  explicit SubtreeMemo(const SharedMemoOptions& options);
+  ~SubtreeMemo();
+  SubtreeMemo(const SubtreeMemo&) = delete;
+  SubtreeMemo& operator=(const SubtreeMemo&) = delete;
+
+  /// A borrowed, immutable view of one published subtree. Valid until
+  /// Clear().
+  using Entry = std::vector<MemoOccurrence>;
+
+  /// Rolling suffix hash, extended right-to-left: callers compute
+  /// hash(r[d..m)) = ExtendSuffixHash(hash(r[d+1..m)), r[d]) in one O(m)
+  /// backward pass per query and hand the per-depth values to
+  /// Lookup/Publish, instead of rehashing an O(m) suffix per probed frame.
+  static constexpr uint64_t kEmptySuffixHash = 0xcbf29ce484222325ULL;
+  static uint64_t ExtendSuffixHash(uint64_t tail_hash, DnaCode first) {
+    return tail_hash * 0x100000001b3ULL + first + 1;
+  }
+
+  /// Looks up the subtree keyed by (index_slot, rank range [lo, hi),
+  /// remaining budget, pattern suffix). Returns the published entry or
+  /// nullptr. `suffix` points at the query pattern's tail (no copy is
+  /// made); `suffix_hash` must be its rolling hash (see ExtendSuffixHash).
+  /// On a miss, when `advise_capture` is non-null it is set to whether the
+  /// caller should capture and publish this subtree (two-touch admission,
+  /// see SharedMemoOptions::probation_bits).
+  const Entry* Lookup(uint32_t index_slot, uint32_t lo, uint32_t hi,
+                      int32_t budget, const DnaCode* suffix,
+                      size_t suffix_len, uint64_t suffix_hash,
+                      bool* advise_capture) const;
+
+  /// Publishes a completed subtree. First publisher wins (all publishers
+  /// compute identical entries); rejected silently once the shard's
+  /// capacity slice is spent.
+  void Publish(uint32_t index_slot, uint32_t lo, uint32_t hi, int32_t budget,
+               const DnaCode* suffix, size_t suffix_len,
+               uint64_t suffix_hash, Entry entry);
+
+  /// Drops every entry (invalidating borrowed Entry pointers). Callers must
+  /// be quiescent — no Lookup/Publish in flight.
+  void Clear();
+
+  const SharedMemoOptions& options() const { return options_; }
+
+  /// Approximate bytes retained across all shards.
+  size_t MemoryUsage() const;
+
+  /// Entries currently published.
+  size_t size() const;
+
+ private:
+  struct Shard;
+  static constexpr size_t kNumShards = 16;
+
+  SharedMemoOptions options_;
+  std::unique_ptr<Shard[]> shards_;
+  // Probation fingerprints (two-touch admission). Plain relaxed atomics:
+  // lost races just delay or duplicate a capture advisory, never affect
+  // results. Empty (size 0) when probation_bits == 0.
+  mutable std::vector<std::atomic<uint64_t>> probation_;
+  // Total published entries, for the empty-memo lookup fast path: an
+  // all-unique stream under two-touch admission never publishes, so every
+  // probe can skip the shard lock and map find entirely. A stale zero just
+  // misses (benign); publishes release, probes acquire.
+  std::atomic<size_t> entry_count_{0};
+};
+
+}  // namespace bwtk
+
+#endif  // BWTK_SEARCH_SUBTREE_MEMO_H_

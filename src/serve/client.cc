@@ -107,11 +107,13 @@ Result<Frame> Client::ReceiveFrame(FrameType want) {
   }
 }
 
-Result<uint64_t> Client::SendQuery(std::string_view pattern, int32_t k) {
+Result<uint64_t> Client::SendQuery(std::string_view pattern, int32_t k,
+                                   bool want_stats) {
   QueryRequest request;
   request.request_id = next_request_id_++;
   request.k = k;
   request.pattern.assign(pattern);
+  request.want_stats = want_stats;
   std::string frame;
   AppendQueryFrame(request, &frame);
   BWTK_RETURN_IF_ERROR(SendFrame(frame));
@@ -128,8 +130,10 @@ Result<QueryResponse> Client::ReceiveResponse() {
   return ParseResultPayload(frame.payload);
 }
 
-Result<QueryResponse> Client::Query(std::string_view pattern, int32_t k) {
-  BWTK_ASSIGN_OR_RETURN(const uint64_t request_id, SendQuery(pattern, k));
+Result<QueryResponse> Client::Query(std::string_view pattern, int32_t k,
+                                    bool want_stats) {
+  BWTK_ASSIGN_OR_RETURN(const uint64_t request_id,
+                        SendQuery(pattern, k, want_stats));
   // Responses come back in completion order; park any that belong to other
   // outstanding pipelined requests.
   for (size_t i = 0; i < queued_.size(); ++i) {

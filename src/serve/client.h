@@ -49,12 +49,16 @@ class Client {
   /// (responses for other outstanding requests are queued internally).
   /// The returned status is the *query's* outcome (FromWireStatus) —
   /// kOverloaded etc. come back as statuses, transport failures as
-  /// IoError/Corruption.
-  Result<QueryResponse> Query(std::string_view pattern, int32_t k);
+  /// IoError/Corruption. With want_stats the RESULT carries the per-query
+  /// stats trailer (QueryResponse::has_stats and friends); servers
+  /// predating the trailer still answer, just without it.
+  Result<QueryResponse> Query(std::string_view pattern, int32_t k,
+                              bool want_stats = false);
 
   /// Pipelining: sends one QUERY frame with a self-assigned request id
-  /// (returned). Does not wait for the response.
-  Result<uint64_t> SendQuery(std::string_view pattern, int32_t k);
+  /// (returned). Does not wait for the response. want_stats as in Query().
+  Result<uint64_t> SendQuery(std::string_view pattern, int32_t k,
+                             bool want_stats = false);
 
   /// Receives the next RESULT in server completion order — any request id.
   /// Internally-queued responses (collected while waiting inside Query)

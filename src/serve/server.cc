@@ -157,14 +157,22 @@ struct Server::Impl {
       ++conn->inflight;
     }
     const uint64_t request_id = request.request_id;
+    const bool want_stats = request.want_stats;
     const Result<Ticket> ticket = session->Submit(
         BatchQuery{std::move(codes).value(), request.k},
-        [conn, request_id](QueryResult result) {
+        [conn, request_id, want_stats](QueryResult result) {
           QueryResponse response;
           response.request_id = request_id;
           response.status = ToWireStatus(result.status);
           response.message = result.status.message();
           response.hits = std::move(result.hits);
+          if (want_stats) {
+            response.has_stats = true;
+            response.cache_served = result.cache_served;
+            response.stats = result.stats;
+            response.queue_ns = result.queue_ns;
+            response.search_ns = result.search_ns;
+          }
           {
             std::lock_guard<std::mutex> lock(conn->request_mu);
             const auto it = conn->pending.find(request_id);

@@ -42,6 +42,19 @@ struct Session::Impl {
   int num_threads = 0;
   std::unique_ptr<obs::TraceSink> sink;
 
+  // Stream-scoped shared subtree memo (kAlgorithmA + shared_memo.enabled).
+  // Never cleared — a serving stream has no batch boundary; the capacity
+  // bound in SharedMemoOptions is the backstop. Workers attach it to their
+  // banks at start-up.
+  std::unique_ptr<SubtreeMemo> memo;
+
+  // Exact-duplicate result cache fronting Execute. `cache_version` folds
+  // the per-index content fingerprints (and the index count) into the
+  // single version the ticket-level key carries, so entries from a swapped
+  // or resharded index miss naturally.
+  std::shared_ptr<ResultCache> cache;
+  uint64_t cache_version = 0;
+
   // Everything below is guarded by `mu` except where noted.
   mutable std::mutex mu;
   std::condition_variable work_cv;   // workers: queue non-empty / lifecycle
@@ -145,6 +158,19 @@ struct Session::Impl {
     result.queue_ns = picked_up_ns - pending.admitted_ns;
     BWTK_METRIC_OBSERVE(kHistServeQueueNanos, result.queue_ns);
     const uint64_t search_begin_ns = obs::TraceClockNanos();
+    if (cache != nullptr) {
+      ResultCache::Entry cached;
+      if (cache->Lookup(static_cast<uint8_t>(options.batch.engine),
+                        pending.query.k, cache_version, pending.query.pattern,
+                        &cached)) {
+        result.hits = std::move(cached.hits);
+        result.stats = cached.stats;
+        result.seam_hits_deduped = cached.seam_hits_deduped;
+        result.cache_served = true;
+        result.search_ns = obs::TraceClockNanos() - search_begin_ns;
+        return result;
+      }
+    }
     const size_t num_indexes = bank->num_indexes();
     if (num_indexes == 1) {
       obs::ScopedQueryTrace qt(sink.get(), pending.ticket,
@@ -174,12 +200,20 @@ struct Session::Impl {
           sharded->plan(), window, parts.data(), &result.hits);
       BWTK_METRIC_COUNT_N(kCounterSeamHitsDeduped, result.seam_hits_deduped);
     }
+    if (cache != nullptr) {
+      cache->Insert(
+          static_cast<uint8_t>(options.batch.engine), pending.query.k,
+          cache_version, pending.query.pattern,
+          ResultCache::Entry{result.hits, result.stats,
+                             result.seam_hits_deduped});
+    }
     result.search_ns = obs::TraceClockNanos() - search_begin_ns;
     return result;
   }
 
   void WorkerLoop(int tid) {
     EngineBank bank(indexes, options.batch);
+    if (memo != nullptr) bank.set_shared_memo(memo.get());
     for (;;) {
       Pending pending;
       {
@@ -197,26 +231,34 @@ struct Session::Impl {
       }
       QueryResult result =
           Execute(pending, &bank, tid, obs::TraceClockNanos());
+      const Ticket ticket = result.ticket;
       Callback callback = std::move(pending.callback);
       const bool via_callback = static_cast<bool>(callback);
+      // Counters first, then the callback, then `running`: anyone who
+      // observes the delivery (the callback, or a poll waiter) must already
+      // see it counted, while Drain's idle predicate (running == 0) must
+      // not pass until the callback has returned — a drained caller may
+      // rely on every delivery having happened.
       {
         std::lock_guard<std::mutex> lock(mu);
-        --running;
         ++completed;
         BWTK_METRIC_COUNT(kCounterServeCompleted);
         if (via_callback) {
-          // Collected the moment the callback returns (below, unlocked).
-          --inflight;
+          --inflight;  // collected when the callback returns (below)
         } else {
-          outstanding.erase(result.ticket);
-          done.emplace(result.ticket, std::move(result));
+          outstanding.erase(ticket);
+          done.emplace(ticket, std::move(result));
         }
-        if (queue.empty() && running == 0) idle_cv.notify_all();
       }
       if (via_callback) {
         callback(std::move(result));
       } else {
         done_cv.notify_all();
+      }
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        --running;
+        if (queue.empty() && running == 0) idle_cv.notify_all();
       }
     }
   }
@@ -274,6 +316,21 @@ struct Session::Impl {
       sink_options.slow_trace_count = opts.batch.slow_trace_count;
       sink_options.sample_seed = opts.batch.trace_seed;
       sink = std::make_unique<obs::TraceSink>(sink_options);
+    }
+    if (opts.batch.shared_memo.enabled &&
+        opts.batch.engine == BatchEngine::kAlgorithmA) {
+      memo = std::make_unique<SubtreeMemo>(opts.batch.shared_memo);
+    }
+    if (opts.batch.result_cache_instance != nullptr) {
+      cache = opts.batch.result_cache_instance;
+    } else if (opts.batch.result_cache.enabled) {
+      cache = std::make_shared<ResultCache>(opts.batch.result_cache);
+    }
+    if (cache != nullptr) {
+      cache_version = indexes.size();
+      for (const FmIndex* index : indexes) {
+        cache_version = cache_version * 0x100000001b3ULL + FmIndexVersion(*index);
+      }
     }
     workers.reserve(num_threads);
     for (int tid = 0; tid < num_threads; ++tid) {

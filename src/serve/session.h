@@ -81,6 +81,11 @@ struct QueryResult {
   SearchStats stats;
   /// Seam duplicates discarded by the ownership rule (sharded Sessions).
   uint64_t seam_hits_deduped = 0;
+  /// True when the result came from the exact-duplicate result cache
+  /// (SessionOptions::batch.result_cache) instead of a fresh execution.
+  /// `hits`, `stats` and `seam_hits_deduped` are byte-identical either way —
+  /// cached entries store the original execution's values.
+  bool cache_served = false;
   /// Admission-to-pickup wait and engine execution time.
   uint64_t queue_ns = 0;
   uint64_t search_ns = 0;
@@ -113,6 +118,15 @@ struct SessionOptions {
   /// (trace_sample_rate, slow_trace_count, trace_seed, trace_out — the
   /// trace file is rewritten on Drain/Shutdown rather than per batch).
   /// num_threads/fail_fast inside are ignored; SessionOptions wins.
+  ///
+  /// Two reuse tiers also live here. `batch.result_cache` /
+  /// `batch.result_cache_instance` front the whole ticket path: an exact
+  /// duplicate (pattern, k) against the same index version is served from
+  /// the cache without touching a worker engine (QueryResult::cache_served).
+  /// `batch.shared_memo` (kAlgorithmA only) shares completed subtrees
+  /// across the Session's whole stream — unlike BatchSearcher there is no
+  /// batch boundary, so the memo is never cleared; its capacity bound is
+  /// the backstop.
   BatchOptions batch = {};
 };
 

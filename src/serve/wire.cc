@@ -111,6 +111,12 @@ void AppendQueryFrame(const QueryRequest& request, std::string* out) {
   PutInt(request.k, &payload);
   PutInt(static_cast<uint32_t>(request.pattern.size()), &payload);
   payload.append(request.pattern);
+  // Flags trailer only when a flag is set: a flagless QUERY stays
+  // byte-identical to the pre-trailer encoding, so old servers still
+  // accept it.
+  if (request.want_stats) {
+    payload.push_back(static_cast<char>(kQueryFlagWantStats));
+  }
   AppendFrame(FrameType::kQuery, payload, out);
 }
 
@@ -124,6 +130,22 @@ void AppendResultFrame(const QueryResponse& response, std::string* out) {
   for (const Occurrence& hit : response.hits) {
     PutInt(static_cast<uint64_t>(hit.position), &payload);
     PutInt(hit.mismatches, &payload);
+  }
+  if (response.has_stats) {
+    uint8_t flags = 0;
+    if (response.cache_served) flags |= kResultFlagCacheServed;
+    payload.push_back(static_cast<char>(flags));
+    PutInt(response.stats.stree_nodes, &payload);
+    PutInt(response.stats.extend_calls, &payload);
+    PutInt(response.stats.completed_paths, &payload);
+    PutInt(response.stats.tau_pruned, &payload);
+    PutInt(response.stats.budget_pruned, &payload);
+    PutInt(response.stats.mtree_nodes, &payload);
+    PutInt(response.stats.mtree_leaves, &payload);
+    PutInt(response.stats.reused_nodes, &payload);
+    PutInt(response.stats.derived_runs, &payload);
+    PutInt(response.queue_ns, &payload);
+    PutInt(response.search_ns, &payload);
   }
   AppendFrame(FrameType::kResult, payload, out);
 }
@@ -217,9 +239,15 @@ Result<QueryRequest> ParseQueryPayload(std::string_view payload) {
   uint32_t pattern_length = 0;
   if (!cursor.Read(&request.request_id) || !cursor.Read(&request.k) ||
       !cursor.Read(&pattern_length) ||
-      !cursor.ReadBytes(pattern_length, &request.pattern) ||
-      !cursor.AtEnd()) {
+      !cursor.ReadBytes(pattern_length, &request.pattern)) {
     return Malformed("QUERY");
+  }
+  // Optional flags trailer; absent means all flags clear (version-1
+  // clients never send it).
+  if (!cursor.AtEnd()) {
+    uint8_t flags = 0;
+    if (!cursor.Read(&flags) || !cursor.AtEnd()) return Malformed("QUERY");
+    request.want_stats = (flags & kQueryFlagWantStats) != 0;
   }
   return request;
 }
@@ -252,7 +280,26 @@ Result<QueryResponse> ParseResultPayload(std::string_view payload) {
     response.hits.push_back(
         Occurrence{static_cast<size_t>(position), mismatches});
   }
-  if (!cursor.AtEnd()) return Malformed("RESULT");
+  // Optional stats trailer: flags byte + 9 stats fields + two timings.
+  // Absent means the query did not ask for it.
+  if (!cursor.AtEnd()) {
+    uint8_t flags = 0;
+    if (!cursor.Read(&flags) || !cursor.Read(&response.stats.stree_nodes) ||
+        !cursor.Read(&response.stats.extend_calls) ||
+        !cursor.Read(&response.stats.completed_paths) ||
+        !cursor.Read(&response.stats.tau_pruned) ||
+        !cursor.Read(&response.stats.budget_pruned) ||
+        !cursor.Read(&response.stats.mtree_nodes) ||
+        !cursor.Read(&response.stats.mtree_leaves) ||
+        !cursor.Read(&response.stats.reused_nodes) ||
+        !cursor.Read(&response.stats.derived_runs) ||
+        !cursor.Read(&response.queue_ns) || !cursor.Read(&response.search_ns) ||
+        !cursor.AtEnd()) {
+      return Malformed("RESULT");
+    }
+    response.has_stats = true;
+    response.cache_served = (flags & kResultFlagCacheServed) != 0;
+  }
   return response;
 }
 

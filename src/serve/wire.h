@@ -82,24 +82,50 @@ WireStatus ToWireStatus(const Status& status);
 Status FromWireStatus(WireStatus status, std::string message);
 
 /// QUERY payload:
-///   u64 request_id, i32 k, u32 pattern_length, pattern bytes (ASCII).
+///   u64 request_id, i32 k, u32 pattern_length, pattern bytes (ASCII),
+///   [optional u8 query_flags].
+/// The flags byte is a backward-compatible trailer: clients that never set
+/// a flag omit it entirely (byte-identical to the version-1 encoding), and
+/// a missing trailer parses as all-zero flags. Bit 0 (kQueryFlagWantStats)
+/// asks the server to attach the per-query stats block to the RESULT.
 struct QueryRequest {
   uint64_t request_id = 0;  ///< client-chosen; echoed in the RESULT
   int32_t k = 0;
   std::string pattern;
+  bool want_stats = false;  ///< request the RESULT stats trailer
 
   bool operator==(const QueryRequest&) const = default;
 };
 
+/// QUERY flags-byte bits.
+inline constexpr uint8_t kQueryFlagWantStats = 1u << 0;
+
+/// RESULT flags-byte bits.
+inline constexpr uint8_t kResultFlagCacheServed = 1u << 0;
+
 /// RESULT payload:
 ///   u64 request_id, u8 status, u32 message_length, message bytes,
-///   u32 num_hits, num_hits × { u64 position, i32 mismatches }.
-/// Hits are position-sorted, byte-identical to the direct engine's output.
+///   u32 num_hits, num_hits × { u64 position, i32 mismatches },
+///   [optional stats trailer, present iff the QUERY set
+///    kQueryFlagWantStats:
+///      u8 result_flags (bit 0 = served from the result cache),
+///      9 × u64 SearchStats in declaration order (stree_nodes,
+///      extend_calls, completed_paths, tau_pruned, budget_pruned,
+///      mtree_nodes, mtree_leaves, reused_nodes, derived_runs),
+///      u64 queue_ns, u64 search_ns].
+/// Hits are position-sorted, byte-identical to the direct engine's output
+/// whether or not the trailer is present — the trailer only *describes*
+/// the execution, it never changes it.
 struct QueryResponse {
   uint64_t request_id = 0;
   WireStatus status = WireStatus::kOk;
   std::string message;  ///< empty on kOk
   std::vector<Occurrence> hits;
+  bool has_stats = false;     ///< the trailer below is populated
+  bool cache_served = false;  ///< hits came from the result cache
+  SearchStats stats;          ///< zero when cache-served sharded (see docs)
+  uint64_t queue_ns = 0;      ///< submit → worker pickup
+  uint64_t search_ns = 0;     ///< engine execution (or cache lookup) time
 
   bool operator==(const QueryResponse&) const = default;
 };

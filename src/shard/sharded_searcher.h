@@ -59,8 +59,34 @@ uint64_t ResolveShardedHits(const ShardPlan& plan, size_t window,
                             std::vector<Occurrence>* parts,
                             std::vector<Occurrence>* merged);
 
+/// Content fingerprint of a sharded index: the plan parameters folded with
+/// every shard's FmIndexVersion. The result-cache key for sharded queries
+/// (see search/result_cache.h) — a rebuilt, resharded, or re-overlapped
+/// index misses every stale entry.
+uint64_t ShardedIndexVersion(const ShardedIndex& index);
+
 /// Shard router: BatchSearcher fanout + coordinate translation + seam
 /// de-duplication. Same single-batch-at-a-time contract as BatchSearcher.
+///
+/// Two fast paths run on the dispatching thread before any fan-out:
+///
+///  * Result cache (BatchOptions::result_cache): an exact duplicate
+///    (pattern, k) against the same ShardedIndexVersion is answered from
+///    the cache — no shard tasks at all. The cache operates at query (not
+///    per-shard) granularity here, so the inner worker pool runs uncached;
+///    cache-served queries contribute their stored seam counts but no
+///    engine SearchStats (per-query stats are not attributable post-merge).
+///    Duplicates *within* one batch (which the cache cannot serve — k > 0
+///    inserts happen after the fan-out) are coalesced on the dispatching
+///    thread: the first occurrence fans out, later ones copy its merged
+///    result, with the same stats semantics as a cache hit.
+///  * k = 0 point lookups (BatchOptions::sharded_exact_shortcut): every
+///    engine degenerates to exact matching at k = 0, so the router answers
+///    with one backward search + locate per shard and the standard seam
+///    rule instead of a (query, shard) task per shard. Counted in the
+///    `shard_exact_shortcuts` counter.
+///
+/// Both paths return hits byte-identical to the full fan-out.
 class ShardedBatchSearcher {
  public:
   /// `index` must outlive the searcher. The pool (options.num_threads
@@ -85,9 +111,20 @@ class ShardedBatchSearcher {
   const obs::TraceSink* trace_sink() const { return batch_.trace_sink(); }
 
  private:
+  // True when `query` can be served by the exact-match point-lookup path.
+  bool ExactShortcutEligible(const BatchQuery& query) const;
+
+  // Answers one eligible k = 0 query: backward search + locate per shard,
+  // then the owner-shard seam rule. Returns the seam duplicates discarded.
+  uint64_t RunExactShortcut(const BatchQuery& query,
+                            std::vector<Occurrence>* merged) const;
+
   const ShardedIndex* index_;  // not owned
   BatchOptions options_;
   BatchSearcher batch_;
+  // Query-granular result cache (see the class comment); null when off.
+  std::shared_ptr<ResultCache> cache_;
+  uint64_t cache_version_ = 0;
 };
 
 }  // namespace bwtk

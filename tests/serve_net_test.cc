@@ -275,6 +275,48 @@ TEST(ServeNetTest, StatsRoundTripSeesServerSideCounters) {
   EXPECT_EQ(stats->inflight, 0u);
 }
 
+TEST(ServeNetTest, PerQueryStatsTrailerOverTcp) {
+  // Opt-in per-query stats: a QUERY with the want_stats flag gets the
+  // RESULT trailer (engine counters, timings, cache flag); one without
+  // stays trailer-free. Hits are byte-identical either way.
+  NetFixture fixture = MakeNetFixture(12000, 3, 91);
+  SessionOptions session_options;
+  session_options.num_threads = 1;
+  session_options.batch.result_cache.enabled = true;
+  Session session(&fixture.index, session_options);
+  Server server(&session);
+  ASSERT_TRUE(server.Start().ok());
+  auto client = Client::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+
+  // Cold, with stats: real execution — counters populated, not
+  // cache-served.
+  auto cold = (*client)->Query(fixture.patterns[0], 1, /*want_stats=*/true);
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  ASSERT_EQ(cold->status, WireStatus::kOk) << cold->message;
+  ASSERT_TRUE(cold->has_stats);
+  EXPECT_FALSE(cold->cache_served);
+  EXPECT_GT(cold->stats.extend_calls, 0u);
+  EXPECT_GT(cold->search_ns, 0u);
+
+  // Same query again: served from the result cache with the original
+  // execution's stats and identical hits.
+  const auto warm =
+      (*client)->Query(fixture.patterns[0], 1, /*want_stats=*/true);
+  ASSERT_TRUE(warm.ok());
+  ASSERT_TRUE(warm->has_stats);
+  EXPECT_TRUE(warm->cache_served);
+  EXPECT_EQ(warm->stats, cold->stats);
+  EXPECT_EQ(warm->hits, cold->hits);
+
+  // Flagless query: no trailer, same hits — existing clients see the
+  // exact pre-trailer byte stream.
+  const auto plain = (*client)->Query(fixture.patterns[0], 1);
+  ASSERT_TRUE(plain.ok());
+  EXPECT_FALSE(plain->has_stats);
+  EXPECT_EQ(plain->hits, cold->hits);
+}
+
 TEST(ServeNetTest, RequestTimeoutAnswersTimedOutExactlyOnce) {
   NetFixture fixture = MakeNetFixture(8000, 2, 89);
   Session session(&fixture.index, {.num_threads = 1});

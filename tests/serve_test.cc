@@ -398,6 +398,119 @@ TEST(ServeSessionTest, ConcurrentSubmittersAndCollectorsStress) {
   EXPECT_EQ(stats.completed, stats.submitted);
 }
 
+TEST(ServeSessionTest, ResultCacheServesDuplicatesByteIdentical) {
+  Fixture fixture = MakeFixture(20000, 10, 61);
+  const AlgorithmA serial(&fixture.index);
+  SessionOptions options;
+  options.num_threads = 2;
+  options.batch.result_cache.enabled = true;
+  Session session(&fixture.index, options);
+  AlgorithmAScratch scratch;
+
+  // First wave: cold — every query executes for real.
+  std::vector<QueryResult> cold;
+  for (const BatchQuery& query : fixture.queries) {
+    auto result = session.Wait(session.Submit(query).value());
+    ASSERT_TRUE(result.ok());
+    EXPECT_FALSE(result->cache_served);
+    cold.push_back(std::move(result).value());
+  }
+  // Second wave: warm — identical hits AND identical stats (the cache
+  // stores the original execution's stats), flagged cache_served.
+  for (size_t i = 0; i < fixture.queries.size(); ++i) {
+    auto result = session.Wait(session.Submit(fixture.queries[i]).value());
+    ASSERT_TRUE(result.ok());
+    EXPECT_TRUE(result->cache_served) << "query " << i;
+    EXPECT_EQ(result->hits, cold[i].hits) << "query " << i;
+    EXPECT_EQ(result->stats, cold[i].stats) << "query " << i;
+    std::vector<Occurrence> expected = serial.Search(
+        fixture.queries[i].pattern, fixture.queries[i].k, nullptr, &scratch);
+    NormalizeOccurrences(&expected);
+    EXPECT_EQ(result->hits, expected) << "query " << i;
+  }
+}
+
+TEST(ServeSessionTest, CachedDuplicatesAcrossPauseResumeAndDrainExactlyOnce) {
+  // Duplicate queries queued behind a Pause, released by Resume, and
+  // flushed by Drain must each produce exactly one callback with hits
+  // byte-identical to the serial engine — whether served cold, warm from
+  // the cache, or raced between the two.
+  Fixture fixture = MakeFixture(10000, 3, 67);
+  const AlgorithmA serial(&fixture.index);
+  SessionOptions options;
+  options.num_threads = 2;
+  options.queue_capacity = 256;
+  options.max_inflight = 256;
+  options.batch.result_cache.enabled = true;
+  Session session(&fixture.index, options);
+
+  std::vector<std::vector<Occurrence>> expected;
+  AlgorithmAScratch scratch;
+  for (const BatchQuery& query : fixture.queries) {
+    std::vector<Occurrence> hits =
+        serial.Search(query.pattern, query.k, nullptr, &scratch);
+    NormalizeOccurrences(&hits);
+    expected.push_back(std::move(hits));
+  }
+
+  std::mutex mu;
+  std::set<Ticket> seen;
+  std::atomic<int> mismatches{0};
+  std::atomic<int> fired{0};
+  constexpr int kRepeats = 8;
+  auto submit_all = [&] {
+    for (size_t q = 0; q < fixture.queries.size(); ++q) {
+      for (int r = 0; r < kRepeats; ++r) {
+        ASSERT_TRUE(session
+                        .Submit(fixture.queries[q],
+                                [&, q](QueryResult result) {
+                                  {
+                                    std::lock_guard<std::mutex> lock(mu);
+                                    ASSERT_TRUE(
+                                        seen.insert(result.ticket).second);
+                                  }
+                                  ASSERT_TRUE(result.status.ok());
+                                  if (result.hits != expected[q]) ++mismatches;
+                                  ++fired;
+                                })
+                        .ok());
+      }
+    }
+  };
+  submit_all();         // wave 1: races cold execution against cache fills
+  session.Pause();
+  submit_all();         // wave 2: parks behind the pause
+  session.Resume();
+  submit_all();         // wave 3: mostly warm
+  session.Drain();      // flushes everything; exactly-once still holds
+  const int total = static_cast<int>(fixture.queries.size()) * kRepeats * 3;
+  EXPECT_EQ(fired.load(), total);
+  EXPECT_EQ(seen.size(), static_cast<size_t>(total));
+  EXPECT_EQ(mismatches.load(), 0);
+  const serve::SessionStats stats = session.Stats();
+  EXPECT_EQ(stats.completed, static_cast<uint64_t>(total));
+}
+
+TEST(ServeSessionTest, SharedMemoSessionMatchesMemoOffByteIdentical) {
+  // Stream-scoped subtree memo: a session with the memo on must return
+  // hits byte-identical to one with it off, for every query.
+  Fixture fixture = MakeFixture(20000, 30, 71);
+  SessionOptions memo_on;
+  memo_on.num_threads = 2;
+  memo_on.batch.shared_memo.enabled = true;
+  memo_on.batch.shared_memo.min_suffix_len = 4;
+  SessionOptions memo_off;
+  memo_off.num_threads = 2;
+  Session with_memo(&fixture.index, memo_on);
+  Session without_memo(&fixture.index, memo_off);
+  for (const BatchQuery& query : fixture.queries) {
+    auto on = with_memo.Wait(with_memo.Submit(query).value());
+    auto off = without_memo.Wait(without_memo.Submit(query).value());
+    ASSERT_TRUE(on.ok() && off.ok());
+    EXPECT_EQ(on->hits, off->hits);
+  }
+}
+
 // --- Wire round-trips ----------------------------------------------------
 
 TEST(ServeWireTest, QueryAndResultRoundTrip) {
@@ -475,6 +588,78 @@ TEST(ServeWireTest, OversizedAndMalformedPayloadsAreErrors) {
   payload[payload.size() - 4] = static_cast<char>(0xFF);  // num_hits = huge
   payload[payload.size() - 3] = static_cast<char>(0xFF);
   EXPECT_FALSE(serve::ParseResultPayload(payload).ok());
+}
+
+TEST(ServeWireTest, QueryStatsFlagIsBackwardCompatibleTrailer) {
+  // A flagless QUERY must stay byte-identical to the pre-trailer encoding
+  // (old servers keep accepting new clients), and the trailer must
+  // round-trip when present.
+  serve::QueryRequest plain;
+  plain.request_id = 7;
+  plain.k = 2;
+  plain.pattern = "acgtacgt";
+  std::string plain_bytes;
+  serve::AppendQueryFrame(plain, &plain_bytes);
+
+  serve::QueryRequest with_stats = plain;
+  with_stats.want_stats = true;
+  std::string stats_bytes;
+  serve::AppendQueryFrame(with_stats, &stats_bytes);
+  // Exactly one extra byte — the flags trailer — and nothing else moved.
+  ASSERT_EQ(stats_bytes.size(), plain_bytes.size() + 1);
+  EXPECT_EQ(stats_bytes.substr(5, plain_bytes.size() - 5),
+            plain_bytes.substr(5));
+
+  const auto parsed_plain = serve::ParseQueryPayload(plain_bytes.substr(5));
+  ASSERT_TRUE(parsed_plain.ok());
+  EXPECT_FALSE(parsed_plain->want_stats);
+  EXPECT_EQ(*parsed_plain, plain);
+  const auto parsed_stats = serve::ParseQueryPayload(stats_bytes.substr(5));
+  ASSERT_TRUE(parsed_stats.ok());
+  EXPECT_TRUE(parsed_stats->want_stats);
+  EXPECT_EQ(*parsed_stats, with_stats);
+}
+
+TEST(ServeWireTest, ResultStatsTrailerRoundTrip) {
+  serve::QueryResponse response;
+  response.request_id = 99;
+  response.hits = {{5, 0}, {17, 2}};
+  response.has_stats = true;
+  response.cache_served = true;
+  response.stats.stree_nodes = 11;
+  response.stats.extend_calls = 22;
+  response.stats.completed_paths = 33;
+  response.stats.tau_pruned = 44;
+  response.stats.budget_pruned = 55;
+  response.stats.mtree_nodes = 66;
+  response.stats.mtree_leaves = 77;
+  response.stats.reused_nodes = 88;
+  response.stats.derived_runs = 99;
+  response.queue_ns = 123456;
+  response.search_ns = 654321;
+  std::string bytes;
+  serve::AppendResultFrame(response, &bytes);
+  const auto parsed = serve::ParseResultPayload(bytes.substr(5));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, response);
+
+  // Trailerless RESULT parses with has_stats = false (old servers).
+  serve::QueryResponse bare;
+  bare.request_id = 99;
+  bare.hits = response.hits;
+  bytes.clear();
+  serve::AppendResultFrame(bare, &bytes);
+  const auto parsed_bare = serve::ParseResultPayload(bytes.substr(5));
+  ASSERT_TRUE(parsed_bare.ok());
+  EXPECT_FALSE(parsed_bare->has_stats);
+  EXPECT_EQ(parsed_bare->hits, response.hits);
+
+  // A truncated trailer is a malformed payload, not a silent accept.
+  std::string full;
+  serve::AppendResultFrame(response, &full);
+  std::string truncated = full.substr(5);
+  truncated.pop_back();
+  EXPECT_FALSE(serve::ParseResultPayload(truncated).ok());
 }
 
 TEST(ServeWireTest, StatusMappingIsStableAndTotal) {

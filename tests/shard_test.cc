@@ -8,6 +8,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -267,6 +268,82 @@ TEST(ShardedSearchTest, AsciiBatchCountsFailedQueries) {
   EXPECT_EQ(result->failed_queries, 1u);
   EXPECT_FALSE(result->occurrences[0].empty());
   EXPECT_TRUE(result->occurrences[1].empty());
+}
+
+TEST(ShardedSearchTest, ExactShortcutByteIdenticalToFullFanout) {
+  // k = 0 point lookups take the dispatch-thread shortcut (one backward
+  // search + locate per shard) instead of fanning (query, shard) tasks.
+  // The hits must be byte-identical either way, including across seams.
+  const auto genome = TestGenome(12000, 139);
+  ShardedIndexOptions shard_options;
+  shard_options.num_shards = 4;
+  shard_options.overlap = 48;
+  const auto sharded = ShardedIndex::Build(genome, shard_options).value();
+  // Exact seam-straddling reads plus random probes, all k = 0, with a few
+  // k > 0 queries mixed in to check routing stays per-query.
+  std::vector<BatchQuery> queries = SeamWorkload(genome, sharded.plan(),
+                                                 /*max_k=*/0, 149);
+  Rng rng(151);
+  for (size_t i = 0; i < 10; ++i) {
+    const size_t len = 24 + rng.NextBounded(8);
+    const size_t pos = rng.NextBounded(genome.size() - len);
+    queries.push_back({SampleWithFlips(genome, pos, len, 2, &rng), 2});
+  }
+
+  BatchOptions with_shortcut;
+  with_shortcut.num_threads = 2;
+  BatchOptions without_shortcut;
+  without_shortcut.num_threads = 2;
+  without_shortcut.sharded_exact_shortcut = false;
+  ShardedBatchSearcher fast(&sharded, with_shortcut);
+  ShardedBatchSearcher slow(&sharded, without_shortcut);
+  const auto fast_result = fast.Search(queries);
+  const auto slow_result = slow.Search(queries);
+  ASSERT_TRUE(fast_result.ok() && slow_result.ok());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(fast_result->occurrences[i], slow_result->occurrences[i])
+        << "query " << i << " k=" << queries[i].k;
+  }
+  EXPECT_EQ(fast_result->seam_hits_deduped, slow_result->seam_hits_deduped);
+}
+
+TEST(ShardedSearchTest, ResultCacheServesRepeatsBeforeFanout) {
+  const auto genome = TestGenome(8000, 157);
+  ShardedIndexOptions shard_options;
+  shard_options.num_shards = 3;
+  shard_options.overlap = 48;
+  const auto sharded = ShardedIndex::Build(genome, shard_options).value();
+  Rng rng(163);
+  std::vector<BatchQuery> queries;
+  for (size_t i = 0; i < 20; ++i) {
+    const int32_t k = static_cast<int32_t>(i % 3);
+    const size_t len = 20 + rng.NextBounded(16);
+    const size_t pos = rng.NextBounded(genome.size() - len);
+    queries.push_back({SampleWithFlips(genome, pos, len, k, &rng), k});
+  }
+
+  BatchOptions options;
+  options.num_threads = 2;
+  options.result_cache.enabled = true;
+  options.result_cache_instance =
+      std::make_shared<ResultCache>(options.result_cache);
+  ShardedBatchSearcher cached(&sharded, options);
+  ShardedBatchSearcher uncached(&sharded, {.num_threads = 2});
+
+  const auto expected = uncached.Search(queries);
+  const auto cold = cached.Search(queries);
+  const auto warm = cached.Search(queries);
+  ASSERT_TRUE(expected.ok() && cold.ok() && warm.ok());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(cold->occurrences[i], expected->occurrences[i]) << "query " << i;
+    EXPECT_EQ(warm->occurrences[i], expected->occurrences[i]) << "query " << i;
+  }
+  // The warm pass was answered from the cache — including the stored seam
+  // counts, which must match the cold pass exactly.
+  EXPECT_EQ(warm->seam_hits_deduped, cold->seam_hits_deduped);
+  const ResultCache::CacheStats stats =
+      options.result_cache_instance->Stats();
+  EXPECT_GE(stats.hits, queries.size());
 }
 
 TEST(ShardedSearchTest, StressManyQueriesManyShards) {

@@ -49,6 +49,17 @@ across both engines — the amortized descent is only reportable when it
 returns the independent searches' answer. Both engines carry aggregated
 SearchStats; the grid must cover at least 2 distinct pattern counts.
 
+bench_reuse: checks the reuse-tier schema — a 'workload' object, a
+'cross_validation' object whose 'byte_identical' must be true (the bench
+aborts before writing a report otherwise, so a false value means the file
+was hand-edited), and 'runs' whose engine is one of the six reuse configs
+(batch_off, batch_memo, batch_cache, batch_memo_cache, sharded_off,
+sharded_cache). Timed reuse runs are single-threaded by design (memoized
+SearchStats are publish-timing-dependent across workers), so every run
+must declare threads == 1; total_hits for one (genome, k) cell must agree
+across all six configs, and all six must appear. The 'aggregate' object
+must carry the three headline ratios.
+
 Exits non-zero listing every violation found.
 
 Standard library only; no third-party schema packages.
@@ -123,6 +134,41 @@ SERVE_RUN_FIELDS = {
     "reads_per_second": NUM,
     "total_hits": UINT,
     "rejected_overloaded": UINT,
+}
+
+REUSE_ENGINES = (
+    "batch_off",
+    "batch_memo",
+    "batch_cache",
+    "batch_memo_cache",
+    "sharded_off",
+    "sharded_cache",
+)
+
+# A bench_reuse run: one (workload, k, reuse-configuration) cell. The
+# 'engine' field carries the reuse configuration so the bench_diff match
+# key (genome, k, engine, threads) stays unique per cell; 'threads' is 1
+# by design (memoized multi-thread runs have timing-dependent stats).
+REUSE_RUN_FIELDS = {
+    "genome": str,
+    "genome_length": UINT,
+    "read_length": UINT,
+    "read_count": UINT,
+    "distinct_queries": UINT,
+    "k": UINT,
+    "engine": str,
+    "threads": UINT,
+    "reps": UINT,
+    "wall_seconds": NUM,
+    "reads_per_second": NUM,
+    "total_hits": UINT,
+    "cache_hits": UINT,
+    "cache_misses": UINT,
+    "cache_evictions": UINT,
+    "memo_lookups": UINT,
+    "memo_hits": UINT,
+    "memo_publishes": UINT,
+    "stats": dict,
 }
 
 DICTIONARY_ENGINES = ("dictionary", "algorithm_a")
@@ -307,7 +353,136 @@ class Validator:
         if doc.get("created_by") == "bench_dictionary":
             self.validate_dictionary(doc)
             return
+        if doc.get("created_by") == "bench_reuse":
+            self.validate_reuse(doc)
+            return
         self.validate_report(doc)
+
+    def validate_reuse(self, doc):
+        self.require(
+            doc,
+            "$",
+            {
+                "schema_version": UINT,
+                "name": str,
+                "created_by": str,
+                "smoke": bool,
+                "scale": NUM,
+                "hardware": dict,
+                "workload": dict,
+                "cross_validation": dict,
+                "runs": list,
+                "aggregate": dict,
+            },
+        )
+        if doc.get("schema_version") != 1:
+            self.error("$", f"unsupported schema_version {doc.get('schema_version')}")
+
+        hardware = doc.get("hardware", {})
+        if isinstance(hardware, dict):
+            self.require(
+                hardware,
+                "$.hardware",
+                {"hardware_concurrency": UINT, "metrics_compiled_in": bool},
+            )
+
+        workload = doc.get("workload", {})
+        if isinstance(workload, dict):
+            self.require(
+                workload,
+                "$.workload",
+                {
+                    "genome": str,
+                    "genome_length": UINT,
+                    "read_length": UINT,
+                    "query_count": UINT,
+                    "zipf_distinct": UINT,
+                    "zipf_exponent": NUM,
+                    "reps": UINT,
+                    "timed_threads": UINT,
+                    "num_shards": UINT,
+                },
+            )
+
+        # The grid is the acceptance gate: the bench refuses to write a
+        # report whose reuse-on hits diverge from reuse-off, so a committed
+        # file claiming anything but byte_identical == true is corrupt.
+        grid = doc.get("cross_validation", {})
+        if isinstance(grid, dict):
+            if self.require(
+                grid,
+                "$.cross_validation",
+                {"cells": UINT, "byte_identical": bool, "max_k": UINT,
+                 "engines": list},
+            ):
+                if grid["cells"] < 1:
+                    self.error("$.cross_validation", "'cells' must be >= 1")
+                if not grid["byte_identical"]:
+                    self.error(
+                        "$.cross_validation",
+                        "'byte_identical' must be true (the bench refuses "
+                        "to write divergent results)",
+                    )
+
+        # total_hits for a given (genome, k) must agree across every reuse
+        # configuration: memo, cache, and sharded dispatch are all
+        # byte-identity contracts, so a divergence means the answer changed.
+        hits_by_cell = {}
+        engines = set()
+        for i, run in enumerate(doc.get("runs", [])):
+            where = f"$.runs[{i}]"
+            if not isinstance(run, dict):
+                self.error(where, "must be an object")
+                continue
+            if not self.require(run, where, REUSE_RUN_FIELDS):
+                continue
+            if run["engine"] not in REUSE_ENGINES:
+                self.error(
+                    where,
+                    f"engine '{run['engine']}' not one of {list(REUSE_ENGINES)}",
+                )
+                continue
+            if run["threads"] != 1:
+                self.error(
+                    where,
+                    "'threads' must be 1 (timed reuse runs are "
+                    "single-threaded for stats determinism)",
+                )
+            if run["wall_seconds"] < 0:
+                self.error(where, "'wall_seconds' must be non-negative")
+            for field in STATS_FIELDS:
+                value = run["stats"].get(field)
+                if not isinstance(value, int) or isinstance(value, bool):
+                    self.error(
+                        f"{where}.stats",
+                        f"'{field}' must be a non-negative integer",
+                    )
+            engines.add(run["engine"])
+            cell = (run["genome"], run["k"])
+            if cell in hits_by_cell and hits_by_cell[cell] != run["total_hits"]:
+                self.error(
+                    where,
+                    f"total_hits {run['total_hits']} disagrees with another "
+                    f"run of genome '{cell[0]}' k={cell[1]} "
+                    f"({hits_by_cell[cell]}) — reuse must not change the "
+                    "answer",
+                )
+            hits_by_cell.setdefault(cell, run["total_hits"])
+        missing = [e for e in REUSE_ENGINES if e not in engines]
+        if missing:
+            self.error("$.runs", f"missing reuse configurations {missing}")
+
+        aggregate = doc.get("aggregate", {})
+        if isinstance(aggregate, dict):
+            self.require(
+                aggregate,
+                "$.aggregate",
+                {
+                    "zipf_speedup_full": NUM,
+                    "unique_ratio_full": NUM,
+                    "zipf_speedup_sharded": NUM,
+                },
+            )
 
     def validate_dictionary(self, doc):
         self.require(
