@@ -50,6 +50,15 @@ struct Flags {
   size_t conn_inflight = 256;
   double trace_sample = 0.0;
   std::string trace_out;
+  // HTTP telemetry (serve/http_exposition.h). The listener starts only when
+  // one of the --http-* flags is given.
+  bool http = false;
+  uint16_t http_port = 0;
+  std::string http_port_file;
+  // After SIGTERM drain, keep the telemetry endpoints alive this long so
+  // probes observe /readyz flipping to 503 before the process exits
+  // (k8s-style termination grace; CI's scrape-smoke relies on it).
+  int drain_grace_ms = 0;
 };
 
 // Consumes "--name value" pairs from argv after the positional arguments.
@@ -87,6 +96,14 @@ bool ParseFlags(int argc, char** argv, int first, Flags* flags) {
       flags->trace_sample = std::atof(value.c_str());
     } else if (name == "--trace-out") {
       flags->trace_out = value;
+    } else if (name == "--http-port") {
+      flags->http = true;
+      flags->http_port = static_cast<uint16_t>(std::atoi(value.c_str()));
+    } else if (name == "--http-port-file") {
+      flags->http = true;
+      flags->http_port_file = value;
+    } else if (name == "--drain-grace-ms") {
+      flags->drain_grace_ms = std::atoi(value.c_str());
     } else {
       std::fprintf(stderr, "unknown flag %s\n", name.c_str());
       return false;
@@ -186,6 +203,33 @@ int RunServe(const Flags& flags) {
     std::ofstream out(flags.port_file);
     out << server.port() << "\n";
   }
+
+  // Optional live telemetry: a windowed aggregator over the registry and
+  // the HTTP exposition endpoints. Ready only once everything above is up.
+  std::unique_ptr<bwtk::obs::WindowedAggregator> aggregator;
+  std::unique_ptr<bwtk::serve::HttpExpositionServer> exposition;
+  if (flags.http) {
+    aggregator = std::make_unique<bwtk::obs::WindowedAggregator>(
+        &bwtk::obs::MetricsRegistry::Instance());
+    aggregator->StartTicker();
+    bwtk::serve::HttpExpositionOptions http_options;
+    http_options.port = flags.http_port;
+    exposition = std::make_unique<bwtk::serve::HttpExpositionServer>(
+        aggregator.get(), &session, &server, http_options);
+    const bwtk::Status http_started = exposition->Start();
+    if (!http_started.ok()) {
+      std::fprintf(stderr, "%s\n", http_started.ToString().c_str());
+      return 1;
+    }
+    exposition->SetReady(true);  // index loaded, front-end listening
+    if (!flags.http_port_file.empty()) {
+      std::ofstream out(flags.http_port_file);
+      out << exposition->port() << "\n";
+    }
+    std::fprintf(stderr, "telemetry on http://127.0.0.1:%u (/metrics "
+                 "/varz.json /healthz /readyz)\n",
+                 exposition->port());
+  }
   std::fprintf(stderr, "serving %s on 127.0.0.1:%u (%zu bp, %d workers)\n",
                bwtk::BatchEngineName(engine).data(), server.port(),
                index->text_size(), session.num_threads());
@@ -197,9 +241,16 @@ int RunServe(const Flags& flags) {
   }
 
   // Graceful shutdown: stop accepting bytes, let admitted queries finish.
+  // The telemetry endpoints stay up through the drain (and the grace
+  // window) so /readyz observably reports 503 while /healthz stays 200 —
+  // exactly what a load balancer needs to route around a terminating pod.
   std::fprintf(stderr, "draining...\n");
   server.Stop();
   session.Drain();
+  if (flags.drain_grace_ms > 0 && exposition != nullptr) {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(flags.drain_grace_ms));
+  }
   const bwtk::serve::SessionStats stats = session.Stats();
   std::fprintf(stderr,
                "served %llu queries (%llu rejected overloaded, %llu "
@@ -323,6 +374,15 @@ int RunStats(const std::string& host, uint16_t port) {
               static_cast<unsigned long long>(stats->rejected_overloaded));
   std::printf("rejected_unavailable: %llu\n",
               static_cast<unsigned long long>(stats->rejected_unavailable));
+  std::printf("memo_hits:            %llu\n",
+              static_cast<unsigned long long>(stats->memo_hits));
+  std::printf("result_cache_hits:    %llu\n",
+              static_cast<unsigned long long>(stats->result_cache_hits));
+  std::printf("result_cache_misses:  %llu\n",
+              static_cast<unsigned long long>(stats->result_cache_misses));
+  std::printf("shard_exact_shortcuts:%llu\n",
+              static_cast<unsigned long long>(stats->shard_exact_shortcuts));
+  std::printf("accepting:            %s\n", stats->accepting ? "yes" : "no");
   return 0;
 }
 
@@ -367,6 +427,8 @@ int Usage(const char* argv0) {
       "           [--threads N] [--port P] [--port-file PATH]\n"
       "           [--timeout-ms T] [--queue N] [--max-inflight N]\n"
       "           [--conn-inflight N] [--trace-sample R] [--trace-out PATH]\n"
+      "           [--http-port P] [--http-port-file PATH]\n"
+      "           [--drain-grace-ms T]\n"
       "  %s query HOST PORT PATTERN [k]\n"
       "  %s batch HOST PORT PATTERNS_FILE [k]\n"
       "  %s stats HOST PORT\n"

@@ -28,10 +28,12 @@
 #include "dict/dictionary_searcher.h"
 #include "dict/pattern_set_trie.h"
 #include "mismatch/mismatch_array.h"
+#include "obs/exposition.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
 #include "obs/trace.h"
 #include "obs/trace_export.h"
+#include "obs/windowed.h"
 #include "search/algorithm_a.h"
 #include "search/batch_searcher.h"
 #include "search/kerror_search.h"
@@ -40,6 +42,7 @@
 #include "search/stree_search.h"
 #include "search/wildcard_search.h"
 #include "serve/client.h"
+#include "serve/http_exposition.h"
 #include "serve/server.h"
 #include "serve/session.h"
 #include "serve/wire.h"

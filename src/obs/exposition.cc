@@ -1,0 +1,277 @@
+#include "obs/exposition.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "obs/report.h"
+
+namespace bwtk::obs {
+
+namespace {
+
+constexpr double kNanosPerSecond = 1e9;
+
+// Shortest round-trip-ish double formatting for sample values; Prometheus
+// accepts any Go-parseable float.
+std::string FormatDouble(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+void AppendLabels(
+    const std::vector<std::pair<std::string, std::string>>& labels,
+    std::string* out) {
+  if (labels.empty()) return;
+  out->push_back('{');
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out->push_back(',');
+    first = false;
+    *out += key;
+    *out += "=\"";
+    *out += PrometheusLabelEscape(value);
+    out->push_back('"');
+  }
+  out->push_back('}');
+}
+
+void AppendSample(
+    std::string_view name,
+    const std::vector<std::pair<std::string, std::string>>& labels,
+    double value, std::string* out) {
+  *out += name;
+  AppendLabels(labels, out);
+  out->push_back(' ');
+  *out += FormatDouble(value);
+  out->push_back('\n');
+}
+
+void AppendHeader(std::string_view name, std::string_view type,
+                  std::string_view help, std::string* out) {
+  *out += "# HELP ";
+  *out += name;
+  out->push_back(' ');
+  *out += help;
+  out->push_back('\n');
+  *out += "# TYPE ";
+  *out += name;
+  out->push_back(' ');
+  *out += type;
+  out->push_back('\n');
+}
+
+const Histogram* WindowHist(const WindowView& view, size_t hist) {
+  return &view.window.delta.hists[hist];
+}
+
+}  // namespace
+
+std::vector<std::pair<std::string, uint64_t>> StandardWindows() {
+  return {
+      {"10s", uint64_t{10} * 1'000'000'000},
+      {"1m", uint64_t{60} * 1'000'000'000},
+      {"5m", uint64_t{300} * 1'000'000'000},
+  };
+}
+
+std::string PrometheusLabelEscape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string RenderPrometheusText(const MetricsBlock& total,
+                                 const std::vector<WindowView>& windows,
+                                 const std::vector<GaugeSample>& extra) {
+  std::string out;
+  out.reserve(16 * 1024);
+
+  // Cumulative counters: one series each, `_total` suffix.
+  for (uint32_t i = 0; i < kNumCounters; ++i) {
+    const std::string name =
+        "bwtk_" + std::string(CounterName(static_cast<CounterId>(i))) +
+        "_total";
+    AppendHeader(name, "counter",
+                 "Cumulative count since process start (registry catalog; "
+                 "see docs/OBSERVABILITY.md).",
+                 &out);
+    AppendSample(name, {}, static_cast<double>(total.counters[i]), &out);
+  }
+
+  // Phase timers: two labeled counter families.
+  AppendHeader("bwtk_phase_nanos_total", "counter",
+               "Cumulative wall nanoseconds charged to each phase.", &out);
+  for (uint32_t i = 0; i < kNumPhases; ++i) {
+    AppendSample("bwtk_phase_nanos_total",
+                 {{"phase", std::string(PhaseName(static_cast<PhaseId>(i)))}},
+                 static_cast<double>(total.phase_nanos[i]), &out);
+  }
+  AppendHeader("bwtk_phase_calls_total", "counter",
+               "Cumulative timed episodes per phase.", &out);
+  for (uint32_t i = 0; i < kNumPhases; ++i) {
+    AppendSample("bwtk_phase_calls_total",
+                 {{"phase", std::string(PhaseName(static_cast<PhaseId>(i)))}},
+                 static_cast<double>(total.phase_calls[i]), &out);
+  }
+
+  // Histograms: Prometheus cumulative le-buckets over the log2 catalog.
+  for (uint32_t i = 0; i < kNumHists; ++i) {
+    const std::string name =
+        "bwtk_" + std::string(HistName(static_cast<HistId>(i)));
+    const Histogram& hist = total.hists[i];
+    AppendHeader(name, "histogram",
+                 "Cumulative log2-bucketed distribution (bucket bounds are "
+                 "powers of two).",
+                 &out);
+    uint64_t cumulative = 0;
+    for (size_t b = 0; b < kHistBuckets; ++b) {
+      cumulative += hist.buckets[b];
+      if (hist.buckets[b] == 0 && b + 1 < kHistBuckets) continue;
+      AppendSample(name + "_bucket",
+                   {{"le", FormatDouble(
+                               static_cast<double>(BucketUpperBound(b)))}},
+                   static_cast<double>(cumulative), &out);
+    }
+    AppendSample(name + "_bucket", {{"le", "+Inf"}},
+                 static_cast<double>(hist.count), &out);
+    AppendSample(name + "_sum", {}, static_cast<double>(hist.sum), &out);
+    AppendSample(name + "_count", {}, static_cast<double>(hist.count), &out);
+  }
+
+  // Rolling windows. Deltas are not monotone -> gauges, labeled by window.
+  AppendHeader("bwtk_window_seconds", "gauge",
+               "Real time actually covered by each rolling window.", &out);
+  for (const WindowView& view : windows) {
+    AppendSample("bwtk_window_seconds", {{"window", view.label}},
+                 static_cast<double>(view.window.span_nanos) / kNanosPerSecond,
+                 &out);
+  }
+  AppendHeader("bwtk_window_resets", "gauge",
+               "Registry resets detected inside each rolling window.", &out);
+  for (const WindowView& view : windows) {
+    AppendSample("bwtk_window_resets", {{"window", view.label}},
+                 static_cast<double>(view.window.resets), &out);
+  }
+  AppendHeader("bwtk_window_events", "gauge",
+               "Counter delta over the rolling window.", &out);
+  for (const WindowView& view : windows) {
+    for (uint32_t i = 0; i < kNumCounters; ++i) {
+      AppendSample(
+          "bwtk_window_events",
+          {{"metric", std::string(CounterName(static_cast<CounterId>(i)))},
+           {"window", view.label}},
+          static_cast<double>(view.window.delta.counters[i]), &out);
+    }
+  }
+  AppendHeader("bwtk_window_rate", "gauge",
+               "Counter delta per second over the rolling window.", &out);
+  for (const WindowView& view : windows) {
+    const double seconds =
+        static_cast<double>(view.window.span_nanos) / kNanosPerSecond;
+    for (uint32_t i = 0; i < kNumCounters; ++i) {
+      const double rate =
+          seconds > 0.0
+              ? static_cast<double>(view.window.delta.counters[i]) / seconds
+              : 0.0;
+      AppendSample(
+          "bwtk_window_rate",
+          {{"metric", std::string(CounterName(static_cast<CounterId>(i)))},
+           {"window", view.label}},
+          rate, &out);
+    }
+  }
+  AppendHeader("bwtk_window_quantile_nanos", "gauge",
+               "Estimated latency quantile (log2-bucket interpolation) over "
+               "the rolling window.",
+               &out);
+  static constexpr struct {
+    const char* label;
+    double q;
+  } kQuantiles[] = {{"p50", 0.50}, {"p95", 0.95}, {"p99", 0.99}};
+  for (const WindowView& view : windows) {
+    for (uint32_t i = 0; i < kNumHists; ++i) {
+      const Histogram* hist = WindowHist(view, i);
+      for (const auto& quantile : kQuantiles) {
+        AppendSample(
+            "bwtk_window_quantile_nanos",
+            {{"hist", std::string(HistName(static_cast<HistId>(i)))},
+             {"window", view.label},
+             {"q", quantile.label}},
+            static_cast<double>(EstimateQuantile(*hist, quantile.q)), &out);
+      }
+    }
+  }
+
+  // Caller-supplied gauges (serving-layer state).
+  for (const GaugeSample& gauge : extra) {
+    AppendHeader(gauge.name, "gauge",
+                 gauge.help.empty() ? "Serving-layer gauge." : gauge.help,
+                 &out);
+    AppendSample(gauge.name, gauge.labels, gauge.value, &out);
+  }
+  return out;
+}
+
+void AppendCumulativeJson(const MetricsBlock& total, JsonWriter* writer) {
+  writer->BeginObject();
+  writer->Key("counters");
+  AppendCounters(total, writer);
+  writer->Key("phases");
+  AppendPhases(total, writer);
+  writer->Key("histograms");
+  AppendHistograms(total, writer);
+  writer->EndObject();
+}
+
+void AppendWindowsJson(const std::vector<WindowView>& windows,
+                       JsonWriter* writer) {
+  writer->BeginObject();
+  for (const WindowView& view : windows) {
+    const double seconds =
+        static_cast<double>(view.window.span_nanos) / kNanosPerSecond;
+    writer->Key(view.label);
+    writer->BeginObject();
+    writer->Key("seconds").Value(seconds);
+    writer->Key("buckets").Value(static_cast<uint64_t>(view.window.buckets));
+    writer->Key("resets").Value(view.window.resets);
+    writer->Key("counters");
+    AppendCounters(view.window.delta, writer);
+    writer->Key("rates");
+    writer->BeginObject();
+    for (uint32_t i = 0; i < kNumCounters; ++i) {
+      const double rate =
+          seconds > 0.0
+              ? static_cast<double>(view.window.delta.counters[i]) / seconds
+              : 0.0;
+      writer->Key(CounterName(static_cast<CounterId>(i))).Value(rate);
+    }
+    writer->EndObject();
+    writer->Key("latency");
+    writer->BeginObject();
+    for (uint32_t i = 0; i < kNumHists; ++i) {
+      const Histogram& hist = view.window.delta.hists[i];
+      writer->Key(HistName(static_cast<HistId>(i)));
+      writer->BeginObject();
+      writer->Key("count").Value(hist.count);
+      writer->Key("sum").Value(hist.sum);
+      writer->Key("p50").Value(EstimateQuantile(hist, 0.50));
+      writer->Key("p95").Value(EstimateQuantile(hist, 0.95));
+      writer->Key("p99").Value(EstimateQuantile(hist, 0.99));
+      writer->EndObject();
+    }
+    writer->EndObject();
+    writer->EndObject();
+  }
+  writer->EndObject();
+}
+
+}  // namespace bwtk::obs

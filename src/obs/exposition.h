@@ -1,0 +1,79 @@
+// Renderers that turn registry snapshots and rolling windows into the two
+// wire formats operators scrape: Prometheus text exposition (version 0.0.4,
+// the `GET /metrics` payload) and a JSON document (`GET /varz.json`, the
+// feed for examples/serve_top.cc).
+//
+// Naming conventions (enforced by tools/validate_exposition.py and
+// documented in docs/OBSERVABILITY.md, "Live telemetry"):
+//   - every series is prefixed `bwtk_`;
+//   - cumulative counters end in `_total` and only ever increase;
+//   - phase timers export as labeled counters
+//     (bwtk_phase_nanos_total{phase="tree_traversal"});
+//   - histograms export cumulative le-buckets + _sum/_count, Prometheus
+//     histogram type, bucket bounds straight from the log2 catalog;
+//   - rolling-window values are *gauges* labeled window="10s"|"1m"|"5m"
+//     (deltas are not monotone, so they must not be counters).
+
+#ifndef BWTK_OBS_EXPOSITION_H_
+#define BWTK_OBS_EXPOSITION_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/windowed.h"
+
+namespace bwtk::obs {
+
+/// One named rolling window, e.g. {"10s", aggregator.Window(10s)}.
+struct WindowView {
+  std::string label;
+  WindowDelta window;
+};
+
+/// An extra caller-supplied gauge (serving-layer state the registry does not
+/// carry: queue depth, live connections, readiness). `name` is the full
+/// series name including the `bwtk_` prefix.
+struct GaugeSample {
+  std::string name;
+  double value = 0.0;
+  /// Label key/value pairs; values are escaped by the renderer.
+  std::vector<std::pair<std::string, std::string>> labels;
+  std::string help;
+};
+
+/// The standard window spans the serving tier exposes, as (label, nanos):
+/// 10s / 1m / 5m. Callers map these over WindowedAggregator::Window.
+std::vector<std::pair<std::string, uint64_t>> StandardWindows();
+
+/// Renders the full Prometheus text page: cumulative counters, phase
+/// counters, histograms from `total`; per-window rates and p50/p95/p99
+/// latency gauges from `windows`; then `extra` gauges verbatim.
+std::string RenderPrometheusText(const MetricsBlock& total,
+                                 const std::vector<WindowView>& windows,
+                                 const std::vector<GaugeSample>& extra);
+
+/// Escapes a Prometheus label value (backslash, double quote, newline).
+std::string PrometheusLabelEscape(std::string_view raw);
+
+/// Appends the cumulative registry view as an object value:
+/// {"counters": {...}, "phases": {...}, "histograms": {...}} (the report.h
+/// encodings, unchanged — same schema as bench reports).
+void AppendCumulativeJson(const MetricsBlock& total, JsonWriter* writer);
+
+/// Appends the rolling windows as an object value keyed by window label:
+/// {"10s": {"seconds": S, "buckets": B, "resets": R,
+///          "counters": {<name>: delta, ...},
+///          "rates": {<name>: delta/S, ...},
+///          "latency": {<hist>: {"count": C, "sum": S,
+///                               "p50": N, "p95": N, "p99": N}, ...}}, ...}
+/// Rates divide by the window's *actual* covered span; an empty window
+/// (seconds == 0) emits zero rates.
+void AppendWindowsJson(const std::vector<WindowView>& windows,
+                       JsonWriter* writer);
+
+}  // namespace bwtk::obs
+
+#endif  // BWTK_OBS_EXPOSITION_H_

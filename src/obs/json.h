@@ -78,6 +78,62 @@ std::string JsonEscape(std::string_view raw);
 Result<std::vector<std::pair<std::string, uint64_t>>> ParseFlatUint64Object(
     std::string_view json);
 
+// --- Generic JSON values -------------------------------------------------
+// A small recursive JSON reader for consumers of the telemetry documents
+// this library emits (the /varz.json exposition endpoint, bench reports):
+// dependency-free like the writer above, tolerant of any well-formed JSON,
+// and convenient for "walk down to one number" access patterns. Not a
+// validating schema tool — tools/validate_*.py own that job.
+
+/// One parsed JSON value. Objects preserve member order; lookups are
+/// linear (telemetry documents are small).
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool bool_value = false;
+  /// Numbers always fill `number`; integral values in uint64 range also
+  /// set `is_uint` + `uint_value` so counters round-trip exactly.
+  double number = 0.0;
+  uint64_t uint_value = 0;
+  bool is_uint = false;
+  std::string string_value;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> members;
+
+  /// Object member by key, or nullptr (also nullptr on non-objects).
+  const JsonValue* Find(std::string_view key) const;
+
+  /// Nested lookup: Get("windows", "10s", "seconds"). nullptr anywhere
+  /// along the path yields nullptr.
+  template <typename... Keys>
+  const JsonValue* Get(std::string_view key, Keys... rest) const {
+    const JsonValue* next = Find(key);
+    if constexpr (sizeof...(rest) == 0) {
+      return next;
+    } else {
+      return next == nullptr ? nullptr : next->Get(rest...);
+    }
+  }
+
+  /// Loose numeric accessors with fallbacks (telemetry consumers prefer a
+  /// zero to an exception when a field is absent in an older server).
+  double AsNumber(double fallback = 0.0) const {
+    return kind == Kind::kNumber ? number : fallback;
+  }
+  uint64_t AsUint(uint64_t fallback = 0) const {
+    return kind == Kind::kNumber && is_uint ? uint_value
+           : kind == Kind::kNumber ? static_cast<uint64_t>(number)
+                                   : fallback;
+  }
+};
+
+/// Parses one JSON document (object, array, or scalar; surrounding
+/// whitespace allowed, trailing garbage rejected). kCorruption on any
+/// syntax error or nesting deeper than an internal cap.
+Result<JsonValue> ParseJson(std::string_view json);
+
 }  // namespace bwtk::obs
 
 #endif  // BWTK_OBS_JSON_H_

@@ -20,6 +20,9 @@ constexpr std::string_view kCounterNames[kNumCounters] = {
     "memo_lookups",    "memo_hits",       "memo_publishes",
     "result_cache_hits", "result_cache_misses", "result_cache_evictions",
     "shard_exact_shortcuts",
+    "serve_stats_trailers", "serve_conn_overloaded",
+    "serve_served_algorithm_a", "serve_served_stree", "serve_served_kerror",
+    "serve_served_wildcard", "serve_served_dictionary",
 };
 
 constexpr std::string_view kPhaseNames[kNumPhases] = {
@@ -122,10 +125,35 @@ MetricsRegistry& MetricsRegistry::Instance() {
   return *registry;
 }
 
+namespace {
+
+// Folds a *live* (possibly concurrently-written) block into `total` using
+// relaxed per-slot loads; see the single-writer contract in metrics.h.
+void AddSampled(MetricsBlock& total, const MetricsBlock& live) {
+  for (size_t i = 0; i < kNumCounters; ++i) {
+    total.counters[i] += SlotLoad(live.counters[i]);
+  }
+  for (size_t i = 0; i < kNumPhases; ++i) {
+    total.phase_nanos[i] += SlotLoad(live.phase_nanos[i]);
+    total.phase_calls[i] += SlotLoad(live.phase_calls[i]);
+  }
+  for (size_t i = 0; i < kNumHists; ++i) {
+    Histogram& dst = total.hists[i];
+    const Histogram& src = live.hists[i];
+    for (size_t b = 0; b < kHistBuckets; ++b) {
+      dst.buckets[b] += SlotLoad(src.buckets[b]);
+    }
+    dst.count += SlotLoad(src.count);
+    dst.sum += SlotLoad(src.sum);
+  }
+}
+
+}  // namespace
+
 MetricsBlock MetricsRegistry::Snapshot() {
   std::lock_guard<std::mutex> lock(mu_);
   MetricsBlock total = retired_;
-  for (const MetricsBlock* block : live_) total += *block;
+  for (const MetricsBlock* block : live_) AddSampled(total, *block);
   return total;
 }
 

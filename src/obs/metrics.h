@@ -2,9 +2,10 @@
 // counters, nanosecond phase timers, and log2-bucketed histograms.
 //
 // Design goals, in order:
-//   1. Near-zero overhead on the hot path. Every hook is a plain (non-atomic)
-//      increment of a thread-local slab; no locks, no hashing, no string
-//      lookups. Metric identities are compile-time enum indices.
+//   1. Near-zero overhead on the hot path. Every hook is a relaxed
+//      single-writer increment of a thread-local slab (no RMW atomics, no
+//      locks, no hashing, no string lookups — see SlotAdd below). Metric
+//      identities are compile-time enum indices.
 //   2. Zero overhead when compiled out. Building with -DBWTK_DISABLE_METRICS
 //      (CMake option BWTK_DISABLE_METRICS) expands every BWTK_METRIC_* /
 //      BWTK_SCOPED_* hook to `(void)0`; the instrumented code paths are
@@ -13,13 +14,20 @@
 //      with the global MetricsRegistry on first use and fold into a retired
 //      accumulator on thread exit. Snapshot() sums retired + live blocks.
 //
-// Synchronization contract: hooks touch only the calling thread's block, so
-// instrumented code stays data-race-free no matter how many threads run.
-// Snapshot()/Reset() read or write *other* threads' blocks and are only
-// well-defined at quiescent points — i.e. after the writers' work has been
-// ordered before the call by some synchronization (BatchSearcher::Search
-// returning, a join, a mutex). That is exactly how the bench harness uses
-// them: snapshot, run a cell, snapshot, diff.
+// Synchronization contract: each slot has exactly ONE writer (the owning
+// thread), so hooks need no read-modify-write atomics — they do relaxed
+// atomic_ref load/add/store on the thread's own slab, which costs the same
+// as a plain increment but makes concurrent *readers* well-defined.
+//   - Snapshot() may run at any time, concurrent with active writers. It
+//     reads live blocks through relaxed atomic_ref loads, so every field is
+//     individually torn-free and monotone; the block as a whole is NOT a
+//     consistent cut (a counter may include a query whose histogram
+//     observation hasn't landed yet). The windowed aggregator
+//     (obs/windowed.h) is built on exactly this guarantee.
+//   - Reset() still requires quiescent writers (ordered before the call by a
+//     join or mutex): it writes other threads' blocks. That is how the bench
+//     harness uses it. A Reset concurrent-ish with an aggregator shows up
+//     there as a detected regression, not as UB — see WindowedAggregator.
 //
 // The catalog (which counter/phase/histogram exists, where it is incremented,
 // and which paper quantity it corresponds to) is documented in
@@ -30,6 +38,7 @@
 #define BWTK_OBS_METRICS_H_
 
 #include <array>
+#include <atomic>
 #include <bit>
 #include <chrono>
 #include <cstddef>
@@ -109,6 +118,22 @@ enum CounterId : uint32_t {
   /// Sharded k=0 point lookups answered by the exact-match short-circuit
   /// instead of the engine fan-out (shard/sharded_searcher.h).
   kCounterShardExactShortcuts,
+  // serving telemetry (serve/server.h, serve/session.h). Counted once per
+  // request/ticket — never per node — so they sit outside the engine hot
+  // paths like the other serve counters above.
+  kCounterServeStatsTrailers,   ///< queries that requested a stats trailer.
+  /// Layer-1 admission rejections attributed to a connection's own in-flight
+  /// budget (`max_inflight_per_conn`), as opposed to the global Session
+  /// queue rejections already counted by serve_overloaded.
+  kCounterServeConnOverloaded,
+  // Per-engine served-query counts: which BatchEngine actually answered the
+  // traffic. A Session pins one engine, so at most one of these moves per
+  // process unless multiple Sessions coexist.
+  kCounterServeServedAlgorithmA,  ///< tickets served by the algorithm_a engine.
+  kCounterServeServedStree,       ///< tickets served by the stree engine.
+  kCounterServeServedKError,      ///< tickets served by the kerror engine.
+  kCounterServeServedWildcard,    ///< tickets served by the wildcard engine.
+  kCounterServeServedDictionary,  ///< tickets served by the dictionary engine.
   kNumCounters
 };
 
@@ -167,6 +192,26 @@ constexpr uint64_t BucketUpperBound(size_t b) {
                    : (uint64_t{1} << b) - 1;
 }
 
+// --- Single-writer slots -------------------------------------------------
+// Every uint64 metric slot has exactly one writer (the owning thread). These
+// helpers make those writes — and concurrent Snapshot reads — data-race-free
+// without read-modify-write cost: a relaxed load + add + relaxed store of a
+// slot only the caller mutates compiles to the same mov/add/mov sequence as
+// a plain `slot += n`. C++20 has no atomic_ref<const T>, hence the
+// const_cast on the read side (the referenced objects are never actually
+// const).
+
+inline void SlotAdd(uint64_t& slot, uint64_t n) {
+  std::atomic_ref<uint64_t> ref(slot);
+  ref.store(ref.load(std::memory_order_relaxed) + n,
+            std::memory_order_relaxed);
+}
+
+inline uint64_t SlotLoad(const uint64_t& slot) {
+  return std::atomic_ref<uint64_t>(const_cast<uint64_t&>(slot))
+      .load(std::memory_order_relaxed);
+}
+
 /// Fixed-size log2 histogram; mergeable like the counters.
 struct Histogram {
   std::array<uint64_t, kHistBuckets> buckets{};
@@ -174,9 +219,9 @@ struct Histogram {
   uint64_t sum = 0;
 
   void Observe(uint64_t value) {
-    ++buckets[BucketIndex(value)];
-    ++count;
-    sum += value;
+    SlotAdd(buckets[BucketIndex(value)], 1);
+    SlotAdd(count, 1);
+    SlotAdd(sum, value);
   }
 
   Histogram& operator+=(const Histogram& other);
@@ -216,6 +261,9 @@ class MetricsRegistry {
   static MetricsRegistry& Instance();
 
   /// Sum of every retired thread's totals plus all live thread blocks.
+  /// Safe to call concurrently with active writers: live blocks are read
+  /// through relaxed atomic loads (per-field torn-free, not a consistent
+  /// cross-field cut — see the file comment).
   MetricsBlock Snapshot();
 
   /// Zeroes the retired totals and every live block. Writers must be
@@ -256,7 +304,7 @@ inline MetricsBlock& LocalBlock() {
 }
 
 inline void Count(CounterId id, uint64_t n = 1) {
-  LocalBlock().counters[id] += n;
+  SlotAdd(LocalBlock().counters[id], n);
 }
 
 /// Fused two-counter bump: one thread-local lookup instead of two. The TLS
@@ -265,14 +313,14 @@ inline void Count(CounterId id, uint64_t n = 1) {
 /// budget (see "Overhead methodology" in docs/OBSERVABILITY.md).
 inline void Count2(CounterId a, uint64_t na, CounterId b, uint64_t nb) {
   MetricsBlock& block = LocalBlock();
-  block.counters[a] += na;
-  block.counters[b] += nb;
+  SlotAdd(block.counters[a], na);
+  SlotAdd(block.counters[b], nb);
 }
 
 inline void AddPhaseNanos(PhaseId phase, uint64_t nanos) {
   MetricsBlock& block = LocalBlock();
-  block.phase_nanos[phase] += nanos;
-  ++block.phase_calls[phase];
+  SlotAdd(block.phase_nanos[phase], nanos);
+  SlotAdd(block.phase_calls[phase], 1);
 }
 
 inline void Observe(HistId id, uint64_t value) {

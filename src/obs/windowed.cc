@@ -1,0 +1,163 @@
+#include "obs/windowed.h"
+
+#include <chrono>
+
+#include "util/logging.h"
+
+namespace bwtk::obs {
+
+namespace {
+
+uint64_t SteadyNowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// True if any field of `now` is below `prev` — impossible for monotone
+// counters, so it means the registry was Reset() (or a live thread retired
+// mid-read in a way that can only happen after a reset) between snapshots.
+bool Regressed(const MetricsBlock& now, const MetricsBlock& prev) {
+  for (size_t i = 0; i < kNumCounters; ++i) {
+    if (now.counters[i] < prev.counters[i]) return true;
+  }
+  for (size_t i = 0; i < kNumPhases; ++i) {
+    if (now.phase_nanos[i] < prev.phase_nanos[i]) return true;
+    if (now.phase_calls[i] < prev.phase_calls[i]) return true;
+  }
+  for (size_t i = 0; i < kNumHists; ++i) {
+    const Histogram& h = now.hists[i];
+    const Histogram& p = prev.hists[i];
+    if (h.count < p.count || h.sum < p.sum) return true;
+    for (size_t b = 0; b < kHistBuckets; ++b) {
+      if (h.buckets[b] < p.buckets[b]) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+WindowedAggregator::WindowedAggregator(MetricsRegistry* registry,
+                                       WindowedAggregatorOptions options)
+    : registry_(registry), options_(options) {
+  BWTK_CHECK(registry != nullptr);
+  BWTK_CHECK_GT(options_.bucket_width_nanos, 0u);
+  BWTK_CHECK_GT(options_.num_buckets, 0u);
+  ring_.resize(options_.num_buckets);
+}
+
+WindowedAggregator::~WindowedAggregator() { StopTicker(); }
+
+void WindowedAggregator::Tick() { TickAt(SteadyNowNanos()); }
+
+void WindowedAggregator::TickAt(uint64_t now_nanos) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TickLocked(now_nanos);
+}
+
+void WindowedAggregator::TickLocked(uint64_t now_nanos) {
+  if (now_nanos < last_tick_nanos_) now_nanos = last_tick_nanos_;
+  MetricsBlock snapshot = registry_->Snapshot();
+
+  if (!have_baseline_) {
+    // First tick establishes the baseline; no bucket is produced (there is
+    // no interval to attribute a delta to yet).
+    last_snapshot_ = snapshot;
+    last_tick_nanos_ = now_nanos;
+    have_baseline_ = true;
+    ++ticks_;
+    return;
+  }
+
+  Bucket& bucket = ring_[write_];
+  bucket.start_nanos = last_tick_nanos_;
+  bucket.end_nanos = now_nanos;
+  if (Regressed(snapshot, last_snapshot_)) {
+    // Registry reset mid-window: a subtraction would wrap. Record the
+    // discontinuity instead of a garbage delta.
+    bucket.delta.Clear();
+    bucket.reset = true;
+    ++resets_;
+  } else {
+    bucket.delta = Diff(snapshot, last_snapshot_);
+    bucket.reset = false;
+  }
+  write_ = (write_ + 1) % ring_.size();
+  if (filled_ < ring_.size()) ++filled_;
+
+  last_snapshot_ = std::move(snapshot);
+  last_tick_nanos_ = now_nanos;
+  ++ticks_;
+}
+
+WindowDelta WindowedAggregator::Window(uint64_t span_nanos) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  WindowDelta out;
+  if (span_nanos == 0) return out;
+  // Walk newest → oldest until the requested span of real time is covered.
+  for (size_t i = 0; i < filled_; ++i) {
+    const size_t slot = (write_ + ring_.size() - 1 - i) % ring_.size();
+    const Bucket& bucket = ring_[slot];
+    out.delta += bucket.delta;
+    out.span_nanos += bucket.end_nanos - bucket.start_nanos;
+    ++out.buckets;
+    if (bucket.reset) ++out.resets;
+    if (out.span_nanos >= span_nanos) break;
+  }
+  return out;
+}
+
+MetricsBlock WindowedAggregator::Cumulative() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_snapshot_;
+}
+
+uint64_t WindowedAggregator::resets() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return resets_;
+}
+
+uint64_t WindowedAggregator::ticks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ticks_;
+}
+
+void WindowedAggregator::StartTicker() {
+  {
+    std::lock_guard<std::mutex> lock(ticker_mu_);
+    if (ticker_running_) return;
+    ticker_stop_ = false;
+    ticker_running_ = true;
+  }
+  Tick();  // establish the baseline immediately, not one bucket-width in
+  ticker_ = std::thread([this] {
+    const auto width = std::chrono::nanoseconds(options_.bucket_width_nanos);
+    std::unique_lock<std::mutex> lock(ticker_mu_);
+    while (!ticker_stop_) {
+      if (ticker_cv_.wait_for(lock, width, [this] { return ticker_stop_; })) {
+        break;
+      }
+      lock.unlock();
+      Tick();
+      lock.lock();
+    }
+  });
+}
+
+void WindowedAggregator::StopTicker() {
+  {
+    std::lock_guard<std::mutex> lock(ticker_mu_);
+    if (!ticker_running_) return;
+    ticker_stop_ = true;
+  }
+  ticker_cv_.notify_all();
+  if (ticker_.joinable()) ticker_.join();
+  {
+    std::lock_guard<std::mutex> lock(ticker_mu_);
+    ticker_running_ = false;
+  }
+}
+
+}  // namespace bwtk::obs

@@ -1,0 +1,130 @@
+// Time-windowed view over the process-wide MetricsRegistry.
+//
+// The registry is cumulative-since-start; operators need *rates* ("QPS over
+// the last 10s") and *recent* latency quantiles ("p99 over the last minute"),
+// not lifetime averages. WindowedAggregator produces those without touching
+// any engine hot path: a single background ticker (or an explicit TickAt in
+// tests) snapshots the registry once per bucket width, diffs it against the
+// previous snapshot with the existing MetricsBlock/Histogram delta algebra,
+// and stores the delta in a fixed-size ring of buckets. Rolling windows are
+// sums of the newest buckets — O(window size), taken entirely off to the
+// side of the serving threads.
+//
+// Correctness under concurrency: MetricsRegistry::Snapshot() is safe against
+// active writers (relaxed single-writer slots; see metrics.h), and every
+// slot is monotone between resets, so bucket deltas are non-negative. A
+// registry Reset() between two ticks breaks monotonicity; the aggregator
+// detects that (some field decreased), records an *empty* bucket flagged as
+// a reset instead of a garbage negative delta, and re-bases on the new
+// snapshot. Window results report how many such resets they span so a
+// scraper can discount rates across the discontinuity.
+
+#ifndef BWTK_OBS_WINDOWED_H_
+#define BWTK_OBS_WINDOWED_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace bwtk::obs {
+
+struct WindowedAggregatorOptions {
+  /// Real time each ring bucket covers. 1s buckets keep the 10s window
+  /// honest while letting 5m cost only 300 block sums.
+  uint64_t bucket_width_nanos = 1'000'000'000;
+  /// Ring capacity; width × count bounds the longest answerable window
+  /// (defaults: 300 × 1s = 5 minutes).
+  size_t num_buckets = 300;
+};
+
+/// One rolling-window answer: the summed delta plus how much real time and
+/// how many discontinuities it actually covers.
+struct WindowDelta {
+  MetricsBlock delta;
+  /// Real nanoseconds the summed buckets span. May be less than asked for
+  /// (process younger than the window) — divide by this, not by the request,
+  /// when computing rates.
+  uint64_t span_nanos = 0;
+  /// Ring buckets folded into `delta`.
+  size_t buckets = 0;
+  /// Registry resets detected inside the window. Nonzero means `delta`
+  /// under-counts (the pre-reset tail of activity was discarded).
+  uint64_t resets = 0;
+};
+
+/// Ring-of-deltas aggregator. Thread-safe: Tick/TickAt, Window, and
+/// Cumulative may be called concurrently (one internal mutex, never held
+/// while snapshotting-writers run — Snapshot has its own lock).
+class WindowedAggregator {
+ public:
+  explicit WindowedAggregator(MetricsRegistry* registry,
+                              WindowedAggregatorOptions options = {});
+  ~WindowedAggregator();
+
+  WindowedAggregator(const WindowedAggregator&) = delete;
+  WindowedAggregator& operator=(const WindowedAggregator&) = delete;
+
+  /// Snapshots the registry and closes one bucket ending now. Called by the
+  /// background ticker; call directly in tests (or single-threaded tools).
+  void Tick();
+
+  /// Testable core: closes a bucket ending at `now_nanos` (any monotone
+  /// clock; must not decrease across calls — earlier times are clamped).
+  void TickAt(uint64_t now_nanos);
+
+  /// Sums the newest buckets until `span_nanos` of real time is covered (or
+  /// the ring runs out). A span of 0 returns an empty window.
+  WindowDelta Window(uint64_t span_nanos) const;
+
+  /// The registry snapshot taken by the most recent tick (cumulative since
+  /// process start / last Reset). Empty before the first tick.
+  MetricsBlock Cumulative() const;
+
+  /// Total registry resets detected since construction.
+  uint64_t resets() const;
+  /// Ticks processed since construction.
+  uint64_t ticks() const;
+
+  /// Starts/stops the background ticking thread (one bucket per
+  /// bucket_width_nanos). Idempotent; the destructor stops it.
+  void StartTicker();
+  void StopTicker();
+
+ private:
+  struct Bucket {
+    MetricsBlock delta;
+    uint64_t start_nanos = 0;
+    uint64_t end_nanos = 0;
+    bool reset = false;  // registry Reset() detected; delta is empty
+  };
+
+  void TickLocked(uint64_t now_nanos);
+
+  MetricsRegistry* const registry_;
+  const WindowedAggregatorOptions options_;
+
+  mutable std::mutex mu_;
+  std::vector<Bucket> ring_;   // capacity num_buckets, write_ points past newest
+  size_t write_ = 0;           // next slot to fill
+  size_t filled_ = 0;          // buckets filled so far, saturates at capacity
+  MetricsBlock last_snapshot_;
+  uint64_t last_tick_nanos_ = 0;
+  bool have_baseline_ = false;
+  uint64_t ticks_ = 0;
+  uint64_t resets_ = 0;
+
+  std::thread ticker_;
+  std::mutex ticker_mu_;
+  std::condition_variable ticker_cv_;
+  bool ticker_stop_ = false;
+  bool ticker_running_ = false;
+};
+
+}  // namespace bwtk::obs
+
+#endif  // BWTK_OBS_WINDOWED_H_

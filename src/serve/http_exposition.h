@@ -1,0 +1,96 @@
+// Minimal embedded HTTP/1.1 listener for the serving tier's telemetry and
+// health endpoints. GET-only, one request per connection, serial accept
+// loop — deliberately the smallest thing that a Prometheus scraper, a
+// kubelet probe, curl, and examples/serve_top.cc can all talk to. It is NOT
+// a general web server: no keep-alive, no TLS, no auth (bind it to loopback
+// or a scrape-only interface; the default is loopback like serve::Server).
+//
+// Routes (docs/OBSERVABILITY.md "Live telemetry" is the operator view):
+//   GET /metrics    Prometheus text exposition (version 0.0.4): cumulative
+//                   registry counters/phases/histograms plus rolling-window
+//                   rate and quantile gauges and serving-layer gauges.
+//   GET /varz.json  The same view as JSON, plus SessionStats and the
+//                   per-connection table — the serve_top feed.
+//   GET /healthz    Liveness: 200 whenever the process can answer at all.
+//   GET /readyz     Readiness: 200 only while SetReady(true) has been
+//                   called (index loaded) AND the Session is accepting
+//                   (not draining/stopped); 503 otherwise. Load balancers
+//                   key on this during rollouts and SIGTERM drains.
+//
+// The exposition path never touches engine hot paths: /metrics and
+// /varz.json read the WindowedAggregator's ring (its own mutex) and the
+// Session/Server gauge snapshots. Overhead is bounded by scrape rate, not
+// query rate — the A/B methodology lives in docs/OBSERVABILITY.md.
+
+#ifndef BWTK_SERVE_HTTP_EXPOSITION_H_
+#define BWTK_SERVE_HTTP_EXPOSITION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "obs/windowed.h"
+#include "serve/server.h"
+#include "serve/session.h"
+#include "util/status.h"
+
+namespace bwtk::serve {
+
+struct HttpExpositionOptions {
+  /// Bind address; loopback by default (no auth on these endpoints).
+  std::string host = "127.0.0.1";
+  /// 0 asks the kernel for an ephemeral port (read back via port()).
+  uint16_t port = 0;
+  /// listen(2) backlog. The loop is serial; a scraper + a probe + a
+  /// dashboard is the expected concurrency.
+  int listen_backlog = 16;
+  /// Per-request socket receive/send timeout so one stuck client cannot
+  /// wedge the serial loop.
+  int request_timeout_ms = 2000;
+};
+
+/// The telemetry listener. Owns its socket and accept thread; borrows the
+/// aggregator, session, and (optionally) the TCP front-end, all of which
+/// must outlive it.
+class HttpExpositionServer {
+ public:
+  /// `server` may be null (no per-connection table; e.g. a Session embedded
+  /// in another binary). `aggregator` and `session` are required. The
+  /// caller owns ticking the aggregator (StartTicker or manual Tick).
+  HttpExpositionServer(obs::WindowedAggregator* aggregator, Session* session,
+                       Server* server,
+                       const HttpExpositionOptions& options = {});
+
+  /// Stop() + join, if still running.
+  ~HttpExpositionServer();
+
+  HttpExpositionServer(const HttpExpositionServer&) = delete;
+  HttpExpositionServer& operator=(const HttpExpositionServer&) = delete;
+
+  /// Binds, listens, starts the accept thread. IoError on bind failure.
+  Status Start();
+
+  /// The bound port — the kernel's pick when options.port was 0.
+  uint16_t port() const;
+
+  /// Stops the listener and joins the thread. Idempotent.
+  void Stop();
+
+  /// Flips the operator half of readiness. Call SetReady(true) once the
+  /// index is loaded and the server is accepting; /readyz additionally
+  /// requires Session::accepting(), so a drain flips it back with no extra
+  /// call. Defaults to false (starting up).
+  void SetReady(bool ready);
+
+  /// Current /readyz verdict (both halves).
+  bool ready() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace bwtk::serve
+
+#endif  // BWTK_SERVE_HTTP_EXPOSITION_H_

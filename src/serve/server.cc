@@ -7,6 +7,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cerrno>
 #include <chrono>
 #include <condition_variable>
@@ -17,6 +18,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace bwtk::serve {
@@ -24,6 +26,13 @@ namespace bwtk::serve {
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          Clock::now().time_since_epoch())
+          .count());
+}
 
 // Writes the whole buffer, looping over partial sends. MSG_NOSIGNAL turns
 // a peer hang-up into EPIPE instead of killing the process.
@@ -47,6 +56,18 @@ bool WriteAll(int fd, std::string_view data) {
 struct Connection {
   int fd = -1;
 
+  // Telemetry (serve/http_exposition.h, serve_top). `id` is assigned at
+  // accept and immutable; the counters are relaxed atomics because the
+  // exposition thread snapshots them while the reader/worker threads write.
+  uint64_t id = 0;
+  Clock::time_point opened = Clock::now();
+  std::atomic<uint64_t> queries{0};         // QUERY frames received
+  std::atomic<uint64_t> stats_requests{0};  // STATS frames received
+  std::atomic<uint64_t> overloaded{0};      // layer-1 rejections
+  std::atomic<uint64_t> bytes_in{0};
+  std::atomic<uint64_t> bytes_out{0};
+  std::atomic<uint64_t> last_activity_nanos{0};  // steady nanos of last recv
+
   // Guards fd liveness and serializes frame writes (a RESULT from a worker
   // must not interleave with one from the reaper).
   std::mutex write_mu;
@@ -68,7 +89,9 @@ struct Connection {
       // Peer is gone; stop writing. The reader thread notices on its side
       // and tears the connection down.
       closed = true;
+      return;
     }
+    bytes_out.fetch_add(frame.size(), std::memory_order_relaxed);
   }
 
   void SendResponse(const QueryResponse& response) {
@@ -93,6 +116,7 @@ struct Server::Impl {
 
   mutable std::mutex mu;
   bool stopping = false;
+  uint64_t next_conn_id = 1;  // anonymous accept-order ids (guarded by mu)
   std::vector<std::shared_ptr<Connection>> connections;  // open connections
   std::vector<std::thread> reader_threads;  // joined at Stop
   std::thread acceptor;
@@ -114,6 +138,8 @@ struct Server::Impl {
       return;
     }
     const QueryRequest& request = parsed.value();
+    conn->queries.fetch_add(1, std::memory_order_relaxed);
+    if (request.want_stats) BWTK_METRIC_COUNT(kCounterServeStatsTrailers);
     QueryResponse reject;
     reject.request_id = request.request_id;
 
@@ -128,6 +154,8 @@ struct Server::Impl {
         return;
       }
       if (conn->inflight >= options.max_inflight_per_connection) {
+        conn->overloaded.fetch_add(1, std::memory_order_relaxed);
+        BWTK_METRIC_COUNT(kCounterServeConnOverloaded);
         reject.status = WireStatus::kOverloaded;
         reject.message = "connection in-flight cap (" +
                          std::to_string(options.max_inflight_per_connection) +
@@ -224,6 +252,7 @@ struct Server::Impl {
         HandleQuery(conn, frame.payload);
         return true;
       case FrameType::kStats: {
+        conn->stats_requests.fetch_add(1, std::memory_order_relaxed);
         std::string out;
         AppendStatsResultFrame(session->Stats(), &out);
         conn->Send(out);
@@ -243,6 +272,9 @@ struct Server::Impl {
       const ssize_t n = ::recv(conn->fd, buffer, sizeof(buffer), 0);
       if (n < 0 && errno == EINTR) continue;
       if (n <= 0) break;  // EOF, error, or Stop's shutdown()
+      conn->bytes_in.fetch_add(static_cast<uint64_t>(n),
+                               std::memory_order_relaxed);
+      conn->last_activity_nanos.store(NowNanos(), std::memory_order_relaxed);
       reader.Feed(buffer, static_cast<size_t>(n));
       bool tear_down = false;
       for (;;) {
@@ -333,11 +365,13 @@ struct Server::Impl {
       ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
       auto conn = std::make_shared<Connection>();
       conn->fd = fd;
+      conn->last_activity_nanos.store(NowNanos(), std::memory_order_relaxed);
       std::lock_guard<std::mutex> lock(mu);
       if (stopping) {
         ::close(fd);
         return;
       }
+      conn->id = next_conn_id++;
       connections.push_back(conn);
       reader_threads.emplace_back(
           [this, conn = std::move(conn)]() mutable {
@@ -424,6 +458,37 @@ void Server::Stop() {
 size_t Server::num_connections() const {
   std::lock_guard<std::mutex> lock(impl_->mu);
   return impl_->connections.size();
+}
+
+std::vector<Server::ConnectionStats> Server::ConnectionsSnapshot() const {
+  std::vector<ConnectionStats> out;
+  const uint64_t now = NowNanos();
+  const Clock::time_point now_tp = Clock::now();
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  out.reserve(impl_->connections.size());
+  for (const auto& conn : impl_->connections) {
+    ConnectionStats stats;
+    stats.id = conn->id;
+    stats.queries = conn->queries.load(std::memory_order_relaxed);
+    stats.stats_requests =
+        conn->stats_requests.load(std::memory_order_relaxed);
+    stats.overloaded = conn->overloaded.load(std::memory_order_relaxed);
+    stats.bytes_in = conn->bytes_in.load(std::memory_order_relaxed);
+    stats.bytes_out = conn->bytes_out.load(std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> request_lock(conn->request_mu);
+      stats.inflight = conn->inflight;
+    }
+    stats.age_nanos = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(now_tp -
+                                                             conn->opened)
+            .count());
+    const uint64_t last =
+        conn->last_activity_nanos.load(std::memory_order_relaxed);
+    stats.idle_nanos = now > last ? now - last : 0;
+    out.push_back(stats);
+  }
+  return out;
 }
 
 }  // namespace bwtk::serve

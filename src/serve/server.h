@@ -34,6 +34,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "serve/session.h"
 #include "serve/wire.h"
@@ -96,6 +97,26 @@ class Server {
 
   /// Connections currently open (gauge; for tests and the runbook).
   size_t num_connections() const;
+
+  /// Per-connection accounting, exported over /varz.json for serve_top.
+  /// Ids are stable anonymous integers assigned in accept order (no peer
+  /// address is exported — the telemetry endpoints must stay safe to share).
+  struct ConnectionStats {
+    uint64_t id = 0;          ///< accept-order id, stable for the conn's life
+    uint64_t queries = 0;     ///< QUERY frames received
+    uint64_t stats_requests = 0;  ///< STATS frames received
+    uint64_t overloaded = 0;  ///< layer-1 (per-connection cap) rejections
+    uint64_t bytes_in = 0;    ///< bytes received from the peer
+    uint64_t bytes_out = 0;   ///< frame bytes successfully written
+    uint64_t inflight = 0;    ///< unanswered QUERYs right now
+    uint64_t age_nanos = 0;   ///< since accept
+    uint64_t idle_nanos = 0;  ///< since the last byte received
+  };
+
+  /// Snapshot of every open connection, unordered. Safe at any time; the
+  /// gauges are relaxed reads of live counters (per-field accurate, not a
+  /// consistent cut).
+  std::vector<ConnectionStats> ConnectionsSnapshot() const;
 
  private:
   struct Impl;

@@ -24,6 +24,18 @@ int ResolveThreadCount(int requested) {
 
 enum class LifecycleState { kServing, kDraining, kDrained, kStopped };
 
+// The per-engine served-ticket counter for the Session's pinned engine.
+obs::CounterId ServedCounter(BatchEngine engine) {
+  switch (engine) {
+    case BatchEngine::kAlgorithmA: return obs::kCounterServeServedAlgorithmA;
+    case BatchEngine::kSTree: return obs::kCounterServeServedStree;
+    case BatchEngine::kKError: return obs::kCounterServeServedKError;
+    case BatchEngine::kWildcard: return obs::kCounterServeServedWildcard;
+    case BatchEngine::kDictionary: return obs::kCounterServeServedDictionary;
+  }
+  return obs::kCounterServeServedAlgorithmA;
+}
+
 // One admitted query waiting in (or claimed from) the queue.
 struct Pending {
   Ticket ticket = 0;
@@ -243,6 +255,8 @@ struct Session::Impl {
         std::lock_guard<std::mutex> lock(mu);
         ++completed;
         BWTK_METRIC_COUNT(kCounterServeCompleted);
+        // Executed (not drain-failed) tickets attribute to the pinned engine.
+        if (BWTK_METRICS_ENABLED) obs::Count(ServedCounter(options.batch.engine));
         if (via_callback) {
           --inflight;  // collected when the callback returns (below)
         } else {
@@ -500,8 +514,18 @@ void Session::Shutdown() {
 }
 
 SessionStats Session::Stats() const {
-  std::lock_guard<std::mutex> lock(impl_->mu);
   SessionStats stats;
+  // The registry snapshot takes its own lock; grab it outside mu to keep
+  // the lock ordering trivial (never both held at once).
+  if (BWTK_METRICS_ENABLED) {
+    const obs::MetricsBlock block = obs::MetricsRegistry::Instance().Snapshot();
+    stats.memo_hits = block.counters[obs::kCounterMemoHits];
+    stats.result_cache_hits = block.counters[obs::kCounterResultCacheHits];
+    stats.result_cache_misses = block.counters[obs::kCounterResultCacheMisses];
+    stats.shard_exact_shortcuts =
+        block.counters[obs::kCounterShardExactShortcuts];
+  }
+  std::lock_guard<std::mutex> lock(impl_->mu);
   stats.queue_depth = impl_->queue.size();
   stats.running = impl_->running;
   stats.inflight = impl_->inflight;
@@ -509,7 +533,13 @@ SessionStats Session::Stats() const {
   stats.completed = impl_->completed;
   stats.rejected_overloaded = impl_->rejected_overloaded;
   stats.rejected_unavailable = impl_->rejected_unavailable;
+  stats.accepting = impl_->state == LifecycleState::kServing;
   return stats;
+}
+
+bool Session::accepting() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->state == LifecycleState::kServing;
 }
 
 int Session::num_threads() const { return impl_->num_threads; }

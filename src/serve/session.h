@@ -131,6 +131,12 @@ struct SessionOptions {
 };
 
 /// Point-in-time gauges and lifetime counters (see docs/OBSERVABILITY.md).
+///
+/// Wire note: this struct crosses the serve protocol as the STATS_RESULT
+/// payload, which is count-prefixed (serve/wire.h). Append new fields at the
+/// END only — the wire order is the declaration order below plus `accepting`
+/// last, and old clients zero-fill fields they don't know. The evolution
+/// rule is documented in docs/SERVING.md.
 struct SessionStats {
   size_t queue_depth = 0;     ///< admitted, waiting for a worker
   size_t running = 0;         ///< currently executing on a worker
@@ -139,6 +145,17 @@ struct SessionStats {
   uint64_t completed = 0;     ///< tickets whose search finished (any status)
   uint64_t rejected_overloaded = 0;   ///< Submit failures: budget/queue full
   uint64_t rejected_unavailable = 0;  ///< Submit failures: draining/stopped
+  // Cross-query reuse tiers (process-wide registry totals, not per-Session:
+  // the memo is session-scoped but the result cache may be shared across
+  // Sessions — these mirror the obs counters so remote serve_tool clients
+  // can see them without scraping HTTP).
+  uint64_t memo_hits = 0;             ///< subtree-memo hits (kAlgorithmA L2)
+  uint64_t result_cache_hits = 0;     ///< exact-duplicate cache hits (L3)
+  uint64_t result_cache_misses = 0;   ///< result-cache probes that missed
+  uint64_t shard_exact_shortcuts = 0; ///< sharded k=0 owner-shard answers
+  /// True while the Session admits queries (kServing). The /readyz probe and
+  /// remote clients use this to see a drain in progress.
+  bool accepting = false;
 };
 
 /// The serving engine. See the file comment for the lifecycle contract.
@@ -219,6 +236,11 @@ class Session {
 
   /// Gauges snapshot; safe at any time, including from callbacks.
   SessionStats Stats() const;
+
+  /// True while the Session admits queries (lifecycle state kServing) —
+  /// false from the moment Drain/Shutdown begins. This is the readiness
+  /// signal behind the HTTP /readyz probe (serve/http_exposition.h).
+  bool accepting() const;
 
   /// Number of persistent workers (after resolving num_threads = 0).
   int num_threads() const;

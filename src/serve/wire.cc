@@ -156,6 +156,7 @@ void AppendStatsFrame(std::string* out) {
 
 void AppendStatsResultFrame(const SessionStats& stats, std::string* out) {
   std::string payload;
+  PutInt(kStatsResultFieldCount, &payload);
   PutInt(static_cast<uint64_t>(stats.queue_depth), &payload);
   PutInt(static_cast<uint64_t>(stats.running), &payload);
   PutInt(static_cast<uint64_t>(stats.inflight), &payload);
@@ -163,6 +164,11 @@ void AppendStatsResultFrame(const SessionStats& stats, std::string* out) {
   PutInt(stats.completed, &payload);
   PutInt(stats.rejected_overloaded, &payload);
   PutInt(stats.rejected_unavailable, &payload);
+  PutInt(stats.memo_hits, &payload);
+  PutInt(stats.result_cache_hits, &payload);
+  PutInt(stats.result_cache_misses, &payload);
+  PutInt(stats.shard_exact_shortcuts, &payload);
+  PutInt(static_cast<uint64_t>(stats.accepting ? 1 : 0), &payload);
   AppendFrame(FrameType::kStatsResult, payload, out);
 }
 
@@ -305,11 +311,21 @@ Result<QueryResponse> ParseResultPayload(std::string_view payload) {
 
 Result<SessionStats> ParseStatsResultPayload(std::string_view payload) {
   Cursor cursor{payload.data(), payload.size()};
-  uint64_t fields[7];
-  for (uint64_t& field : fields) {
-    if (!cursor.Read(&field)) return Malformed("STATS_RESULT");
+  uint32_t count = 0;
+  if (!cursor.Read(&count)) return Malformed("STATS_RESULT");
+  // The count is authoritative: the payload must hold exactly that many
+  // u64s. A newer server may send more fields than we know (we skip the
+  // extras); an older one fewer (the missing ones stay zero).
+  if (payload.size() - cursor.pos != static_cast<size_t>(count) * 8) {
+    return Malformed("STATS_RESULT");
   }
-  if (!cursor.AtEnd()) return Malformed("STATS_RESULT");
+  uint64_t fields[kStatsResultFieldCount] = {};
+  const uint32_t known = count < kStatsResultFieldCount
+                             ? count
+                             : kStatsResultFieldCount;
+  for (uint32_t i = 0; i < known; ++i) {
+    if (!cursor.Read(&fields[i])) return Malformed("STATS_RESULT");
+  }
   SessionStats stats;
   stats.queue_depth = static_cast<size_t>(fields[0]);
   stats.running = static_cast<size_t>(fields[1]);
@@ -318,6 +334,11 @@ Result<SessionStats> ParseStatsResultPayload(std::string_view payload) {
   stats.completed = fields[4];
   stats.rejected_overloaded = fields[5];
   stats.rejected_unavailable = fields[6];
+  stats.memo_hits = fields[7];
+  stats.result_cache_hits = fields[8];
+  stats.result_cache_misses = fields[9];
+  stats.shard_exact_shortcuts = fields[10];
+  stats.accepting = fields[11] != 0;
   return stats;
 }
 

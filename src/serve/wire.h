@@ -149,10 +149,20 @@ void AppendHelloAckFrame(const HelloAck& ack, std::string* out);
 void AppendQueryFrame(const QueryRequest& request, std::string* out);
 void AppendResultFrame(const QueryResponse& response, std::string* out);
 void AppendStatsFrame(std::string* out);
-/// STATS_RESULT payload: 7 × u64 in SessionStats declaration order
-/// (queue_depth, running, inflight, submitted, completed,
-/// rejected_overloaded, rejected_unavailable).
+/// STATS_RESULT payload (count-prefixed since the telemetry revision):
+///   u32 field_count, field_count × u64.
+/// Fields travel in SessionStats declaration order — queue_depth, running,
+/// inflight, submitted, completed, rejected_overloaded,
+/// rejected_unavailable, memo_hits, result_cache_hits, result_cache_misses,
+/// shard_exact_shortcuts, accepting (0/1) — currently
+/// kStatsResultFieldCount of them. Evolution rule (normative text in
+/// docs/SERVING.md): new fields append at the END only; parsers zero-fill
+/// fields beyond the sender's count and skip fields beyond their own
+/// knowledge, so old clients read new servers and vice versa.
 void AppendStatsResultFrame(const SessionStats& stats, std::string* out);
+
+/// Fields AppendStatsResultFrame emits / ParseStatsResultPayload knows.
+inline constexpr uint32_t kStatsResultFieldCount = 12;
 
 // --- Decoders ------------------------------------------------------------
 

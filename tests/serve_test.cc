@@ -719,5 +719,103 @@ TEST(ServeWireTest, HelloAckAndStatsRoundTrip) {
   EXPECT_EQ(parsed_stats->queue_depth, 3u);
 }
 
+namespace {
+
+void PutU32(uint32_t value, std::string* out) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((value >> (8 * i)) & 0xff));
+  }
+}
+
+void PutU64(uint64_t value, std::string* out) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((value >> (8 * i)) & 0xff));
+  }
+}
+
+}  // namespace
+
+TEST(ServeWireTest, StatsResultRoundTripsAllTwelveFields) {
+  serve::SessionStats stats;
+  stats.queue_depth = 3;
+  stats.running = 2;
+  stats.inflight = 7;
+  stats.submitted = 100;
+  stats.completed = 93;
+  stats.rejected_overloaded = 5;
+  stats.rejected_unavailable = 1;
+  stats.memo_hits = 11;
+  stats.result_cache_hits = 22;
+  stats.result_cache_misses = 33;
+  stats.shard_exact_shortcuts = 44;
+  stats.accepting = true;
+  std::string bytes;
+  serve::AppendStatsResultFrame(stats, &bytes);
+  const auto parsed = serve::ParseStatsResultPayload(
+      std::string_view(bytes).substr(5));  // strip the 5-byte frame header
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->memo_hits, 11u);
+  EXPECT_EQ(parsed->result_cache_hits, 22u);
+  EXPECT_EQ(parsed->result_cache_misses, 33u);
+  EXPECT_EQ(parsed->shard_exact_shortcuts, 44u);
+  EXPECT_TRUE(parsed->accepting);
+  stats.accepting = false;
+  bytes.clear();
+  serve::AppendStatsResultFrame(stats, &bytes);
+  EXPECT_FALSE(serve::ParseStatsResultPayload(std::string_view(bytes)
+                                                  .substr(5))
+                   ->accepting);
+}
+
+TEST(ServeWireTest, StatsResultToleratesFutureExtraFields) {
+  // A newer server may append fields; the count prefix tells this client to
+  // skip what it does not know.
+  std::string payload;
+  PutU32(serve::kStatsResultFieldCount + 3, &payload);
+  for (uint64_t i = 0; i < serve::kStatsResultFieldCount + 3; ++i) {
+    PutU64(i + 1, &payload);
+  }
+  const auto parsed = serve::ParseStatsResultPayload(payload);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->queue_depth, 1u);
+  EXPECT_EQ(parsed->submitted, 4u);
+  EXPECT_EQ(parsed->shard_exact_shortcuts, 11u);
+  EXPECT_TRUE(parsed->accepting);  // field 12 == 12, nonzero
+}
+
+TEST(ServeWireTest, StatsResultZeroFillsFieldsFromOlderServers) {
+  // An old server sends only the original 7 fields; the newer fields must
+  // read as zero/false, not garbage.
+  std::string payload;
+  PutU32(7, &payload);
+  for (uint64_t i = 0; i < 7; ++i) PutU64(100 + i, &payload);
+  const auto parsed = serve::ParseStatsResultPayload(payload);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->queue_depth, 100u);
+  EXPECT_EQ(parsed->rejected_unavailable, 106u);
+  EXPECT_EQ(parsed->memo_hits, 0u);
+  EXPECT_EQ(parsed->result_cache_hits, 0u);
+  EXPECT_EQ(parsed->shard_exact_shortcuts, 0u);
+  EXPECT_FALSE(parsed->accepting);
+}
+
+TEST(ServeWireTest, StatsResultRejectsCountPayloadMismatch) {
+  // The count must agree exactly with the payload size.
+  std::string payload;
+  PutU32(5, &payload);
+  for (uint64_t i = 0; i < 4; ++i) PutU64(i, &payload);  // one field short
+  EXPECT_FALSE(serve::ParseStatsResultPayload(payload).ok());
+
+  payload.clear();
+  PutU32(2, &payload);
+  for (uint64_t i = 0; i < 3; ++i) PutU64(i, &payload);  // one field extra
+  EXPECT_FALSE(serve::ParseStatsResultPayload(payload).ok());
+
+  // Truncated before the count itself.
+  EXPECT_FALSE(serve::ParseStatsResultPayload("\x01\x02").ok());
+  // Empty payload is malformed too (the count prefix is mandatory).
+  EXPECT_FALSE(serve::ParseStatsResultPayload("").ok());
+}
+
 }  // namespace
 }  // namespace bwtk
