@@ -5,6 +5,7 @@
 //
 //   $ ./serve_tool serve --genome 1048576 --port-file /tmp/port &
 //   $ ./serve_tool query 127.0.0.1 $(cat /tmp/port) acgtacgt 2
+//   $ ./serve_tool query 127.0.0.1 $(cat /tmp/port) acgtacgt 2 stree
 //   $ ./serve_tool batch 127.0.0.1 $(cat /tmp/port) patterns.txt 2
 //   $ ./serve_tool stats 127.0.0.1 $(cat /tmp/port)
 //   $ kill -TERM %1           # graceful drain, then exit
@@ -24,6 +25,7 @@
 #include <cstring>
 #include <fstream>
 #include <memory>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -123,14 +125,28 @@ bool ResolveEngine(const std::string& name, bwtk::BatchEngine* engine) {
     *engine = bwtk::BatchEngine::kWildcard;
   } else if (name == "dictionary") {
     *engine = bwtk::BatchEngine::kDictionary;
+  } else if (name == "bidirectional") {
+    *engine = bwtk::BatchEngine::kBidirectional;
+  } else if (name == "auto") {
+    *engine = bwtk::BatchEngine::kAuto;
   } else {
-    std::fprintf(
-        stderr,
-        "unknown engine %s (algorithm_a|stree|kerror|wildcard|dictionary)\n",
-        name.c_str());
+    std::fprintf(stderr,
+                 "unknown engine %s (algorithm_a|stree|kerror|wildcard|"
+                 "dictionary|bidirectional|auto)\n",
+                 name.c_str());
     return false;
   }
   return true;
+}
+
+// bidirectional and auto need a BiFmIndex alongside the forward index.
+// MakeIndex discards the genome text (and --index may load a forward-only
+// file), so upgrade the forward index by moving it into FromForward, which
+// inverts the BWT to recover the text and builds the reverse half from it;
+// the Session then points at the pair's forward() half.
+bool NeedsBidir(bwtk::BatchEngine engine) {
+  return engine == bwtk::BatchEngine::kBidirectional ||
+         engine == bwtk::BatchEngine::kAuto;
 }
 
 // The index behind both `serve` and `local`: loaded, or generated
@@ -181,12 +197,25 @@ void PrintHits(size_t query_index, const std::vector<bwtk::Occurrence>& hits) {
 int RunServe(const Flags& flags) {
   bwtk::BatchEngine engine;
   if (!ResolveEngine(flags.engine, &engine)) return 2;
-  const auto index = MakeIndex(flags);
+  auto index = MakeIndex(flags);
   if (!index.ok()) {
     std::fprintf(stderr, "%s\n", index.status().ToString().c_str());
     return 1;
   }
-  bwtk::serve::Session session(&*index, MakeSessionOptions(flags, engine));
+  std::optional<bwtk::BiFmIndex> bidir;
+  auto options = MakeSessionOptions(flags, engine);
+  const bwtk::FmIndex* forward = &*index;
+  if (NeedsBidir(engine)) {
+    auto bidir_or = bwtk::BiFmIndex::FromForward(std::move(*index));
+    if (!bidir_or.ok()) {
+      std::fprintf(stderr, "%s\n", bidir_or.status().ToString().c_str());
+      return 1;
+    }
+    bidir.emplace(std::move(bidir_or).value());
+    options.batch.bidir_indexes = {&*bidir};
+    forward = &bidir->forward();
+  }
+  bwtk::serve::Session session(forward, options);
   bwtk::serve::ServerOptions server_options;
   server_options.port = flags.port;
   server_options.max_inflight_per_connection = flags.conn_inflight;
@@ -232,7 +261,7 @@ int RunServe(const Flags& flags) {
   }
   std::fprintf(stderr, "serving %s on 127.0.0.1:%u (%zu bp, %d workers)\n",
                bwtk::BatchEngineName(engine).data(), server.port(),
-               index->text_size(), session.num_threads());
+               forward->text_size(), session.num_threads());
 
   std::signal(SIGTERM, HandleSignal);
   std::signal(SIGINT, HandleSignal);
@@ -262,13 +291,15 @@ int RunServe(const Flags& flags) {
 }
 
 int RunQuery(const std::string& host, uint16_t port,
-             const std::string& pattern, int32_t k) {
+             const std::string& pattern, int32_t k,
+             std::optional<bwtk::BatchEngine> engine) {
   auto client = bwtk::serve::Client::Connect(host, port);
   if (!client.ok()) {
     std::fprintf(stderr, "%s\n", client.status().ToString().c_str());
     return 1;
   }
-  const auto response = (*client)->Query(pattern, k);
+  const auto response = (*client)->Query(pattern, k, /*want_stats=*/false,
+                                         engine);
   if (!response.ok()) {
     std::fprintf(stderr, "%s\n", response.status().ToString().c_str());
     return 1;
@@ -390,13 +421,26 @@ int RunStats(const std::string& host, uint16_t port) {
 int RunLocal(const std::string& file, int32_t k, const Flags& flags) {
   bwtk::BatchEngine engine;
   if (!ResolveEngine(flags.engine, &engine)) return 2;
-  const auto index = MakeIndex(flags);
+  auto index = MakeIndex(flags);
   if (!index.ok()) {
     std::fprintf(stderr, "%s\n", index.status().ToString().c_str());
     return 1;
   }
   const std::vector<std::string> patterns = ReadPatternFile(file);
-  bwtk::serve::Session session(&*index, MakeSessionOptions(flags, engine));
+  std::optional<bwtk::BiFmIndex> bidir;
+  auto options = MakeSessionOptions(flags, engine);
+  const bwtk::FmIndex* forward = &*index;
+  if (NeedsBidir(engine)) {
+    auto bidir_or = bwtk::BiFmIndex::FromForward(std::move(*index));
+    if (!bidir_or.ok()) {
+      std::fprintf(stderr, "%s\n", bidir_or.status().ToString().c_str());
+      return 1;
+    }
+    bidir.emplace(std::move(bidir_or).value());
+    options.batch.bidir_indexes = {&*bidir};
+    forward = &bidir->forward();
+  }
+  bwtk::serve::Session session(forward, options);
   std::vector<bwtk::serve::Ticket> tickets;
   tickets.reserve(patterns.size());
   size_t total = 0;
@@ -429,7 +473,7 @@ int Usage(const char* argv0) {
       "           [--conn-inflight N] [--trace-sample R] [--trace-out PATH]\n"
       "           [--http-port P] [--http-port-file PATH]\n"
       "           [--drain-grace-ms T]\n"
-      "  %s query HOST PORT PATTERN [k]\n"
+      "  %s query HOST PORT PATTERN [k [engine]]\n"
       "  %s batch HOST PORT PATTERNS_FILE [k]\n"
       "  %s stats HOST PORT\n"
       "  %s local PATTERNS_FILE [k] [index/engine flags as for serve]\n",
@@ -449,8 +493,17 @@ int main(int argc, char** argv) {
   }
   if (mode == "query" && argc >= 5) {
     const int32_t k = argc > 5 ? std::atoi(argv[5]) : 0;
+    // Optional trailing engine name: a per-query override carried in the
+    // QUERY frame's trailer (docs/SERVING.md §4.3) — this one query runs
+    // under that engine instead of the session default.
+    std::optional<bwtk::BatchEngine> engine;
+    if (argc > 6) {
+      bwtk::BatchEngine resolved;
+      if (!ResolveEngine(argv[6], &resolved)) return 2;
+      engine = resolved;
+    }
     return RunQuery(argv[2], static_cast<uint16_t>(std::atoi(argv[3])),
-                    argv[4], k);
+                    argv[4], k, engine);
   }
   if (mode == "batch" && argc >= 5) {
     const int32_t k = argc > 5 ? std::atoi(argv[5]) : 0;

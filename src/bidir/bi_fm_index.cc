@@ -1,0 +1,130 @@
+#include "bidir/bi_fm_index.h"
+
+#include <algorithm>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <utility>
+
+#include "bwt/bwt.h"
+#include "bwt/serialize.h"
+#include "search/result_cache.h"
+#include "util/logging.h"
+
+namespace bwtk {
+
+namespace {
+
+template <typename T>
+void WritePod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::istream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(T));
+  return static_cast<bool>(in);
+}
+
+// FNV-1a over the pair's content fingerprints; mismatched or swapped halves
+// fail loudly instead of silently desynchronizing the co-ranges.
+uint64_t PairChecksum(uint64_t text_size, uint64_t fwd_version,
+                      uint64_t rev_version) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (const uint64_t w : {text_size, fwd_version, rev_version}) {
+    h ^= w;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+BiFmIndex::BiFmIndex(FmIndex fwd, FmIndex rev)
+    : fwd_(std::move(fwd)), rev_(std::move(rev)) {}
+
+Result<BiFmIndex> BiFmIndex::Build(const std::vector<DnaCode>& text,
+                                   const Options& options) {
+  BWTK_ASSIGN_OR_RETURN(FmIndex fwd, FmIndex::Build(text, options));
+  std::vector<DnaCode> reversed(text.rbegin(), text.rend());
+  BWTK_ASSIGN_OR_RETURN(FmIndex rev, FmIndex::Build(reversed, options));
+  return BiFmIndex(std::move(fwd), std::move(rev));
+}
+
+Result<BiFmIndex> BiFmIndex::FromForward(FmIndex forward) {
+  // The forward half's BWT is the BWT of reverse(text)$; inverting it
+  // yields reverse(text), which is exactly the build input of the reverse
+  // half.
+  std::vector<DnaCode> reversed = InvertBwt(forward.bwt());
+  BWTK_ASSIGN_OR_RETURN(FmIndex rev,
+                        FmIndex::Build(reversed, forward.options()));
+  return BiFmIndex(std::move(forward), std::move(rev));
+}
+
+Status BiFmIndex::Save(std::ostream& out) const {
+  WritePod(out, BiFmIndexFormat::kMagic);
+  WritePod(out, BiFmIndexFormat::kVersion);
+  WritePod(out, static_cast<uint64_t>(fwd_.text_size()));
+  BWTK_RETURN_IF_ERROR(fwd_.Save(out));
+  BWTK_RETURN_IF_ERROR(rev_.Save(out));
+  WritePod(out, PairChecksum(fwd_.text_size(), FmIndexVersion(fwd_),
+                             FmIndexVersion(rev_)));
+  if (!out) return Status::IoError("bidirectional index write failed");
+  return Status::OK();
+}
+
+Result<BiFmIndex> BiFmIndex::Load(std::istream& in) {
+  uint32_t magic = 0;
+  uint32_t version = 0;
+  if (!ReadPod(in, &magic)) {
+    return Status::Corruption("truncated bidirectional index file");
+  }
+  if (magic == FmIndexFormat::kMagic) {
+    return Status::Corruption(
+        "monolithic FM-index file (magic \"BWTK\"): it lacks the reverse "
+        "half; load it with FmIndex::Load for forward-only engines, or "
+        "upgrade via BiFmIndex::FromForward");
+  }
+  if (magic != BiFmIndexFormat::kMagic) {
+    return Status::Corruption("bad magic: not a bwtk bidirectional index");
+  }
+  if (!ReadPod(in, &version) ||
+      version < BiFmIndexFormat::kMinSupportedVersion ||
+      version > BiFmIndexFormat::kVersion) {
+    return Status::Corruption("unsupported bidirectional index version");
+  }
+  uint64_t text_size = 0;
+  if (!ReadPod(in, &text_size)) {
+    return Status::Corruption("truncated bidirectional index file");
+  }
+  BWTK_ASSIGN_OR_RETURN(FmIndex fwd, FmIndex::Load(in));
+  BWTK_ASSIGN_OR_RETURN(FmIndex rev, FmIndex::Load(in));
+  uint64_t checksum = 0;
+  if (!ReadPod(in, &checksum)) {
+    return Status::Corruption("truncated bidirectional index file");
+  }
+  if (fwd.text_size() != text_size || rev.text_size() != text_size) {
+    return Status::Corruption("bidirectional index halves disagree on size");
+  }
+  if (checksum !=
+      PairChecksum(text_size, FmIndexVersion(fwd), FmIndexVersion(rev))) {
+    return Status::Corruption("bidirectional index checksum mismatch");
+  }
+  return BiFmIndex(std::move(fwd), std::move(rev));
+}
+
+Status BiFmIndex::SaveToFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  return Save(out);
+}
+
+Result<BiFmIndex> BiFmIndex::LoadFromFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IoError("cannot open bidirectional index file: " + path);
+  }
+  return Load(in);
+}
+
+}  // namespace bwtk

@@ -23,12 +23,14 @@ constexpr std::string_view kCounterNames[kNumCounters] = {
     "serve_stats_trailers", "serve_conn_overloaded",
     "serve_served_algorithm_a", "serve_served_stree", "serve_served_kerror",
     "serve_served_wildcard", "serve_served_dictionary",
+    "serve_served_bidirectional",
+    "bidir_searches", "bidir_left_extends", "bidir_right_extends",
 };
 
 constexpr std::string_view kPhaseNames[kNumPhases] = {
     "index_build", "tau_build", "ri_build",   "merge",
     "tree_traversal", "locate", "queue_wait", "worker_search",
-    "prefix_table_build",
+    "prefix_table_build", "bidir_traversal",
 };
 
 constexpr std::string_view kHistNames[kNumHists] = {

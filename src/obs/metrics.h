@@ -134,6 +134,14 @@ enum CounterId : uint32_t {
   kCounterServeServedKError,      ///< tickets served by the kerror engine.
   kCounterServeServedWildcard,    ///< tickets served by the wildcard engine.
   kCounterServeServedDictionary,  ///< tickets served by the dictionary engine.
+  /// Tickets served by the bidirectional engine. kAuto tickets count under
+  /// the engine the auto-pick resolved to, never a separate bucket.
+  kCounterServeServedBidirectional,
+  // bidirectional search-scheme engine (bidir/bidir_search.h). Flushed once
+  // per query like the other engine counters.
+  kCounterBidirSearches,      ///< scheme searches walked (per query, per search).
+  kCounterBidirLeftExtends,   ///< leftward BiFmIndex ExtendAll steps.
+  kCounterBidirRightExtends,  ///< rightward BiFmIndex ExtendAll steps.
   kNumCounters
 };
 
@@ -149,6 +157,7 @@ enum PhaseId : uint32_t {
   kPhaseQueueWait,      ///< batch workers blocked waiting for work.
   kPhaseWorkerSearch,   ///< batch workers executing a batch's queries.
   kPhasePrefixTableBuild,  ///< PrefixIntervalTable::Build (index build time).
+  kPhaseBidirTraversal,    ///< the search-scheme walk of a bidirectional query.
   kNumPhases
 };
 

@@ -42,8 +42,35 @@ std::string_view BatchEngineName(BatchEngine engine) {
       return "wildcard";
     case BatchEngine::kDictionary:
       return "dictionary";
+    case BatchEngine::kBidirectional:
+      return "bidirectional";
+    case BatchEngine::kAuto:
+      return "auto";
   }
   return "unknown";
+}
+
+BatchEngine AutoPickEngine(size_t pattern_length, int32_t k,
+                           bool bidir_available) {
+  if (!bidir_available) return BatchEngine::kAlgorithmA;
+  // Crossover calibrated from BENCH_bidir.json (bench/bench_bidir.cc),
+  // synth-1M, m in {24, 36, 50, 100} x k in {0..5}: the scheme walk wins
+  // every measured cell — 2.7x at (m=24, k=0), growing with both m and k
+  // to 384x at (m=50, k=5) — so any read at least as long as the measured
+  // floor routes to it outright. Below the measured lengths it still wins
+  // whenever the budget is large enough to multiply the enumeration
+  // frontier AND the pattern is long enough that each piece meaningfully
+  // constrains it (every piece >= 2 symbols); for the remaining short
+  // low-budget reads Algorithm A's reuse machinery is already cheap and
+  // the scheme's piece bounds have nothing to cut, so it keeps them.
+  constexpr size_t kMeasuredLengthFloor = 24;
+  if (pattern_length >= kMeasuredLengthFloor) {
+    return BatchEngine::kBidirectional;
+  }
+  if (k >= 2 && pattern_length >= 2 * static_cast<size_t>(k) + 2) {
+    return BatchEngine::kBidirectional;
+  }
+  return BatchEngine::kAlgorithmA;
 }
 
 Result<std::vector<DnaCode>> DecodeBatchPattern(BatchEngine engine,
@@ -56,8 +83,10 @@ Result<std::vector<DnaCode>> DecodeBatchPattern(BatchEngine engine,
 
 // One engine per (worker, index): each engine is a thin const view of its
 // shared index plus options, so a bank costs nothing to build and keeps
-// workers symmetric with serial callers. Only the configured engine family
-// is instantiated.
+// workers symmetric with serial callers. Every FmIndex-backed family is
+// instantiated eagerly — per-ticket engine overrides (RunWith) and kAuto
+// dispatch mean any of them can run on any task; the bidirectional family
+// exists iff the caller supplied BatchOptions::bidir_indexes.
 struct EngineBank::Impl {
   BatchOptions options;
   size_t num_indexes = 0;
@@ -66,6 +95,9 @@ struct EngineBank::Impl {
   std::vector<KErrorSearch> kerror_engines;
   std::vector<WildcardSearch> wildcard_engines;
   std::vector<DictionarySearcher> dict_engines;
+  // unique_ptr because BidirectionalSearch owns a mutex (scheme cache) and
+  // cannot be vector-moved.
+  std::vector<std::unique_ptr<BidirectionalSearch>> bidir_engines;
   AlgorithmAScratch scratch;  // reused across every Run, never shrinks
   // Cross-query shared subtree memo, attached by the pool/session that owns
   // it (kAlgorithmA only). Not owned.
@@ -79,38 +111,35 @@ EngineBank::EngineBank(const std::vector<const FmIndex*>& indexes,
   for (const FmIndex* index : indexes) BWTK_CHECK(index != nullptr);
   impl_->options = options;
   impl_->num_indexes = indexes.size();
-  switch (options.engine) {
-    case BatchEngine::kAlgorithmA:
-      impl_->a_engines.reserve(indexes.size());
-      for (const FmIndex* index : indexes) {
-        impl_->a_engines.emplace_back(index, options.algorithm_a);
-      }
-      break;
-    case BatchEngine::kSTree:
-      impl_->stree_engines.reserve(indexes.size());
-      for (const FmIndex* index : indexes) {
-        impl_->stree_engines.emplace_back(index, options.stree);
-      }
-      break;
-    case BatchEngine::kKError:
-      impl_->kerror_engines.reserve(indexes.size());
-      for (const FmIndex* index : indexes) {
-        impl_->kerror_engines.emplace_back(index);
-      }
-      break;
-    case BatchEngine::kWildcard:
-      impl_->wildcard_engines.reserve(indexes.size());
-      for (const FmIndex* index : indexes) {
-        impl_->wildcard_engines.emplace_back(index);
-      }
-      break;
-    case BatchEngine::kDictionary:
-      impl_->dict_engines.reserve(indexes.size());
-      for (const FmIndex* index : indexes) {
-        impl_->dict_engines.emplace_back(index, options.dictionary);
-      }
-      break;
+  impl_->a_engines.reserve(indexes.size());
+  impl_->stree_engines.reserve(indexes.size());
+  impl_->kerror_engines.reserve(indexes.size());
+  impl_->wildcard_engines.reserve(indexes.size());
+  impl_->dict_engines.reserve(indexes.size());
+  for (const FmIndex* index : indexes) {
+    impl_->a_engines.emplace_back(index, options.algorithm_a);
+    impl_->stree_engines.emplace_back(index, options.stree);
+    impl_->kerror_engines.emplace_back(index);
+    impl_->wildcard_engines.emplace_back(index);
+    impl_->dict_engines.emplace_back(index, options.dictionary);
   }
+  if (!options.bidir_indexes.empty()) {
+    BWTK_CHECK_EQ(options.bidir_indexes.size(), indexes.size());
+    impl_->bidir_engines.reserve(indexes.size());
+    for (size_t s = 0; s < indexes.size(); ++s) {
+      const BiFmIndex* bidir = options.bidir_indexes[s];
+      BWTK_CHECK(bidir != nullptr);
+      // Alignment contract: slot s's bidirectional index must index the
+      // same text as slot s's FmIndex (full content equality is the
+      // caller's responsibility; the size check catches swapped slots).
+      BWTK_CHECK_EQ(bidir->text_size(), indexes[s]->text_size());
+      impl_->bidir_engines.push_back(
+          std::make_unique<BidirectionalSearch>(bidir, options.bidir));
+    }
+  }
+  BWTK_CHECK(Supports(options.engine))
+      << "engine " << BatchEngineName(options.engine)
+      << " needs BatchOptions::bidir_indexes";
 }
 
 EngineBank::~EngineBank() = default;
@@ -118,6 +147,25 @@ EngineBank::~EngineBank() = default;
 std::vector<Occurrence> EngineBank::Run(const BatchQuery& query,
                                         size_t index_slot,
                                         SearchStats* stats) {
+  return RunWith(impl_->options.engine, query, index_slot, stats);
+}
+
+bool EngineBank::Supports(BatchEngine engine) const {
+  return engine != BatchEngine::kBidirectional ||
+         !impl_->bidir_engines.empty();
+}
+
+BatchEngine EngineBank::Resolve(BatchEngine engine,
+                                const BatchQuery& query) const {
+  if (engine != BatchEngine::kAuto) return engine;
+  return AutoPickEngine(query.pattern.size(), query.k,
+                        !impl_->bidir_engines.empty());
+}
+
+std::vector<Occurrence> EngineBank::RunWith(BatchEngine engine,
+                                            const BatchQuery& query,
+                                            size_t index_slot,
+                                            SearchStats* stats) {
   std::vector<Occurrence> hits;
   // A negative budget marks a query skipped at decode time (ASCII
   // fail_fast = false path, or a rejected serve ticket); no search runs.
@@ -125,7 +173,7 @@ std::vector<Occurrence> EngineBank::Run(const BatchQuery& query,
     if (stats != nullptr) *stats = SearchStats{};
     return hits;
   }
-  switch (impl_->options.engine) {
+  switch (Resolve(engine, query)) {
     case BatchEngine::kAlgorithmA:
       hits = impl_->a_engines[index_slot].Search(
           query.pattern, query.k, stats, &impl_->scratch,
@@ -166,6 +214,16 @@ std::vector<Occurrence> EngineBank::Run(const BatchQuery& query,
       }
       break;
     }
+    case BatchEngine::kBidirectional:
+      BWTK_CHECK(!impl_->bidir_engines.empty())
+          << "kBidirectional needs BatchOptions::bidir_indexes";
+      hits = impl_->bidir_engines[index_slot]->Search(query.pattern, query.k,
+                                                      stats);
+      break;
+    case BatchEngine::kAuto:
+      // Resolve never returns kAuto.
+      BWTK_CHECK(false);
+      break;
   }
   if (impl_->options.deterministic_order) NormalizeOccurrences(&hits);
   return hits;
@@ -265,7 +323,6 @@ struct BatchSearcher::Pool {
     EngineBank bank(indexes, options);
     if (memo != nullptr) bank.set_shared_memo(memo.get());
     const std::string_view engine_name = bank.engine_name();
-    const uint8_t engine_id = static_cast<uint8_t>(options.engine);
     for (;;) {
       uint64_t base = 0;
       obs::TraceSink* tsink = nullptr;
@@ -328,6 +385,13 @@ struct BatchSearcher::Pool {
           // fail_fast = false path); its slots stay empty.
           if (query.k < 0) continue;
           BWTK_METRIC_COUNT(kCounterBatchQueries);
+          // Everything downstream — trace label, cache key, execution —
+          // attributes to the engine this query actually runs under; for a
+          // pinned pool Resolve is the identity, under kAuto it is the
+          // per-query pick (so kAuto shares cache entries with pools that
+          // pin the same engine).
+          const BatchEngine resolved = bank.Resolve(options.engine, query);
+          const uint8_t engine_id = static_cast<uint8_t>(resolved);
           if (cache != nullptr) {
             ResultCache::Entry cached;
             if (cache->Lookup(engine_id, query.k, index_versions[s],
@@ -344,11 +408,13 @@ struct BatchSearcher::Pool {
           SearchStats query_stats;
           // Trace id = batch sequence | task index: stable across runs, so
           // the sampled subset does not depend on thread assignment.
-          obs::ScopedQueryTrace qt(tsink, base | t, engine_name, query.k,
+          obs::ScopedQueryTrace qt(tsink, base | t,
+                                   BatchEngineName(resolved), query.k,
                                    query.pattern.size(),
                                    static_cast<uint32_t>(tid),
                                    static_cast<uint32_t>(s));
-          std::vector<Occurrence> hits = bank.Run(query, s, &query_stats);
+          std::vector<Occurrence> hits =
+              bank.RunWith(resolved, query, s, &query_stats);
           qt.Finish(hits.size(), query_stats);
           if (cache != nullptr) {
             cache->Insert(engine_id, query.k, index_versions[s],

@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "alphabet/dna.h"
+#include "bidir/bidir_search.h"
 #include "bwt/fm_index.h"
 #include "dict/dictionary_searcher.h"
 #include "dict/pattern_set_trie.h"
@@ -57,7 +58,7 @@ struct BatchQuery {
   int32_t k = 0;
 };
 
-/// Which search engine the worker pool runs per query. All five return
+/// Which search engine the worker pool runs per query. All of them return
 /// position-sorted Occurrence lists over the same index; they differ in the
 /// distance function and the amount of reuse machinery. The per-engine
 /// SearchStats contract (which counters each engine fills) is documented in
@@ -86,11 +87,32 @@ enum class BatchEngine {
   /// Patterns of different lengths (or different k) simply land in
   /// different groups.
   kDictionary,
+  /// BidirectionalSearch (Hamming distance, bidir/bidir_search.h): walks an
+  /// optimal search scheme over a BiFmIndex, extending in both directions
+  /// so most branches die in a mismatch-poor piece. Requires
+  /// BatchOptions::bidir_indexes (one BiFmIndex per index slot); hits are
+  /// byte-identical to kSTree/kAlgorithmA. Strongest at k >= 2 on long
+  /// reads (see BENCH_bidir.json and docs/BIDIRECTIONAL.md).
+  kBidirectional,
+  /// Not an engine: per query, AutoPickEngine(pattern length, k,
+  /// bidir available) selects kAlgorithmA or kBidirectional from the
+  /// calibrated crossover table. Falls back to kAlgorithmA everywhere when
+  /// BatchOptions::bidir_indexes is absent. Stats, traces, result-cache
+  /// keys and served-ticket counters all attribute to the *resolved*
+  /// engine.
+  kAuto,
 };
 
 /// Stable engine label used for traces and bench reports ("algorithm_a",
-/// "stree", "kerror", "wildcard", "dictionary").
+/// "stree", "kerror", "wildcard", "dictionary", "bidirectional", "auto").
 std::string_view BatchEngineName(BatchEngine engine);
+
+/// The (pattern length, k) → engine table behind BatchEngine::kAuto,
+/// calibrated from the committed BENCH_bidir.json head-to-head grid (see
+/// docs/BIDIRECTIONAL.md for the measured crossover). Returns kAlgorithmA
+/// whenever `bidir_available` is false.
+BatchEngine AutoPickEngine(size_t pattern_length, int32_t k,
+                           bool bidir_available);
 
 /// Decodes an ASCII pattern the way the batch overloads do for `engine`:
 /// ParseWildcardPattern for kWildcard (wildcards allowed), EncodeDna for
@@ -129,6 +151,19 @@ struct BatchOptions {
   /// Engine knobs for BatchEngine::kDictionary, passed through to every
   /// worker's DictionarySearcher.
   DictionaryOptions dictionary = {};
+
+  /// Engine knobs for BatchEngine::kBidirectional.
+  BidirOptions bidir = {};
+
+  /// Bidirectional indexes, one per index slot, each pairing the slot's
+  /// FmIndex with its reverse-text half (typically BiFmIndex::FromForward
+  /// of that very index). Required for kBidirectional, enables the
+  /// bidirectional arm of kAuto, ignored by the other engines. When
+  /// non-empty the vector must have exactly one non-null entry per index,
+  /// each indexing the same text as its slot (for a ShardedBatchSearcher,
+  /// one per shard in shard order). Not owned; must outlive the
+  /// searcher/session.
+  std::vector<const BiFmIndex*> bidir_indexes;
 
   /// Batch-scoped shared subtree memo (BatchEngine::kAlgorithmA only; see
   /// subtree_memo.h). When enabled, the pool owns one SubtreeMemo, clears
@@ -249,6 +284,23 @@ class EngineBank {
                                                      int32_t k,
                                                      size_t index_slot,
                                                      SearchStats* stats);
+
+  /// Runs `query` with `engine` instead of the configured one — the
+  /// substrate of per-ticket engine overrides (serve wire flag) and of
+  /// kAuto. kAuto is Resolve()d internally; `engine` must satisfy
+  /// Supports() (kBidirectional without bidir indexes is a CHECK failure —
+  /// callers taking untrusted overrides validate with Supports first).
+  std::vector<Occurrence> RunWith(BatchEngine engine, const BatchQuery& query,
+                                  size_t index_slot, SearchStats* stats);
+
+  /// True when this bank can execute `engine`: always for the five
+  /// FmIndex-only engines and kAuto (which degrades to kAlgorithmA),
+  /// only with BatchOptions::bidir_indexes for kBidirectional.
+  bool Supports(BatchEngine engine) const;
+
+  /// The engine a query actually runs under: `engine` itself, except kAuto
+  /// which maps through AutoPickEngine(pattern length, k, bidir present).
+  BatchEngine Resolve(BatchEngine engine, const BatchQuery& query) const;
 
   /// Attaches (or detaches, with nullptr) the shared subtree memo consulted
   /// by kAlgorithmA runs. The memo must outlive the bank or be detached

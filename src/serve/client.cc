@@ -108,12 +108,14 @@ Result<Frame> Client::ReceiveFrame(FrameType want) {
 }
 
 Result<uint64_t> Client::SendQuery(std::string_view pattern, int32_t k,
-                                   bool want_stats) {
+                                   bool want_stats,
+                                   std::optional<BatchEngine> engine) {
   QueryRequest request;
   request.request_id = next_request_id_++;
   request.k = k;
   request.pattern.assign(pattern);
   request.want_stats = want_stats;
+  request.engine_override = engine;
   std::string frame;
   AppendQueryFrame(request, &frame);
   BWTK_RETURN_IF_ERROR(SendFrame(frame));
@@ -131,9 +133,10 @@ Result<QueryResponse> Client::ReceiveResponse() {
 }
 
 Result<QueryResponse> Client::Query(std::string_view pattern, int32_t k,
-                                    bool want_stats) {
+                                    bool want_stats,
+                                    std::optional<BatchEngine> engine) {
   BWTK_ASSIGN_OR_RETURN(const uint64_t request_id,
-                        SendQuery(pattern, k, want_stats));
+                        SendQuery(pattern, k, want_stats, engine));
   // Responses come back in completion order; park any that belong to other
   // outstanding pipelined requests.
   for (size_t i = 0; i < queued_.size(); ++i) {

@@ -51,14 +51,20 @@ class Client {
   /// kOverloaded etc. come back as statuses, transport failures as
   /// IoError/Corruption. With want_stats the RESULT carries the per-query
   /// stats trailer (QueryResponse::has_stats and friends); servers
-  /// predating the trailer still answer, just without it.
+  /// predating the trailer still answer, just without it. With `engine`
+  /// set, the QUERY carries the engine-override trailer: the server runs
+  /// this one query under that engine (kInvalidArgument when it is not
+  /// available there — e.g. bidirectional without bidirectional indexes).
   Result<QueryResponse> Query(std::string_view pattern, int32_t k,
-                              bool want_stats = false);
+                              bool want_stats = false,
+                              std::optional<BatchEngine> engine = {});
 
   /// Pipelining: sends one QUERY frame with a self-assigned request id
-  /// (returned). Does not wait for the response. want_stats as in Query().
+  /// (returned). Does not wait for the response. want_stats and engine as
+  /// in Query().
   Result<uint64_t> SendQuery(std::string_view pattern, int32_t k,
-                             bool want_stats = false);
+                             bool want_stats = false,
+                             std::optional<BatchEngine> engine = {});
 
   /// Receives the next RESULT in server completion order — any request id.
   /// Internally-queued responses (collected while waiting inside Query)

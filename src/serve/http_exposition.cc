@@ -6,7 +6,9 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <thread>
 #include <utility>
@@ -20,9 +22,6 @@ namespace bwtk::serve {
 
 namespace {
 
-// Caps the request head we are willing to buffer; a scrape request line is
-// tens of bytes.
-constexpr size_t kMaxRequestBytes = 8 * 1024;
 
 bool SendAll(int fd, std::string_view data) {
   size_t written = 0;
@@ -178,15 +177,31 @@ struct HttpExpositionServer::Impl {
     timeval timeout{};
     timeout.tv_sec = options.request_timeout_ms / 1000;
     timeout.tv_usec = (options.request_timeout_ms % 1000) * 1000;
-    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
     ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
 
     // Read until the end of the request head (we ignore any body; GETs
-    // have none).
+    // have none). request_timeout_ms bounds the WHOLE request, not each
+    // read: a per-read timeout alone would let a drip-feeding client
+    // (one byte per read, each arriving just in time) hold the serial
+    // accept loop forever, starving every later scrape. Before each read
+    // the receive timeout shrinks to the budget still remaining.
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(options.request_timeout_ms);
     std::string request;
     char buffer[4096];
     while (request.find("\r\n\r\n") == std::string::npos &&
-           request.size() < kMaxRequestBytes) {
+           request.size() < options.max_request_bytes) {
+      const auto remaining = deadline - std::chrono::steady_clock::now();
+      if (remaining <= std::chrono::milliseconds(0)) break;
+      // At least 1µs: a zero timeval would mean "block forever".
+      const int64_t remaining_us = std::max<int64_t>(
+          1, std::chrono::duration_cast<std::chrono::microseconds>(remaining)
+                 .count());
+      timeval recv_timeout{};
+      recv_timeout.tv_sec = static_cast<time_t>(remaining_us / 1000000);
+      recv_timeout.tv_usec = static_cast<suseconds_t>(remaining_us % 1000000);
+      ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &recv_timeout,
+                   sizeof(recv_timeout));
       const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
       if (n < 0 && errno == EINTR) continue;
       if (n <= 0) break;

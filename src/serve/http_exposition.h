@@ -45,9 +45,19 @@ struct HttpExpositionOptions {
   /// listen(2) backlog. The loop is serial; a scraper + a probe + a
   /// dashboard is the expected concurrency.
   int listen_backlog = 16;
-  /// Per-request socket receive/send timeout so one stuck client cannot
-  /// wedge the serial loop.
+  /// Overall per-request deadline. The accept loop is serial, so this is
+  /// the hard bound on how long ONE client can hold it: the deadline
+  /// covers the whole request (the receive timeout shrinks to the budget
+  /// remaining before every read), which defeats slowloris-style
+  /// drip-feeding — a client trickling one byte per read still gets cut
+  /// off when the total elapses. Also the send timeout.
   int request_timeout_ms = 2000;
+
+  /// Caps the request head buffered per request; a connection exceeding it
+  /// is answered from whatever arrived (or dropped when no complete
+  /// request line did). A scrape request line is tens of bytes — this is a
+  /// memory backstop against garbage, not a tunable.
+  size_t max_request_bytes = 8 * 1024;
 };
 
 /// The telemetry listener. Owns its socket and accept thread; borrows the

@@ -165,7 +165,13 @@ struct Server::Impl {
       }
     }
 
-    auto codes = DecodeBatchPattern(session->engine(), request.pattern);
+    // The override (wire engine byte) decides how the pattern decodes —
+    // wildcard syntax only parses under an effective kWildcard — and which
+    // engine the Session runs; Submit validates availability and answers
+    // kInvalidArgument for an engine this session cannot execute.
+    const BatchEngine effective_engine =
+        request.engine_override.value_or(session->engine());
+    auto codes = DecodeBatchPattern(effective_engine, request.pattern);
     if (!codes.ok()) {
       reject.status = WireStatus::kInvalidArgument;
       reject.message = codes.status().message();
@@ -188,6 +194,7 @@ struct Server::Impl {
     const bool want_stats = request.want_stats;
     const Result<Ticket> ticket = session->Submit(
         BatchQuery{std::move(codes).value(), request.k},
+        request.engine_override,
         [conn, request_id, want_stats](QueryResult result) {
           QueryResponse response;
           response.request_id = request_id;

@@ -24,7 +24,9 @@ int ResolveThreadCount(int requested) {
 
 enum class LifecycleState { kServing, kDraining, kDrained, kStopped };
 
-// The per-engine served-ticket counter for the Session's pinned engine.
+// The per-engine served-ticket counter. Callers pass the engine a ticket
+// actually ran under (QueryResult::engine), so kAuto tickets attribute to
+// their resolved pick — there is no separate "auto" bucket.
 obs::CounterId ServedCounter(BatchEngine engine) {
   switch (engine) {
     case BatchEngine::kAlgorithmA: return obs::kCounterServeServedAlgorithmA;
@@ -32,6 +34,9 @@ obs::CounterId ServedCounter(BatchEngine engine) {
     case BatchEngine::kKError: return obs::kCounterServeServedKError;
     case BatchEngine::kWildcard: return obs::kCounterServeServedWildcard;
     case BatchEngine::kDictionary: return obs::kCounterServeServedDictionary;
+    case BatchEngine::kBidirectional:
+      return obs::kCounterServeServedBidirectional;
+    case BatchEngine::kAuto: break;  // resolved before counting
   }
   return obs::kCounterServeServedAlgorithmA;
 }
@@ -40,6 +45,9 @@ obs::CounterId ServedCounter(BatchEngine engine) {
 struct Pending {
   Ticket ticket = 0;
   BatchQuery query;
+  // The engine this ticket runs under (configured engine, or the validated
+  // per-ticket override); kAuto still unresolved at this point.
+  BatchEngine engine = BatchEngine::kAlgorithmA;
   Callback callback;  // empty for poll-path tickets
   uint64_t admitted_ns = 0;
 };
@@ -128,14 +136,22 @@ struct Session::Impl {
   }
 
   // Validates one query up front so rejection happens at Submit, not in the
-  // result. Sharded windows are checked here: a too-long pattern can never
-  // be served exactly, and the caller should know synchronously.
-  Status Validate(const BatchQuery& query) const {
+  // result. `engine` is the ticket's effective engine (configured or
+  // override); availability and the sharded window are both checked against
+  // it — a too-long pattern can never be served exactly, and the caller
+  // should know synchronously.
+  Status Validate(const BatchQuery& query, BatchEngine engine) const {
     if (query.k < 0) {
       return Status::InvalidArgument("negative mismatch budget");
     }
+    if (engine == BatchEngine::kBidirectional &&
+        options.batch.bidir_indexes.empty()) {
+      return Status::InvalidArgument(
+          "engine 'bidirectional' is not available on this session (no "
+          "bidirectional indexes were configured)");
+    }
     if (sharded != nullptr) {
-      const size_t window = ShardedQueryWindow(query, options.batch.engine);
+      const size_t window = ShardedQueryWindow(query, engine);
       if (window > sharded->plan().overlap()) {
         return Status::InvalidArgument(
             "query needs a window of " + std::to_string(window) +
@@ -148,10 +164,10 @@ struct Session::Impl {
   }
 
   // mu held. Enqueues one validated, admissible query.
-  Ticket Enqueue(BatchQuery query, Callback callback) {
+  Ticket Enqueue(BatchQuery query, BatchEngine engine, Callback callback) {
     const Ticket ticket = next_ticket++;
-    queue.push_back(Pending{ticket, std::move(query), std::move(callback),
-                            obs::TraceClockNanos()});
+    queue.push_back(Pending{ticket, std::move(query), engine,
+                            std::move(callback), obs::TraceClockNanos()});
     ++inflight;
     ++submitted;
     BWTK_METRIC_COUNT(kCounterServeSubmitted);
@@ -169,10 +185,16 @@ struct Session::Impl {
     result.ticket = pending.ticket;
     result.queue_ns = picked_up_ns - pending.admitted_ns;
     BWTK_METRIC_OBSERVE(kHistServeQueueNanos, result.queue_ns);
+    // Trace labels, cache keys and the served-ticket counter all attribute
+    // to the engine the ticket actually runs under: the effective engine
+    // (configured or override) with kAuto resolved per query.
+    const BatchEngine resolved = bank->Resolve(pending.engine, pending.query);
+    const std::string_view engine_label = BatchEngineName(resolved);
+    result.engine = resolved;
     const uint64_t search_begin_ns = obs::TraceClockNanos();
     if (cache != nullptr) {
       ResultCache::Entry cached;
-      if (cache->Lookup(static_cast<uint8_t>(options.batch.engine),
+      if (cache->Lookup(static_cast<uint8_t>(resolved),
                         pending.query.k, cache_version, pending.query.pattern,
                         &cached)) {
         result.hits = std::move(cached.hits);
@@ -186,10 +208,10 @@ struct Session::Impl {
     const size_t num_indexes = bank->num_indexes();
     if (num_indexes == 1) {
       obs::ScopedQueryTrace qt(sink.get(), pending.ticket,
-                               bank->engine_name(), pending.query.k,
+                               engine_label, pending.query.k,
                                pending.query.pattern.size(),
                                static_cast<uint32_t>(tid), 0);
-      result.hits = bank->Run(pending.query, 0, &result.stats);
+      result.hits = bank->RunWith(resolved, pending.query, 0, &result.stats);
       qt.Finish(result.hits.size(), result.stats);
     } else {
       // Sharded: one trace per (ticket, shard) like the batched router,
@@ -199,22 +221,21 @@ struct Session::Impl {
       for (size_t s = 0; s < num_indexes; ++s) {
         SearchStats shard_stats;
         obs::ScopedQueryTrace qt(
-            sink.get(), pending.ticket * num_indexes + s, bank->engine_name(),
+            sink.get(), pending.ticket * num_indexes + s, engine_label,
             pending.query.k, pending.query.pattern.size(),
             static_cast<uint32_t>(tid), static_cast<uint32_t>(s));
-        parts[s] = bank->Run(pending.query, s, &shard_stats);
+        parts[s] = bank->RunWith(resolved, pending.query, s, &shard_stats);
         qt.Finish(parts[s].size(), shard_stats);
         result.stats += shard_stats;
       }
-      const size_t window =
-          ShardedQueryWindow(pending.query, options.batch.engine);
+      const size_t window = ShardedQueryWindow(pending.query, resolved);
       result.seam_hits_deduped = ResolveShardedHits(
           sharded->plan(), window, parts.data(), &result.hits);
       BWTK_METRIC_COUNT_N(kCounterSeamHitsDeduped, result.seam_hits_deduped);
     }
     if (cache != nullptr) {
       cache->Insert(
-          static_cast<uint8_t>(options.batch.engine), pending.query.k,
+          static_cast<uint8_t>(resolved), pending.query.k,
           cache_version, pending.query.pattern,
           ResultCache::Entry{result.hits, result.stats,
                              result.seam_hits_deduped});
@@ -244,6 +265,7 @@ struct Session::Impl {
       QueryResult result =
           Execute(pending, &bank, tid, obs::TraceClockNanos());
       const Ticket ticket = result.ticket;
+      const BatchEngine served_engine = result.engine;
       Callback callback = std::move(pending.callback);
       const bool via_callback = static_cast<bool>(callback);
       // Counters first, then the callback, then `running`: anyone who
@@ -255,8 +277,9 @@ struct Session::Impl {
         std::lock_guard<std::mutex> lock(mu);
         ++completed;
         BWTK_METRIC_COUNT(kCounterServeCompleted);
-        // Executed (not drain-failed) tickets attribute to the pinned engine.
-        if (BWTK_METRICS_ENABLED) obs::Count(ServedCounter(options.batch.engine));
+        // Executed (not drain-failed) tickets attribute to the engine that
+        // served them (override and kAuto resolution already applied).
+        if (BWTK_METRICS_ENABLED) obs::Count(ServedCounter(served_engine));
         if (via_callback) {
           --inflight;  // collected when the callback returns (below)
         } else {
@@ -368,16 +391,24 @@ Session::Session(const ShardedIndex* index, const SessionOptions& options)
 Session::~Session() { Shutdown(); }
 
 Result<Ticket> Session::Submit(BatchQuery query) {
-  return Submit(std::move(query), Callback{});
+  return Submit(std::move(query), std::nullopt, Callback{});
 }
 
 Result<Ticket> Session::Submit(BatchQuery query, Callback callback) {
-  BWTK_RETURN_IF_ERROR(impl_->Validate(query));
+  return Submit(std::move(query), std::nullopt, std::move(callback));
+}
+
+Result<Ticket> Session::Submit(BatchQuery query,
+                               std::optional<BatchEngine> engine_override,
+                               Callback callback) {
+  const BatchEngine engine =
+      engine_override.value_or(impl_->options.batch.engine);
+  BWTK_RETURN_IF_ERROR(impl_->Validate(query, engine));
   Ticket ticket = 0;
   {
     std::lock_guard<std::mutex> lock(impl_->mu);
     BWTK_RETURN_IF_ERROR(impl_->Admissible(1));
-    ticket = impl_->Enqueue(std::move(query), std::move(callback));
+    ticket = impl_->Enqueue(std::move(query), engine, std::move(callback));
   }
   impl_->work_cv.notify_one();
   return ticket;
@@ -393,7 +424,8 @@ Result<Ticket> Session::Submit(std::string_view pattern, int32_t k) {
 Result<std::vector<Ticket>> Session::SubmitBatch(
     std::vector<BatchQuery> queries) {
   for (size_t i = 0; i < queries.size(); ++i) {
-    const Status status = impl_->Validate(queries[i]);
+    const Status status =
+        impl_->Validate(queries[i], impl_->options.batch.engine);
     if (!status.ok()) {
       return Status::InvalidArgument("batch query " + std::to_string(i) +
                                      ": " + status.message());
@@ -405,7 +437,9 @@ Result<std::vector<Ticket>> Session::SubmitBatch(
     std::lock_guard<std::mutex> lock(impl_->mu);
     BWTK_RETURN_IF_ERROR(impl_->Admissible(queries.size()));
     for (BatchQuery& query : queries) {
-      tickets.push_back(impl_->Enqueue(std::move(query), Callback{}));
+      tickets.push_back(impl_->Enqueue(std::move(query),
+                                       impl_->options.batch.engine,
+                                       Callback{}));
     }
   }
   impl_->work_cv.notify_all();

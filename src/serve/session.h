@@ -79,6 +79,11 @@ struct QueryResult {
   std::vector<Occurrence> hits;
   /// This query's engine counters (docs/API.md, per-engine stats contract).
   SearchStats stats;
+  /// The engine that actually served the ticket: the Session's configured
+  /// engine, the per-ticket override if one was submitted, and in either
+  /// case with kAuto resolved to its per-query pick. Meaningful only for
+  /// executed tickets (drain-failed results keep the default).
+  BatchEngine engine = BatchEngine::kAlgorithmA;
   /// Seam duplicates discarded by the ownership rule (sharded Sessions).
   uint64_t seam_hits_deduped = 0;
   /// True when the result came from the exact-duplicate result cache
@@ -190,6 +195,18 @@ class Session {
   /// the query completes; the ticket is auto-collected when the callback
   /// returns (do not Poll/Wait it).
   Result<Ticket> Submit(BatchQuery query, Callback callback);
+
+  /// Per-ticket engine override (the serve wire's ENGINE_OVERRIDE flag
+  /// lands here): when `engine_override` is set, this ticket runs under
+  /// that engine instead of the Session's configured one — same indexes,
+  /// same seam rule, same result-cache (keyed by the resolved engine).
+  /// Fails with kInvalidArgument when the override is not executable on
+  /// this Session (kBidirectional without bidir_indexes) or, sharded, when
+  /// the override's window exceeds the overlap. nullopt behaves exactly
+  /// like the plain Submit.
+  Result<Ticket> Submit(BatchQuery query,
+                        std::optional<BatchEngine> engine_override,
+                        Callback callback);
 
   /// ASCII convenience: decodes with DecodeBatchPattern for the configured
   /// engine (wildcard syntax under kWildcard), then Submit.

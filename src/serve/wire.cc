@@ -69,6 +69,47 @@ WireStatus ToWireStatus(const Status& status) {
   }
 }
 
+WireEngine ToWireEngine(BatchEngine engine) {
+  switch (engine) {
+    case BatchEngine::kAlgorithmA:
+      return WireEngine::kAlgorithmA;
+    case BatchEngine::kSTree:
+      return WireEngine::kSTree;
+    case BatchEngine::kKError:
+      return WireEngine::kKError;
+    case BatchEngine::kWildcard:
+      return WireEngine::kWildcard;
+    case BatchEngine::kDictionary:
+      return WireEngine::kDictionary;
+    case BatchEngine::kBidirectional:
+      return WireEngine::kBidirectional;
+    case BatchEngine::kAuto:
+      return WireEngine::kAuto;
+  }
+  return WireEngine::kAlgorithmA;
+}
+
+Result<BatchEngine> FromWireEngine(uint8_t engine) {
+  switch (static_cast<WireEngine>(engine)) {
+    case WireEngine::kAlgorithmA:
+      return BatchEngine::kAlgorithmA;
+    case WireEngine::kSTree:
+      return BatchEngine::kSTree;
+    case WireEngine::kKError:
+      return BatchEngine::kKError;
+    case WireEngine::kWildcard:
+      return BatchEngine::kWildcard;
+    case WireEngine::kDictionary:
+      return BatchEngine::kDictionary;
+    case WireEngine::kBidirectional:
+      return BatchEngine::kBidirectional;
+    case WireEngine::kAuto:
+      return BatchEngine::kAuto;
+  }
+  return Status::InvalidArgument("unknown wire engine id " +
+                                 std::to_string(engine));
+}
+
 Status FromWireStatus(WireStatus status, std::string message) {
   switch (status) {
     case WireStatus::kOk:
@@ -113,9 +154,16 @@ void AppendQueryFrame(const QueryRequest& request, std::string* out) {
   payload.append(request.pattern);
   // Flags trailer only when a flag is set: a flagless QUERY stays
   // byte-identical to the pre-trailer encoding, so old servers still
-  // accept it.
-  if (request.want_stats) {
-    payload.push_back(static_cast<char>(kQueryFlagWantStats));
+  // accept it. The engine byte rides AFTER the flags byte (append-at-END).
+  uint8_t flags = 0;
+  if (request.want_stats) flags |= kQueryFlagWantStats;
+  if (request.engine_override.has_value()) flags |= kQueryFlagEngineOverride;
+  if (flags != 0) {
+    payload.push_back(static_cast<char>(flags));
+    if (request.engine_override.has_value()) {
+      payload.push_back(
+          static_cast<char>(ToWireEngine(*request.engine_override)));
+    }
   }
   AppendFrame(FrameType::kQuery, payload, out);
 }
@@ -249,11 +297,17 @@ Result<QueryRequest> ParseQueryPayload(std::string_view payload) {
     return Malformed("QUERY");
   }
   // Optional flags trailer; absent means all flags clear (version-1
-  // clients never send it).
+  // clients never send it). Bit 1 pulls one engine byte after the flags.
   if (!cursor.AtEnd()) {
     uint8_t flags = 0;
-    if (!cursor.Read(&flags) || !cursor.AtEnd()) return Malformed("QUERY");
+    if (!cursor.Read(&flags)) return Malformed("QUERY");
     request.want_stats = (flags & kQueryFlagWantStats) != 0;
+    if ((flags & kQueryFlagEngineOverride) != 0) {
+      uint8_t engine = 0;
+      if (!cursor.Read(&engine)) return Malformed("QUERY");
+      BWTK_ASSIGN_OR_RETURN(request.engine_override, FromWireEngine(engine));
+    }
+    if (!cursor.AtEnd()) return Malformed("QUERY");
   }
   return request;
 }

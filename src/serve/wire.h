@@ -81,24 +81,55 @@ WireStatus ToWireStatus(const Status& status);
 /// Reconstitutes a Status a client can surface (kOk → OK()).
 Status FromWireStatus(WireStatus status, std::string message);
 
+/// Engine byte carried by the QUERY engine-override trailer. Values are
+/// frozen wire constants mapped explicitly to/from BatchEngine — like
+/// WireStatus, never cast the C++ enum across (reordering BatchEngine must
+/// never change the protocol).
+enum class WireEngine : uint8_t {
+  kAlgorithmA = 0,
+  kSTree = 1,
+  kKError = 2,
+  kWildcard = 3,
+  kDictionary = 4,
+  kBidirectional = 5,
+  kAuto = 6,
+};
+
+/// The frozen wire byte for `engine` (total: every BatchEngine maps).
+WireEngine ToWireEngine(BatchEngine engine);
+
+/// Decodes an engine byte; kInvalidArgument for an id this build does not
+/// know (a newer client), which the server surfaces as a typed RESULT
+/// error rather than dropping the connection.
+Result<BatchEngine> FromWireEngine(uint8_t engine);
+
 /// QUERY payload:
 ///   u64 request_id, i32 k, u32 pattern_length, pattern bytes (ASCII),
-///   [optional u8 query_flags].
+///   [optional u8 query_flags,
+///    [u8 engine, present iff bit 1 (kQueryFlagEngineOverride) is set]].
 /// The flags byte is a backward-compatible trailer: clients that never set
 /// a flag omit it entirely (byte-identical to the version-1 encoding), and
 /// a missing trailer parses as all-zero flags. Bit 0 (kQueryFlagWantStats)
 /// asks the server to attach the per-query stats block to the RESULT.
+/// Bit 1 (kQueryFlagEngineOverride) appends one WireEngine byte AFTER the
+/// flags byte (append-at-END, docs/SERVING.md §4.4): this query runs under
+/// that engine instead of the session's configured one; the server answers
+/// kInvalidArgument when the engine is not available (e.g. bidirectional
+/// without bidirectional indexes).
 struct QueryRequest {
   uint64_t request_id = 0;  ///< client-chosen; echoed in the RESULT
   int32_t k = 0;
   std::string pattern;
   bool want_stats = false;  ///< request the RESULT stats trailer
+  /// Per-query engine override (bit 1 + trailing engine byte when set).
+  std::optional<BatchEngine> engine_override;
 
   bool operator==(const QueryRequest&) const = default;
 };
 
 /// QUERY flags-byte bits.
 inline constexpr uint8_t kQueryFlagWantStats = 1u << 0;
+inline constexpr uint8_t kQueryFlagEngineOverride = 1u << 1;
 
 /// RESULT flags-byte bits.
 inline constexpr uint8_t kResultFlagCacheServed = 1u << 0;

@@ -127,7 +127,18 @@ Result<BatchResult> ShardedBatchSearcher::Search(
   BatchResult result;
   result.occurrences.resize(queries.size());
   uint64_t deduped = 0;
-  const uint8_t engine_id = static_cast<uint8_t>(options_.engine);
+  // Cache keys carry the engine a query actually runs under: under kAuto
+  // that is the per-query pick (the fan-out workers resolve identically),
+  // so kAuto-routed entries are shared with routers pinning the same
+  // engine.
+  const bool bidir_available = !options_.bidir_indexes.empty();
+  const auto engine_id_of = [&](const BatchQuery& query) {
+    const BatchEngine resolved =
+        options_.engine == BatchEngine::kAuto
+            ? AutoPickEngine(query.pattern.size(), query.k, bidir_available)
+            : options_.engine;
+    return static_cast<uint8_t>(resolved);
+  };
 
   // Dispatch pass, on the calling thread: serve what never needs the pool
   // (cache hits, k = 0 point lookups), collect the rest for fan-out.
@@ -146,7 +157,8 @@ Result<BatchResult> ShardedBatchSearcher::Search(
     if (query.k < 0) continue;  // slot stays empty, like the plain pool
     if (cache_ != nullptr) {
       ResultCache::Entry cached;
-      if (cache_->Lookup(engine_id, query.k, cache_version_, query.pattern,
+      if (cache_->Lookup(engine_id_of(query), query.k, cache_version_,
+                         query.pattern,
                          &cached)) {
         result.occurrences[q] = std::move(cached.hits);
         deduped += cached.seam_hits_deduped;
@@ -158,7 +170,8 @@ Result<BatchResult> ShardedBatchSearcher::Search(
           RunExactShortcut(query, &result.occurrences[q]);
       deduped += q_deduped;
       if (cache_ != nullptr) {
-        cache_->Insert(engine_id, query.k, cache_version_, query.pattern,
+        cache_->Insert(engine_id_of(query), query.k, cache_version_,
+                       query.pattern,
                        ResultCache::Entry{result.occurrences[q],
                                           SearchStats{}, q_deduped});
       }
@@ -198,7 +211,7 @@ Result<BatchResult> ShardedBatchSearcher::Search(
       fanout_deduped[i] = q_deduped;
       BWTK_METRIC_COUNT_N(kCounterSeamHitsDeduped, q_deduped);
       if (cache_ != nullptr) {
-        cache_->Insert(engine_id, queries[q].k, cache_version_,
+        cache_->Insert(engine_id_of(queries[q]), queries[q].k, cache_version_,
                        queries[q].pattern,
                        ResultCache::Entry{result.occurrences[q],
                                           SearchStats{}, q_deduped});

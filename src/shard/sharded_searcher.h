@@ -41,9 +41,9 @@ namespace bwtk {
 
 /// Text window a query's occurrences can span — the seam-ownership unit:
 /// the pattern itself for the Hamming engines (kAlgorithmA, kSTree,
-/// kWildcard, kDictionary), up to k extra characters for kerror
-/// alignments. A sharded
-/// query is servable iff this window fits the index's overlap.
+/// kWildcard, kDictionary, kBidirectional, and kAuto, which only resolves
+/// to Hamming engines), up to k extra characters for kerror alignments. A
+/// sharded query is servable iff this window fits the index's overlap.
 size_t ShardedQueryWindow(const BatchQuery& query, BatchEngine engine);
 
 /// Folds one query's per-shard hit lists (`parts`, plan.num_shards()

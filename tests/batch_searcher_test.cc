@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "bidir/bi_fm_index.h"
 #include "search/batch_searcher.h"
 #include "search/kerror_search.h"
 #include "search/searcher.h"
@@ -397,6 +398,165 @@ TEST(BatchSearcherTest, StressManySmallQueriesSharedIndex) {
     }
     EXPECT_EQ(mismatched, 0u) << "round " << round;
   }
+}
+
+TEST(BatchSearcherTest, BatchEngineNamesCoverBidirectionalAndAuto) {
+  EXPECT_EQ(BatchEngineName(BatchEngine::kBidirectional), "bidirectional");
+  EXPECT_EQ(BatchEngineName(BatchEngine::kAuto), "auto");
+}
+
+TEST(BatchSearcherTest, AutoPickEngineRespectsAvailabilityAndBudget) {
+  // Without bidirectional indexes the pick is always Algorithm A.
+  for (const size_t m : {8, 36, 100}) {
+    for (const int32_t k : {0, 1, 2, 4}) {
+      EXPECT_EQ(AutoPickEngine(m, k, false), BatchEngine::kAlgorithmA);
+    }
+  }
+  // Short exact matches stay on Algorithm A (below the measured grid, and
+  // the scheme's piece bounds have nothing to cut at k = 0).
+  EXPECT_EQ(AutoPickEngine(20, 0, true), BatchEngine::kAlgorithmA);
+  // The calibrated bidirectional regime (reads at or above the measured
+  // length floor) must route there — (m=100, k=3) is the BENCH_bidir.json
+  // win cell kAuto exists for, and the grid shows the scheme walk winning
+  // the whole measured range down to (m=24, k=0).
+  EXPECT_EQ(AutoPickEngine(100, 3, true), BatchEngine::kBidirectional);
+  EXPECT_EQ(AutoPickEngine(24, 0, true), BatchEngine::kBidirectional);
+  // Whatever the thresholds, the resolved engine is one of the two Hamming
+  // engines (never kAuto itself).
+  for (const size_t m : {1, 10, 24, 50, 100, 500}) {
+    for (int32_t k = 0; k <= 8; ++k) {
+      const BatchEngine pick = AutoPickEngine(m, k, true);
+      EXPECT_TRUE(pick == BatchEngine::kAlgorithmA ||
+                  pick == BatchEngine::kBidirectional);
+    }
+  }
+}
+
+// Text + Algorithm A searcher + paired bidirectional index over it, with a
+// mixed query workload — the bidirectional analogue of MakeWorkload (which
+// discards the text the BiFmIndex needs).
+struct BidirWorkload {
+  std::vector<DnaCode> text;
+  KMismatchSearcher searcher;
+  BiFmIndex bidir;
+  std::vector<BatchQuery> queries;
+};
+
+BidirWorkload MakeBidirWorkload(size_t genome_size, size_t query_count,
+                                uint64_t seed) {
+  GenomeOptions genome_options;
+  genome_options.length = genome_size;
+  genome_options.repeat_fraction = 0.3;
+  genome_options.seed = seed;
+  auto genome = GenerateGenome(genome_options).value();
+  auto searcher = KMismatchSearcher::Build(genome).value();
+  auto bidir = BiFmIndex::Build(genome).value();
+  Rng rng(seed + 1);
+  std::vector<BatchQuery> queries;
+  queries.reserve(query_count);
+  for (size_t i = 0; i < query_count; ++i) {
+    const int32_t k = static_cast<int32_t>(i % 4);
+    const size_t len = 20 + rng.NextBounded(30);
+    if (i % 3 == 0) {
+      queries.push_back({RandomDna(len, &rng), k});
+    } else {
+      const size_t pos = rng.NextBounded(genome.size() - len);
+      queries.push_back({SampleWithFlips(genome, pos, len, k, &rng), k});
+    }
+  }
+  return {std::move(genome), std::move(searcher), std::move(bidir),
+          std::move(queries)};
+}
+
+TEST(BatchSearcherTest, BidirectionalEngineMatchesAlgorithmA) {
+  BidirWorkload workload = MakeBidirWorkload(15000, 48, 131);
+  const auto expected = SerialResults(workload.searcher, workload.queries);
+  for (const int threads : {1, 4}) {
+    BatchOptions options;
+    options.num_threads = threads;
+    options.engine = BatchEngine::kBidirectional;
+    options.bidir_indexes = {&workload.bidir};
+    BatchSearcher batch(workload.searcher, options);
+    const BatchResult result = batch.Search(workload.queries);
+    ASSERT_EQ(result.occurrences.size(), workload.queries.size());
+    for (size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(result.occurrences[i], expected[i])
+          << "query " << i << " with " << threads << " threads";
+    }
+    EXPECT_GT(result.stats.extend_calls, 0u);
+  }
+}
+
+TEST(BatchSearcherTest, AutoEngineMatchesAlgorithmAWithAndWithoutBidir) {
+  // kAuto must be transparent: whichever engine each query resolves to,
+  // the hits equal the serial Algorithm A results — with bidirectional
+  // indexes attached (mixed routing) and without (pure degradation).
+  BidirWorkload workload = MakeBidirWorkload(12000, 40, 137);
+  const auto expected = SerialResults(workload.searcher, workload.queries);
+  for (const bool with_bidir : {true, false}) {
+    BatchOptions options;
+    options.num_threads = 4;
+    options.engine = BatchEngine::kAuto;
+    if (with_bidir) options.bidir_indexes = {&workload.bidir};
+    BatchSearcher batch(workload.searcher, options);
+    const BatchResult result = batch.Search(workload.queries);
+    for (size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(result.occurrences[i], expected[i])
+          << "query " << i << (with_bidir ? " with" : " without") << " bidir";
+    }
+  }
+}
+
+TEST(BatchSearcherTest, EngineBankSupportsResolveAndRunWith) {
+  BidirWorkload workload = MakeBidirWorkload(6000, 1, 139);
+  const std::vector<const FmIndex*> indexes = {&workload.searcher.index()};
+
+  BatchOptions plain;
+  EngineBank bank_without(indexes, plain);
+  EXPECT_TRUE(bank_without.Supports(BatchEngine::kAlgorithmA));
+  EXPECT_TRUE(bank_without.Supports(BatchEngine::kAuto));
+  EXPECT_FALSE(bank_without.Supports(BatchEngine::kBidirectional));
+
+  BatchOptions with_bidir;
+  with_bidir.bidir_indexes = {&workload.bidir};
+  EngineBank bank(indexes, with_bidir);
+  EXPECT_TRUE(bank.Supports(BatchEngine::kBidirectional));
+
+  // Resolve: identity for concrete engines, AutoPickEngine for kAuto.
+  Rng rng(140);
+  const BatchQuery long_k3{RandomDna(100, &rng), 3};
+  EXPECT_EQ(bank.Resolve(BatchEngine::kSTree, long_k3), BatchEngine::kSTree);
+  EXPECT_EQ(bank.Resolve(BatchEngine::kAuto, long_k3),
+            AutoPickEngine(100, 3, true));
+  EXPECT_EQ(bank_without.Resolve(BatchEngine::kAuto, long_k3),
+            BatchEngine::kAlgorithmA);
+
+  // RunWith: every Hamming engine answers the same query identically.
+  const size_t pos = rng.NextBounded(workload.text.size() - 40);
+  const BatchQuery query{SampleWithFlips(workload.text, pos, 40, 2, &rng), 2};
+  SearchStats stats;
+  const auto via_a = bank.RunWith(BatchEngine::kAlgorithmA, query, 0, &stats);
+  EXPECT_EQ(bank.RunWith(BatchEngine::kSTree, query, 0, &stats), via_a);
+  EXPECT_EQ(bank.RunWith(BatchEngine::kBidirectional, query, 0, &stats),
+            via_a);
+  EXPECT_EQ(bank.RunWith(BatchEngine::kAuto, query, 0, &stats), via_a);
+}
+
+TEST(BatchSearcherTest, AutoEngineResultCacheKeysByResolvedEngine) {
+  // A kAuto pool with the result cache on: the second pass answers from
+  // cache (keyed by the *resolved* engine byte) and must be byte-identical,
+  // including the aggregate stats, which cached entries replay.
+  BidirWorkload workload = MakeBidirWorkload(8000, 30, 149);
+  BatchOptions options;
+  options.num_threads = 4;
+  options.engine = BatchEngine::kAuto;
+  options.bidir_indexes = {&workload.bidir};
+  options.result_cache.enabled = true;
+  BatchSearcher batch(workload.searcher, options);
+  const BatchResult cold = batch.Search(workload.queries);
+  const BatchResult warm = batch.Search(workload.queries);
+  ASSERT_EQ(cold.occurrences, warm.occurrences);
+  EXPECT_EQ(cold.stats, warm.stats);
 }
 
 }  // namespace

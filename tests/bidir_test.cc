@@ -1,0 +1,561 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "baselines/naive_search.h"
+#include "bidir/bi_fm_index.h"
+#include "bidir/bidir_search.h"
+#include "bidir/search_scheme.h"
+#include "bwt/fm_index.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace bwtk {
+namespace {
+
+using ::bwtk::testing::Codes;
+using ::bwtk::testing::PeriodicDna;
+using ::bwtk::testing::RandomDna;
+using ::bwtk::testing::SampleWithFlips;
+
+// Brute-force count of exact occurrences of `window` in `text`.
+size_t CountExact(const std::vector<DnaCode>& text,
+                  const std::vector<DnaCode>& window) {
+  if (window.empty()) return text.size() + 1;  // empty-window convention
+  size_t count = 0;
+  for (size_t pos = 0; pos + window.size() <= text.size(); ++pos) {
+    if (std::equal(window.begin(), window.end(), text.begin() + pos)) ++count;
+  }
+  return count;
+}
+
+// ---------------------------------------------------------------------------
+// BiFmIndex: synchronization of the two halves
+// ---------------------------------------------------------------------------
+
+TEST(BiFmIndexTest, WholeRangeCoversBothMatrices) {
+  const auto text = Codes("acagaca");
+  const auto index = BiFmIndex::Build(text).value();
+  const auto root = index.WholeRange();
+  EXPECT_EQ(root.fwd.count(), index.rows());
+  EXPECT_EQ(root.rev.count(), index.rows());
+  EXPECT_EQ(root.count(), root.fwd.count());
+}
+
+TEST(BiFmIndexTest, ExtendRightCountsMatchBruteForce) {
+  Rng rng(101);
+  const auto text = RandomDna(400, &rng);
+  const auto index = BiFmIndex::Build(text).value();
+  // Grow windows left to right; at every step both halves must agree with
+  // each other and with the brute-force substring count.
+  for (int trial = 0; trial < 20; ++trial) {
+    const size_t length = 1 + rng.NextBounded(8);
+    const size_t pos = rng.NextBounded(text.size() - length);
+    std::vector<DnaCode> window;
+    auto range = index.WholeRange();
+    for (size_t i = 0; i < length; ++i) {
+      const DnaCode c = text[pos + i];
+      window.push_back(c);
+      range = index.ExtendRight(range, c);
+      ASSERT_EQ(range.fwd.count(), range.rev.count());
+      ASSERT_EQ(range.count(), CountExact(text, window));
+    }
+  }
+}
+
+TEST(BiFmIndexTest, ExtendLeftCountsMatchBruteForce) {
+  Rng rng(102);
+  const auto text = RandomDna(400, &rng);
+  const auto index = BiFmIndex::Build(text).value();
+  // The mirror: grow windows right to left.
+  for (int trial = 0; trial < 20; ++trial) {
+    const size_t length = 1 + rng.NextBounded(8);
+    const size_t pos = rng.NextBounded(text.size() - length);
+    std::vector<DnaCode> window;
+    auto range = index.WholeRange();
+    for (size_t i = length; i-- > 0;) {
+      const DnaCode c = text[pos + i];
+      window.insert(window.begin(), c);
+      range = index.ExtendLeft(range, c);
+      ASSERT_EQ(range.fwd.count(), range.rev.count());
+      ASSERT_EQ(range.count(), CountExact(text, window));
+    }
+  }
+}
+
+TEST(BiFmIndexTest, InterleavedExtensionsStaySynchronized) {
+  Rng rng(103);
+  const auto text = RandomDna(600, &rng);
+  const auto index = BiFmIndex::Build(text).value();
+  // Random in-text window grown by alternating left/right extensions in a
+  // random interleaving — the access pattern a search scheme produces.
+  for (int trial = 0; trial < 30; ++trial) {
+    const size_t length = 2 + rng.NextBounded(10);
+    const size_t pos = rng.NextBounded(text.size() - length);
+    size_t left = rng.NextBounded(length);  // window starts as [left, left]
+    size_t right = left + 1;
+    auto range = index.ExtendRight(index.WholeRange(), text[pos + left]);
+    while (right - left < length) {
+      const bool go_right =
+          (left == 0) || (right < length && rng.NextBool(0.5));
+      if (go_right) {
+        range = index.ExtendRight(range, text[pos + right]);
+        ++right;
+      } else {
+        --left;
+        range = index.ExtendLeft(range, text[pos + left]);
+      }
+      ASSERT_EQ(range.fwd.count(), range.rev.count());
+      const std::vector<DnaCode> window(text.begin() + pos + left,
+                                        text.begin() + pos + right);
+      ASSERT_EQ(range.count(), CountExact(text, window));
+    }
+  }
+}
+
+TEST(BiFmIndexTest, LocateMatchesForwardIndex) {
+  Rng rng(104);
+  const auto text = RandomDna(300, &rng);
+  const auto index = BiFmIndex::Build(text).value();
+  const std::vector<DnaCode> window(text.begin() + 40, text.begin() + 48);
+  // Build the window's BiRange by left extensions, then Locate via the pair;
+  // positions must be byte-identical to the forward half's own Locate.
+  auto range = index.WholeRange();
+  for (size_t i = window.size(); i-- > 0;) {
+    range = index.ExtendLeft(range, window[i]);
+  }
+  ASSERT_FALSE(range.empty());
+  auto via_pair = index.Locate(range, window.size());
+  auto via_forward = index.forward().Locate(range.fwd, window.size());
+  std::sort(via_pair.begin(), via_pair.end());
+  std::sort(via_forward.begin(), via_forward.end());
+  EXPECT_EQ(via_pair, via_forward);
+  for (const size_t pos : via_pair) {
+    EXPECT_TRUE(std::equal(window.begin(), window.end(), text.begin() + pos));
+  }
+}
+
+TEST(BiFmIndexTest, ReverseKeyReversesBase4Digits) {
+  // key for "acgt" read as base-4 digits; reversing q=4 gives "tgca".
+  const uint64_t key = (0u << 6) | (1u << 4) | (2u << 2) | 3u;
+  const uint64_t rev = (3u << 6) | (2u << 4) | (1u << 2) | 0u;
+  EXPECT_EQ(BiFmIndex::ReverseKey(key, 4), rev);
+  EXPECT_EQ(BiFmIndex::ReverseKey(rev, 4), key);
+  EXPECT_EQ(BiFmIndex::ReverseKey(0, 12), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// BiFmIndex: serialization
+// ---------------------------------------------------------------------------
+
+TEST(BiFmIndexSerializationTest, RoundTripPreservesQueries) {
+  Rng rng(105);
+  const auto text = RandomDna(500, &rng);
+  const auto built = BiFmIndex::Build(text).value();
+  std::stringstream stream;
+  ASSERT_TRUE(built.Save(stream).ok());
+  const auto loaded = BiFmIndex::Load(stream).value();
+  ASSERT_EQ(loaded.text_size(), built.text_size());
+  const BidirectionalSearch before(&built), after(&loaded);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto pattern = SampleWithFlips(text, rng.NextBounded(400), 30,
+                                         static_cast<int>(rng.NextBounded(3)),
+                                         &rng);
+    EXPECT_EQ(before.Search(pattern, 2, nullptr),
+              after.Search(pattern, 2, nullptr));
+  }
+}
+
+TEST(BiFmIndexSerializationTest, RejectsMonolithicForwardIndexFile) {
+  // A plain FmIndex file (magic "BWTK") lacks the reverse half; Load must
+  // say so rather than reporting generic corruption.
+  const auto forward = FmIndex::Build(Codes("acgtacgtacgt")).value();
+  std::stringstream stream;
+  ASSERT_TRUE(forward.Save(stream).ok());
+  const auto loaded = BiFmIndex::Load(stream);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("forward-only"), std::string::npos)
+      << loaded.status().message();
+}
+
+TEST(BiFmIndexSerializationTest, RejectsTruncatedStream) {
+  const auto built = BiFmIndex::Build(Codes("acgtacgtacgtacgt")).value();
+  std::stringstream stream;
+  ASSERT_TRUE(built.Save(stream).ok());
+  const std::string bytes = stream.str();
+  std::stringstream truncated(bytes.substr(0, bytes.size() / 2));
+  EXPECT_FALSE(BiFmIndex::Load(truncated).ok());
+}
+
+TEST(BiFmIndexSerializationTest, RejectsCorruptedPayload) {
+  const auto built = BiFmIndex::Build(Codes("acgtacgtacgtacgt")).value();
+  std::stringstream stream;
+  ASSERT_TRUE(built.Save(stream).ok());
+  std::string bytes = stream.str();
+  bytes[bytes.size() - 3] ^= 0x40;  // flip a bit under the checksum
+  std::stringstream corrupted(bytes);
+  EXPECT_FALSE(BiFmIndex::Load(corrupted).ok());
+}
+
+TEST(BiFmIndexTest, FromForwardMatchesDirectBuild) {
+  Rng rng(106);
+  const auto text = RandomDna(350, &rng);
+  FmIndex::Options options;
+  options.prefix_table_q = 3;
+  const auto direct = BiFmIndex::Build(text, options).value();
+  auto forward = FmIndex::Build(text, options).value();
+  const auto upgraded = BiFmIndex::FromForward(std::move(forward)).value();
+  ASSERT_EQ(upgraded.text_size(), direct.text_size());
+  const BidirectionalSearch a(&direct), b(&upgraded);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto pattern = SampleWithFlips(text, rng.NextBounded(300), 24,
+                                         static_cast<int>(rng.NextBounded(4)),
+                                         &rng);
+    EXPECT_EQ(a.Search(pattern, 3, nullptr), b.Search(pattern, 3, nullptr));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SearchScheme: validated construction
+// ---------------------------------------------------------------------------
+
+TEST(SearchSchemeTest, PieceBoundaries) {
+  EXPECT_EQ(SearchScheme::PieceBoundaries(10, 1),
+            (std::vector<uint32_t>{0, 10}));
+  EXPECT_EQ(SearchScheme::PieceBoundaries(10, 3),
+            (std::vector<uint32_t>{0, 3, 6, 10}));
+  EXPECT_EQ(SearchScheme::PieceBoundaries(7, 4),
+            (std::vector<uint32_t>{0, 1, 3, 5, 7}));
+  EXPECT_EQ(SearchScheme::PieceBoundaries(4, 4),
+            (std::vector<uint32_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(SearchSchemeTest, CreateRejectsDisconnectedOrder) {
+  // Visiting piece 0 then piece 2 leaves a hole: not executable as a pure
+  // left/right window growth.
+  SchemeSearch bad{{0, 2, 1}, {0, 0, 0}, {1, 1, 1}};
+  EXPECT_FALSE(SearchScheme::Create(1, 3, {bad}).ok());
+}
+
+TEST(SearchSchemeTest, CreateRejectsNonPermutationOrder) {
+  SchemeSearch bad{{0, 0, 1}, {0, 0, 0}, {1, 1, 1}};
+  EXPECT_FALSE(SearchScheme::Create(1, 3, {bad}).ok());
+}
+
+TEST(SearchSchemeTest, CreateRejectsNonMonotoneBounds) {
+  SchemeSearch bad{{0, 1}, {0, 0}, {1, 0}};  // upper decreases
+  EXPECT_FALSE(SearchScheme::Create(1, 2, {bad}).ok());
+  SchemeSearch bad_lower{{0, 1}, {1, 0}, {1, 1}};  // lower decreases
+  EXPECT_FALSE(SearchScheme::Create(1, 2, {bad_lower}).ok());
+}
+
+TEST(SearchSchemeTest, CreateRejectsLowerAboveUpper) {
+  SchemeSearch bad{{0, 1}, {0, 2}, {1, 1}};
+  EXPECT_FALSE(SearchScheme::Create(1, 2, {bad}).ok());
+}
+
+TEST(SearchSchemeTest, CreateRejectsNonCoveringSet) {
+  // Both searches require an exact first piece, so the distribution with a
+  // mismatch in piece 0 AND piece 1 escapes... actually with k=2 the vector
+  // (1, 1) is admitted by neither search below: search A caps piece 0 at 0,
+  // search B caps piece 1 (visited first) at 0.
+  SchemeSearch a{{0, 1}, {0, 0}, {0, 2}};
+  SchemeSearch b{{1, 0}, {0, 0}, {0, 2}};
+  EXPECT_FALSE(SearchScheme::Create(2, 2, {a, b}).ok());
+}
+
+TEST(SearchSchemeTest, CreateAcceptsPigeonholePair) {
+  // The classic k=1 two-search scheme: exact prefix + permissive suffix,
+  // and the mirror. Covers (0,0), (1,0), (0,1) — every vector with <= 1.
+  SchemeSearch a{{0, 1}, {0, 0}, {0, 1}};
+  SchemeSearch b{{1, 0}, {0, 1}, {0, 1}};
+  const auto scheme = SearchScheme::Create(1, 2, {a, b});
+  ASSERT_TRUE(scheme.ok());
+  EXPECT_EQ(scheme.value().searches().size(), 2u);
+  EXPECT_TRUE(scheme.value().vector_disjoint());
+}
+
+TEST(SearchSchemeTest, BuiltInSchemesAreValidAndDisjointThroughK4) {
+  for (int32_t k = 0; k <= 4; ++k) {
+    const auto scheme = SearchScheme::ForBudget(k);
+    EXPECT_EQ(scheme.k(), k);
+    EXPECT_TRUE(scheme.vector_disjoint()) << "k = " << k;
+    EXPECT_GE(scheme.num_pieces(), static_cast<uint32_t>(k));
+    // Re-prove the exact cover by enumeration: every error vector with
+    // total <= k admitted by exactly one search.
+    const uint32_t p = scheme.num_pieces();
+    std::vector<int32_t> vec(p, 0);
+    for (;;) {
+      int32_t total = 0;
+      for (const int32_t v : vec) total += v;
+      if (total <= k) {
+        int admitted = 0;
+        for (const auto& search : scheme.searches()) {
+          admitted += SearchScheme::Admits(search, vec);
+        }
+        EXPECT_EQ(admitted, 1) << "k = " << k;
+      }
+      size_t i = 0;
+      while (i < p && vec[i] == k) vec[i++] = 0;
+      if (i == p) break;
+      ++vec[i];
+    }
+  }
+}
+
+TEST(SearchSchemeTest, PigeonholeFallbackCoversK5) {
+  const auto scheme = SearchScheme::ForBudget(5);
+  EXPECT_EQ(scheme.k(), 5);
+  EXPECT_EQ(scheme.num_pieces(), 6u);  // k+1 pieces
+  std::vector<int32_t> vec(scheme.num_pieces(), 0);
+  // Spot-check coverage on a few adversarial vectors (full enumeration at
+  // k=5 is the validator's job at Create time).
+  const std::vector<std::vector<int32_t>> cases = {
+      {5, 0, 0, 0, 0, 0}, {0, 0, 0, 0, 0, 5}, {1, 1, 1, 1, 1, 0},
+      {0, 1, 1, 1, 1, 1}, {2, 0, 1, 0, 2, 0}, {0, 0, 0, 0, 0, 0}};
+  for (const auto& v : cases) {
+    int admitted = 0;
+    for (const auto& search : scheme.searches()) {
+      admitted += SearchScheme::Admits(search, v);
+    }
+    EXPECT_GE(admitted, 1) << "vector escaped the k=5 fallback";
+  }
+}
+
+TEST(SearchSchemeTest, TrivialSchemeAdmitsEverything) {
+  const auto scheme = SearchScheme::Trivial(3);
+  ASSERT_EQ(scheme.searches().size(), 1u);
+  EXPECT_EQ(scheme.num_pieces(), 1u);
+  EXPECT_TRUE(scheme.vector_disjoint());
+  for (int32_t total = 0; total <= 3; ++total) {
+    EXPECT_TRUE(SearchScheme::Admits(scheme.searches()[0], {total}));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// BidirectionalSearch: cross-validation against the naive scanner
+// ---------------------------------------------------------------------------
+
+void CrossValidate(uint32_t prefix_table_q, uint64_t seed) {
+  Rng rng(seed);
+  const auto text = RandomDna(1200, &rng);
+  FmIndex::Options options;
+  options.prefix_table_q = prefix_table_q;
+  const auto index = BiFmIndex::Build(text, options).value();
+  const BidirectionalSearch searcher(&index);
+  const NaiveSearch naive(&text);
+  for (int trial = 0; trial < 60; ++trial) {
+    const size_t length = 12 + rng.NextBounded(60);
+    const int32_t k = static_cast<int32_t>(rng.NextBounded(7));
+    std::vector<DnaCode> pattern;
+    if (rng.NextBool(0.5)) {
+      pattern = SampleWithFlips(text, rng.NextBounded(text.size() - length),
+                                length, static_cast<int>(rng.NextBounded(4)),
+                                &rng);
+    } else {
+      pattern = RandomDna(length, &rng);
+    }
+    SearchStats stats;
+    const auto hits = searcher.Search(pattern, k, &stats);
+    const auto expected = naive.Search(pattern, k);
+    ASSERT_EQ(hits, expected)
+        << "m = " << length << " k = " << k << " q = " << prefix_table_q;
+    if (!hits.empty()) {
+      EXPECT_GT(stats.extend_calls, 0u);
+    }
+  }
+}
+
+TEST(BidirectionalSearchTest, MatchesNaiveScanner) { CrossValidate(0, 201); }
+
+TEST(BidirectionalSearchTest, MatchesNaiveScannerWithPrefixTableSeeding) {
+  CrossValidate(5, 202);
+}
+
+TEST(BidirectionalSearchTest, MatchesNaiveOnPeriodicText) {
+  // Repetitive text exercises wide ranges and duplicate-heavy traversals.
+  Rng rng(203);
+  const auto text = PeriodicDna(900, 7, 0.02, &rng);
+  const auto index = BiFmIndex::Build(text).value();
+  const BidirectionalSearch searcher(&index);
+  const NaiveSearch naive(&text);
+  for (int trial = 0; trial < 30; ++trial) {
+    const size_t length = 10 + rng.NextBounded(30);
+    const int32_t k = static_cast<int32_t>(rng.NextBounded(5));
+    const auto pattern =
+        SampleWithFlips(text, rng.NextBounded(text.size() - length), length,
+                        static_cast<int>(rng.NextBounded(3)), &rng);
+    ASSERT_EQ(searcher.Search(pattern, k, nullptr), naive.Search(pattern, k))
+        << "m = " << length << " k = " << k;
+  }
+}
+
+TEST(BidirectionalSearchTest, EdgeCases) {
+  Rng rng(205);
+  const auto text = Codes("acagacatgca");
+  const auto index = BiFmIndex::Build(text).value();
+  const BidirectionalSearch searcher(&index);
+  const NaiveSearch naive(&text);
+  // Pattern longer than the text: no hits.
+  const auto long_pattern = RandomDna(32, &rng);
+  EXPECT_TRUE(searcher.Search(long_pattern, 2, nullptr).empty());
+  // k >= m: every window matches; budget must clamp, not overflow.
+  const auto pattern = Codes("ttt");
+  EXPECT_EQ(searcher.Search(pattern, 10, nullptr), naive.Search(pattern, 10));
+  // Single-character pattern under Trivial fallback.
+  const auto single = Codes("g");
+  EXPECT_EQ(searcher.Search(single, 0, nullptr), naive.Search(single, 0));
+  EXPECT_EQ(searcher.Search(single, 1, nullptr), naive.Search(single, 1));
+}
+
+TEST(BidirectionalSearchTest, PaperWorkedExample) {
+  // Same worked example the S-tree test pins: r = tcaca in s = acagaca with
+  // k = 2 has occurrences at 0 and 2, both distance 2.
+  const auto index = BiFmIndex::Build(Codes("acagaca")).value();
+  const BidirectionalSearch searcher(&index);
+  const auto hits = searcher.Search(Codes("tcaca"), 2, nullptr);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0], (Occurrence{0, 2}));
+  EXPECT_EQ(hits[1], (Occurrence{2, 2}));
+}
+
+TEST(BidirectionalSearchTest, StatsCountPruningByKind) {
+  Rng rng(204);
+  const auto text = RandomDna(2000, &rng);
+  const auto index = BiFmIndex::Build(text).value();
+  const BidirectionalSearch searcher(&index);
+  // A pattern present exactly in the text: the branch that follows the text
+  // survives to the piece boundaries of every search, so the searches whose
+  // lower bounds demand mismatches must cut it (tau_pruned), while random
+  // branches elsewhere die on the upper bounds (budget_pruned).
+  const auto pattern = SampleWithFlips(text, 700, 40, 0, &rng);
+  SearchStats stats;
+  searcher.Search(pattern, 2, &stats);
+  EXPECT_GT(stats.extend_calls, 0u);
+  EXPECT_GT(stats.budget_pruned, 0u);
+  EXPECT_GT(stats.tau_pruned, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Scheme property test: per-search emission == per-search admission,
+// exhaustively for small m and k.
+// ---------------------------------------------------------------------------
+
+// All windows of `text` at Hamming distance <= k_cap from `pattern`, keyed
+// by position, with their per-piece mismatch vectors.
+std::map<size_t, std::vector<int32_t>> MismatchVectors(
+    const std::vector<DnaCode>& text, const std::vector<DnaCode>& pattern,
+    const std::vector<uint32_t>& boundaries) {
+  std::map<size_t, std::vector<int32_t>> vectors;
+  const size_t m = pattern.size();
+  if (text.size() < m) return vectors;
+  const size_t pieces = boundaries.size() - 1;
+  for (size_t pos = 0; pos + m <= text.size(); ++pos) {
+    std::vector<int32_t> vec(pieces, 0);
+    for (size_t piece = 0; piece < pieces; ++piece) {
+      for (uint32_t i = boundaries[piece]; i < boundaries[piece + 1]; ++i) {
+        vec[piece] += text[pos + i] != pattern[i];
+      }
+    }
+    vectors.emplace(pos, std::move(vec));
+  }
+  return vectors;
+}
+
+TEST(SchemePropertyTest, PerSearchHitsMatchAdmissionExhaustively) {
+  // For every built-in scheme with k <= 3 and every pattern length m <= 12
+  // that fits the scheme's pieces: each search must emit exactly the
+  // occurrences whose per-piece mismatch vector it admits (no miss, no
+  // duplicate within a search), and — the schemes being vector-disjoint —
+  // each occurrence with <= k total mismatches must be emitted by exactly
+  // one search.
+  Rng rng(301);
+  const auto text = RandomDna(160, &rng);
+  const auto index = BiFmIndex::Build(text).value();
+  const BidirectionalSearch searcher(&index);
+  for (int32_t k = 0; k <= 3; ++k) {
+    const auto scheme = SearchScheme::ForBudget(k);
+    ASSERT_TRUE(scheme.vector_disjoint());
+    for (uint32_t m = std::max<uint32_t>(scheme.num_pieces(), 1); m <= 12;
+         ++m) {
+      const auto boundaries =
+          SearchScheme::PieceBoundaries(m, scheme.num_pieces());
+      for (int trial = 0; trial < 8; ++trial) {
+        std::vector<DnaCode> pattern;
+        if (trial % 2 == 0) {
+          pattern = SampleWithFlips(text, rng.NextBounded(text.size() - m), m,
+                                    static_cast<int>(rng.NextBounded(k + 1)),
+                                    &rng);
+        } else {
+          pattern = RandomDna(m, &rng);
+        }
+        const auto vectors = MismatchVectors(text, pattern, boundaries);
+        std::map<size_t, int> total_emitted;
+        for (size_t s = 0; s < scheme.searches().size(); ++s) {
+          std::vector<Occurrence> hits;
+          searcher.ExecuteSearch(pattern, scheme, s, &hits, nullptr);
+          std::map<size_t, int> emitted;
+          for (const auto& hit : hits) {
+            ++emitted[hit.position];
+            ++total_emitted[hit.position];
+            // Reported distance must be the true Hamming distance.
+            const auto& vec = vectors.at(hit.position);
+            int32_t total = 0;
+            for (const int32_t v : vec) total += v;
+            EXPECT_EQ(hit.mismatches, total);
+          }
+          for (const auto& [pos, vec] : vectors) {
+            const int expected =
+                SearchScheme::Admits(scheme.searches()[s], vec) ? 1 : 0;
+            const auto it = emitted.find(pos);
+            const int got = it == emitted.end() ? 0 : it->second;
+            ASSERT_EQ(got, expected)
+                << "k = " << k << " m = " << m << " search " << s
+                << " position " << pos;
+          }
+        }
+        // Disjointness end to end: every admissible occurrence exactly once
+        // across the whole scheme.
+        for (const auto& [pos, vec] : vectors) {
+          int32_t total = 0;
+          for (const int32_t v : vec) total += v;
+          const auto it = total_emitted.find(pos);
+          const int got = it == total_emitted.end() ? 0 : it->second;
+          ASSERT_EQ(got, total <= k ? 1 : 0)
+              << "k = " << k << " m = " << m << " position " << pos;
+        }
+      }
+    }
+  }
+}
+
+TEST(SchemePropertyTest, CustomSchemeOverrideIsHonored) {
+  // An engine handed an explicit (overlapping) scheme must still produce
+  // normalized, deduplicated, naive-identical output.
+  Rng rng(302);
+  const auto text = RandomDna(500, &rng);
+  const auto index = BiFmIndex::Build(text).value();
+  // Pigeonhole k=1 variant where BOTH searches admit the all-exact vector:
+  // covering but overlapping, so the executor's dedup pass must fire.
+  SchemeSearch a{{0, 1}, {0, 0}, {0, 1}};
+  SchemeSearch b{{1, 0}, {0, 0}, {0, 1}};
+  const auto overlapping = SearchScheme::Create(1, 2, {a, b}).value();
+  ASSERT_FALSE(overlapping.vector_disjoint());
+  BidirOptions options;
+  options.scheme = &overlapping;
+  const BidirectionalSearch searcher(&index, options);
+  const NaiveSearch naive(&text);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto pattern =
+        SampleWithFlips(text, rng.NextBounded(460), 20,
+                        static_cast<int>(rng.NextBounded(2)), &rng);
+    ASSERT_EQ(searcher.Search(pattern, 1, nullptr), naive.Search(pattern, 1));
+  }
+}
+
+}  // namespace
+}  // namespace bwtk

@@ -480,5 +480,107 @@ TEST(HttpExpositionTest, TickerProducesBucketsOnItsOwn) {
   MetricsRegistry::Instance().Reset();
 }
 
+// Connects without sending anything (or sending slowly) — the slowloris
+// posture against the serial accept loop.
+int OpenRawConnection(uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+TEST(HttpExpositionTest, StalledConnectionCannotBlockSubsequentScrapes) {
+  MetricsRegistry::Instance().Reset();
+  Rng rng(111);
+  std::vector<DnaCode> text = testing::RandomDna(2000, &rng);
+  FmIndex index = FmIndex::Build(text).value();
+  serve::Session session(&index, {.num_threads = 1});
+  WindowedAggregator aggregator(&MetricsRegistry::Instance());
+  aggregator.Tick();
+  serve::HttpExpositionOptions options;
+  options.request_timeout_ms = 300;
+  serve::HttpExpositionServer exposition(&aggregator, &session, nullptr,
+                                         options);
+  ASSERT_TRUE(exposition.Start().ok());
+
+  // A client that connects and then sends NOTHING holds the serial loop
+  // for at most the per-request deadline; the probe behind it must still
+  // be answered promptly.
+  const int stalled = OpenRawConnection(exposition.port());
+  ASSERT_GE(stalled, 0);
+  const auto start = std::chrono::steady_clock::now();
+  const HttpReply reply = HttpGet(exposition.port(), "/healthz");
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  EXPECT_EQ(reply.code, 200);
+  // Deadline (300ms) plus scheduling slack — far below a slowloris hang.
+  EXPECT_LT(elapsed.count(), 5000);
+  ::close(stalled);
+
+  // Drip-feeding one byte per read resets a naive receive timeout but not
+  // the overall deadline: the dripper must get cut off, and the next
+  // scrape must succeed.
+  const int dripper = OpenRawConnection(exposition.port());
+  ASSERT_GE(dripper, 0);
+  const std::string request = "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n";
+  bool cut_off = false;
+  for (size_t i = 0; i < request.size(); ++i) {
+    if (::send(dripper, &request[i], 1, MSG_NOSIGNAL) < 0) {
+      cut_off = true;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(40));
+    // Past the deadline the server answers-or-drops and closes; detect the
+    // close without blocking forever.
+    char probe;
+    const ssize_t n = ::recv(dripper, &probe, 1, MSG_DONTWAIT);
+    if (n == 0) {
+      cut_off = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(cut_off) << "drip-fed request was serviced indefinitely";
+  ::close(dripper);
+  EXPECT_EQ(HttpGet(exposition.port(), "/healthz").code, 200);
+  exposition.Stop();
+  MetricsRegistry::Instance().Reset();
+}
+
+TEST(HttpExpositionTest, OversizedRequestHeadIsCappedNotBuffered) {
+  MetricsRegistry::Instance().Reset();
+  Rng rng(113);
+  std::vector<DnaCode> text = testing::RandomDna(2000, &rng);
+  FmIndex index = FmIndex::Build(text).value();
+  serve::Session session(&index, {.num_threads = 1});
+  WindowedAggregator aggregator(&MetricsRegistry::Instance());
+  aggregator.Tick();
+  serve::HttpExpositionOptions options;
+  options.request_timeout_ms = 500;
+  options.max_request_bytes = 256;
+  serve::HttpExpositionServer exposition(&aggregator, &session, nullptr,
+                                         options);
+  ASSERT_TRUE(exposition.Start().ok());
+
+  // A request head far beyond the cap: the listener must stop buffering at
+  // max_request_bytes and move on rather than accumulate the garbage.
+  const int fd = OpenRawConnection(exposition.port());
+  ASSERT_GE(fd, 0);
+  const std::string garbage(64 * 1024, 'x');
+  (void)!::send(fd, garbage.data(), garbage.size(), MSG_NOSIGNAL);
+  ::close(fd);
+
+  // The listener survives and keeps serving.
+  EXPECT_EQ(HttpGet(exposition.port(), "/healthz").code, 200);
+  exposition.Stop();
+  MetricsRegistry::Instance().Reset();
+}
+
 }  // namespace
 }  // namespace bwtk

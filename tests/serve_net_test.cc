@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "search/algorithm_a.h"
+#include "bidir/bi_fm_index.h"
 #include "serve/client.h"
 #include "serve/server.h"
 #include "serve/session.h"
@@ -360,6 +361,62 @@ TEST(ServeNetTest, ServerStopWhileClientsConnectedIsClean) {
   }
   // The session itself is untouched by the front-end stopping.
   EXPECT_TRUE(session.Submit(BatchQuery{{0, 1, 2, 3}, 1}).ok());
+}
+
+TEST(ServeNetTest, PerQueryEngineOverrideOverTcp) {
+  NetFixture fixture = MakeNetFixture(15000, 10, 211);
+  const auto bidir = BiFmIndex::Build(fixture.text).value();
+  SessionOptions options;
+  options.num_threads = 2;
+  options.batch.bidir_indexes = {&bidir};  // engine stays kAlgorithmA
+  Session session(&fixture.index, options);
+  Server server(&session);
+  ASSERT_TRUE(server.Start().ok());
+  auto client = Client::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  const AlgorithmA serial(&fixture.index);
+  AlgorithmAScratch scratch;
+  for (size_t i = 0; i < fixture.patterns.size(); ++i) {
+    // Every Hamming engine must serve the same bytes over the wire.
+    const auto codes = EncodeDna(fixture.patterns[i]).value();
+    std::vector<Occurrence> expected =
+        serial.Search(codes, fixture.budgets[i], nullptr, &scratch);
+    NormalizeOccurrences(&expected);
+    for (const auto engine :
+         {std::optional<BatchEngine>{}, std::optional<BatchEngine>{
+                                            BatchEngine::kBidirectional},
+          std::optional<BatchEngine>{BatchEngine::kSTree},
+          std::optional<BatchEngine>{BatchEngine::kAuto}}) {
+      const auto response = (*client)->Query(
+          fixture.patterns[i], fixture.budgets[i], /*want_stats=*/false,
+          engine);
+      ASSERT_TRUE(response.ok()) << response.status().ToString();
+      ASSERT_EQ(response->status, WireStatus::kOk) << response->message;
+      EXPECT_EQ(response->hits, expected) << "query " << i;
+    }
+  }
+}
+
+TEST(ServeNetTest, UnavailableEngineOverrideAnswersInvalidArgument) {
+  NetFixture fixture = MakeNetFixture(8000, 1, 223);
+  Session session(&fixture.index, {.num_threads = 1});  // no bidir indexes
+  Server server(&session);
+  ASSERT_TRUE(server.Start().ok());
+  auto client = Client::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+  auto response = (*client)->Query(fixture.patterns[0], 1,
+                                   /*want_stats=*/false,
+                                   BatchEngine::kBidirectional);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->status, WireStatus::kInvalidArgument);
+  EXPECT_NE(response->message.find("bidirectional"), std::string::npos)
+      << response->message;
+  // The connection survives; kAuto degrades instead of failing.
+  response = (*client)->Query(fixture.patterns[0], 1, /*want_stats=*/false,
+                              BatchEngine::kAuto);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->status, WireStatus::kOk);
 }
 
 }  // namespace

@@ -14,6 +14,7 @@
 
 #include "search/algorithm_a.h"
 #include "search/kerror_search.h"
+#include "bidir/bi_fm_index.h"
 #include "serve/session.h"
 #include "serve/wire.h"
 #include "shard/sharded_index.h"
@@ -815,6 +816,182 @@ TEST(ServeWireTest, StatsResultRejectsCountPayloadMismatch) {
   EXPECT_FALSE(serve::ParseStatsResultPayload("\x01\x02").ok());
   // Empty payload is malformed too (the count prefix is mandatory).
   EXPECT_FALSE(serve::ParseStatsResultPayload("").ok());
+}
+
+// --------------------------------------------------- bidirectional serving
+
+TEST(ServeSessionTest, BidirectionalSessionMatchesSerialAndReportsEngine) {
+  Fixture fixture = MakeFixture(15000, 20, 211);
+  const auto bidir = BiFmIndex::Build(fixture.text).value();
+  const AlgorithmA serial(&fixture.index);
+  SessionOptions options;
+  options.num_threads = 2;
+  options.batch.engine = BatchEngine::kBidirectional;
+  options.batch.bidir_indexes = {&bidir};
+  Session session(&fixture.index, options);
+  AlgorithmAScratch scratch;
+  for (const BatchQuery& query : fixture.queries) {
+    const Ticket ticket = session.Submit(query).value();
+    const auto result = session.Wait(ticket);
+    ASSERT_TRUE(result.ok());
+    ASSERT_TRUE(result->status.ok());
+    EXPECT_EQ(result->engine, BatchEngine::kBidirectional);
+    std::vector<Occurrence> expected =
+        serial.Search(query.pattern, query.k, nullptr, &scratch);
+    NormalizeOccurrences(&expected);
+    EXPECT_EQ(result->hits, expected);
+  }
+}
+
+TEST(ServeSessionTest, PerTicketEngineOverrideRunsAndIsReported) {
+  Fixture fixture = MakeFixture(12000, 4, 223);
+  const auto bidir = BiFmIndex::Build(fixture.text).value();
+  SessionOptions options;
+  options.num_threads = 2;
+  options.batch.bidir_indexes = {&bidir};  // engine stays kAlgorithmA
+  Session session(&fixture.index, options);
+  const BatchQuery& query = fixture.queries[0];
+
+  const Ticket plain = session.Submit(query).value();
+  const auto base = session.Wait(plain).value();
+  EXPECT_EQ(base.engine, BatchEngine::kAlgorithmA);
+
+  for (const BatchEngine engine :
+       {BatchEngine::kSTree, BatchEngine::kBidirectional}) {
+    const Ticket ticket =
+        session.Submit(query, engine, Callback{}).value();
+    const auto result = session.Wait(ticket).value();
+    ASSERT_TRUE(result.status.ok());
+    EXPECT_EQ(result.engine, engine);
+    EXPECT_EQ(result.hits, base.hits);  // Hamming engines agree exactly
+  }
+}
+
+TEST(ServeSessionTest, AutoSessionResolvesPerTicket) {
+  Fixture fixture = MakeFixture(20000, 1, 227);
+  const auto bidir = BiFmIndex::Build(fixture.text).value();
+  SessionOptions options;
+  options.num_threads = 1;
+  options.batch.engine = BatchEngine::kAuto;
+  options.batch.bidir_indexes = {&bidir};
+  Session session(&fixture.index, options);
+  const AlgorithmA serial(&fixture.index);
+
+  // A long high-k read resolves into the bidirectional regime; an exact
+  // short read stays on Algorithm A. Both must match the serial engine and
+  // report the engine they actually ran under.
+  BatchQuery long_read;
+  long_read.pattern.assign(fixture.text.begin() + 500,
+                           fixture.text.begin() + 600);
+  long_read.k = 3;
+  BatchQuery exact;
+  exact.pattern.assign(fixture.text.begin() + 80, fixture.text.begin() + 100);
+  exact.k = 0;
+
+  for (const BatchQuery& query : {long_read, exact}) {
+    const Ticket ticket = session.Submit(query).value();
+    const auto result = session.Wait(ticket).value();
+    ASSERT_TRUE(result.status.ok());
+    EXPECT_EQ(result.engine,
+              AutoPickEngine(query.pattern.size(), query.k, true));
+    std::vector<Occurrence> expected =
+        serial.Search(query.pattern, query.k);
+    NormalizeOccurrences(&expected);
+    EXPECT_EQ(result.hits, expected);
+  }
+  const Ticket ticket = session.Submit(long_read).value();
+  EXPECT_EQ(session.Wait(ticket)->engine, BatchEngine::kBidirectional);
+}
+
+TEST(ServeSessionTest, UnavailableOverrideRejectedAtSubmitTyped) {
+  Fixture fixture = MakeFixture(8000, 2, 229);
+  Session session(&fixture.index, {.num_threads = 1});
+  // No bidir_indexes on this Session: the override must be refused with a
+  // typed error at admission, leaving the Session fully serviceable.
+  const auto rejected = session.Submit(fixture.queries[0],
+                                       BatchEngine::kBidirectional,
+                                       Callback{});
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(rejected.status().message().find("bidirectional"),
+            std::string::npos);
+  const Ticket ticket = session.Submit(fixture.queries[0]).value();
+  EXPECT_TRUE(session.Wait(ticket)->status.ok());
+}
+
+TEST(ServeWireTest, WireEngineIdsAreFrozenAndTotal) {
+  // The on-wire ids are a frozen contract, independent of BatchEngine's
+  // C++ declaration order — new engines append, nothing renumbers.
+  EXPECT_EQ(static_cast<uint8_t>(serve::ToWireEngine(BatchEngine::kAlgorithmA)),
+            0);
+  EXPECT_EQ(static_cast<uint8_t>(serve::ToWireEngine(BatchEngine::kSTree)), 1);
+  EXPECT_EQ(static_cast<uint8_t>(serve::ToWireEngine(BatchEngine::kKError)), 2);
+  EXPECT_EQ(static_cast<uint8_t>(serve::ToWireEngine(BatchEngine::kWildcard)),
+            3);
+  EXPECT_EQ(static_cast<uint8_t>(serve::ToWireEngine(BatchEngine::kDictionary)),
+            4);
+  EXPECT_EQ(
+      static_cast<uint8_t>(serve::ToWireEngine(BatchEngine::kBidirectional)),
+      5);
+  EXPECT_EQ(static_cast<uint8_t>(serve::ToWireEngine(BatchEngine::kAuto)), 6);
+  for (const BatchEngine engine :
+       {BatchEngine::kAlgorithmA, BatchEngine::kSTree, BatchEngine::kKError,
+        BatchEngine::kWildcard, BatchEngine::kDictionary,
+        BatchEngine::kBidirectional, BatchEngine::kAuto}) {
+    const auto back = serve::FromWireEngine(
+        static_cast<uint8_t>(serve::ToWireEngine(engine)));
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back.value(), engine);
+  }
+  EXPECT_EQ(serve::FromWireEngine(7).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(serve::FromWireEngine(255).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ServeWireTest, EngineOverrideTrailerIsBackwardCompatible) {
+  // Per docs/SERVING.md §4.4: new QUERY fields append at the END. The
+  // engine byte rides behind the flags byte; a flagless QUERY stays
+  // byte-identical to the original encoding, and every flag combination
+  // round-trips.
+  serve::QueryRequest plain;
+  plain.request_id = 9;
+  plain.k = 1;
+  plain.pattern = "acgtacgt";
+  std::string plain_bytes;
+  serve::AppendQueryFrame(plain, &plain_bytes);
+
+  serve::QueryRequest with_engine = plain;
+  with_engine.engine_override = BatchEngine::kBidirectional;
+  std::string engine_bytes;
+  serve::AppendQueryFrame(with_engine, &engine_bytes);
+  // Two extra bytes — flags + engine — appended after the old payload.
+  ASSERT_EQ(engine_bytes.size(), plain_bytes.size() + 2);
+  EXPECT_EQ(engine_bytes.substr(5, plain_bytes.size() - 5),
+            plain_bytes.substr(5));
+
+  serve::QueryRequest both = with_engine;
+  both.want_stats = true;
+  std::string both_bytes;
+  serve::AppendQueryFrame(both, &both_bytes);
+  ASSERT_EQ(both_bytes.size(), plain_bytes.size() + 2);
+
+  for (const auto* request : {&plain, &with_engine, &both}) {
+    std::string bytes;
+    serve::AppendQueryFrame(*request, &bytes);
+    const auto parsed = serve::ParseQueryPayload(bytes.substr(5));
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    EXPECT_EQ(*parsed, *request);
+  }
+
+  // An engine byte with an unknown id is a decode error, not a silent
+  // fallback; same for a flags byte announcing an engine that is not there.
+  std::string bad = engine_bytes.substr(5);
+  bad[bad.size() - 1] = static_cast<char>(200);
+  EXPECT_FALSE(serve::ParseQueryPayload(bad).ok());
+  EXPECT_FALSE(
+      serve::ParseQueryPayload(engine_bytes.substr(5, engine_bytes.size() - 6))
+          .ok());
 }
 
 }  // namespace

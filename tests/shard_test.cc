@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "bidir/bi_fm_index.h"
 #include "bwt/fm_index.h"
 #include "search/batch_searcher.h"
 #include "shard/shard_plan.h"
@@ -501,6 +502,70 @@ TEST(ShardedIndexTest, ParallelBuildMatchesSerialBuild) {
   ShardedBatchSearcher parallel_router(&parallel, {.num_threads = 1});
   EXPECT_EQ(serial_router.Search(queries)->occurrences,
             parallel_router.Search(queries)->occurrences);
+}
+
+// --------------------------------------------------- bidirectional sharding
+
+// Per-shard bidirectional indexes, each over its shard's slice of the
+// genome (core + overlap), in shard order — the layout
+// BatchOptions::bidir_indexes requires for a ShardedBatchSearcher.
+std::vector<BiFmIndex> BuildShardBidirIndexes(
+    const std::vector<DnaCode>& genome, const ShardedIndex& sharded) {
+  std::vector<BiFmIndex> out;
+  out.reserve(sharded.num_shards());
+  for (size_t s = 0; s < sharded.num_shards(); ++s) {
+    const ShardSlice& slice = sharded.plan().slice(s);
+    const std::vector<DnaCode> text(genome.begin() + slice.core_begin,
+                                    genome.begin() + slice.end);
+    out.push_back(BiFmIndex::Build(text).value());
+  }
+  return out;
+}
+
+void ExpectShardedBidirMatchesMonolithic(BatchEngine engine, uint64_t seed) {
+  const auto genome = TestGenome(10000, seed);
+  const auto mono_index = FmIndex::Build(genome).value();
+  const auto mono_bidir = BiFmIndex::Build(genome).value();
+  ShardedIndexOptions shard_options;
+  shard_options.num_shards = 4;
+  shard_options.overlap = 45;
+  const auto sharded = ShardedIndex::Build(genome, shard_options).value();
+  const std::vector<BiFmIndex> shard_bidirs =
+      BuildShardBidirIndexes(genome, sharded);
+  const std::vector<BatchQuery> queries =
+      SeamWorkload(genome, sharded.plan(), /*max_k=*/4, seed + 1);
+
+  BatchOptions mono_options;
+  mono_options.num_threads = 4;
+  mono_options.engine = engine;
+  mono_options.bidir_indexes = {&mono_bidir};
+  BatchOptions sharded_options = mono_options;
+  sharded_options.bidir_indexes.clear();
+  for (const BiFmIndex& bidir : shard_bidirs) {
+    sharded_options.bidir_indexes.push_back(&bidir);
+  }
+
+  BatchSearcher mono(&mono_index, mono_options);
+  ShardedBatchSearcher router(&sharded, sharded_options);
+  const BatchResult expected = mono.Search(queries);
+  const auto actual = router.Search(queries);
+  ASSERT_TRUE(actual.ok()) << actual.status().ToString();
+  ASSERT_EQ(actual->occurrences.size(), queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(actual->occurrences[i], expected.occurrences[i])
+        << "query " << i << " engine " << BatchEngineName(engine);
+  }
+}
+
+TEST(ShardedSearchTest, SeamFuzzBidirectional) {
+  ExpectShardedBidirMatchesMonolithic(BatchEngine::kBidirectional, 211);
+}
+
+TEST(ShardedSearchTest, SeamFuzzAutoEngine) {
+  // kAuto routes per query; seam handling must be exact whichever engine
+  // each query resolves to (the ownership window is the pattern length for
+  // both Hamming engines).
+  ExpectShardedBidirMatchesMonolithic(BatchEngine::kAuto, 223);
 }
 
 }  // namespace

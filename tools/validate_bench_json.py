@@ -49,6 +49,15 @@ across both engines — the amortized descent is only reportable when it
 returns the independent searches' answer. Both engines carry aggregated
 SearchStats; the grid must cover at least 2 distinct pattern counts.
 
+bench_bidir: checks the head-to-head engine-grid schema
+(docs/BIDIRECTIONAL.md) — a 'workload' object plus 'runs' whose engine is
+bidirectional, algorithm_a, or stree, all single-threaded by design:
+total_hits for one (genome, k) cell (the genome name carries the read
+length, e.g. "synth-1M/m100") must agree across all three engines — the
+scheme search is only reportable when it returns the enumeration
+engines' answer — and every cell must carry all three. The grid must
+cover at least 2 distinct read lengths and at least 3 distinct k values.
+
 bench_reuse: checks the reuse-tier schema — a 'workload' object, a
 'cross_validation' object whose 'byte_identical' must be true (the bench
 aborts before writing a report otherwise, so a false value means the file
@@ -168,6 +177,27 @@ REUSE_RUN_FIELDS = {
     "memo_lookups": UINT,
     "memo_hits": UINT,
     "memo_publishes": UINT,
+    "stats": dict,
+}
+
+BIDIR_ENGINES = ("bidirectional", "algorithm_a", "stree")
+
+# A bench_bidir run: one engine of one (read length, k) cell of the
+# head-to-head grid behind AutoPickEngine. 'threads' is 1 for all three
+# engines (the comparison is single-threaded by design); the genome name
+# encodes the read length so the bench_diff match key
+# (genome, k, engine, threads) stays unique per cell.
+BIDIR_RUN_FIELDS = {
+    "genome": str,
+    "genome_length": UINT,
+    "read_length": UINT,
+    "read_count": UINT,
+    "k": UINT,
+    "engine": str,
+    "threads": UINT,
+    "wall_seconds": NUM,
+    "reads_per_second": NUM,
+    "total_hits": UINT,
     "stats": dict,
 }
 
@@ -352,6 +382,9 @@ class Validator:
             return
         if doc.get("created_by") == "bench_dictionary":
             self.validate_dictionary(doc)
+            return
+        if doc.get("created_by") == "bench_bidir":
+            self.validate_bidir(doc)
             return
         if doc.get("created_by") == "bench_reuse":
             self.validate_reuse(doc)
@@ -588,6 +621,118 @@ class Validator:
             self.error(
                 "$.runs",
                 f"need >= 2 distinct pattern counts, got {sorted(pattern_counts)}",
+            )
+
+    def validate_bidir(self, doc):
+        self.require(
+            doc,
+            "$",
+            {
+                "schema_version": UINT,
+                "name": str,
+                "created_by": str,
+                "smoke": bool,
+                "scale": NUM,
+                "hardware": dict,
+                "workload": dict,
+                "runs": list,
+            },
+        )
+        if doc.get("schema_version") != 1:
+            self.error("$", f"unsupported schema_version {doc.get('schema_version')}")
+
+        hardware = doc.get("hardware", {})
+        if isinstance(hardware, dict):
+            self.require(
+                hardware,
+                "$.hardware",
+                {"hardware_concurrency": UINT, "metrics_compiled_in": bool},
+            )
+
+        workload = doc.get("workload", {})
+        if isinstance(workload, dict):
+            self.require(
+                workload,
+                "$.workload",
+                {
+                    "genome": str,
+                    "genome_length": UINT,
+                    "read_count": UINT,
+                    "prefix_table_q": UINT,
+                },
+            )
+
+        # total_hits for a given (genome, k) cell — the genome name carries
+        # the read length — must agree across all three engines: a
+        # divergence means the scheme search changed the answer, which the
+        # bench itself is supposed to refuse before writing.
+        hits_by_cell = {}
+        engines_by_cell = {}
+        read_lengths = set()
+        k_values = set()
+        engines = set()
+        for i, run in enumerate(doc.get("runs", [])):
+            where = f"$.runs[{i}]"
+            if not isinstance(run, dict):
+                self.error(where, "must be an object")
+                continue
+            if not self.require(run, where, BIDIR_RUN_FIELDS):
+                continue
+            if run["engine"] not in BIDIR_ENGINES:
+                self.error(
+                    where,
+                    f"engine '{run['engine']}' not one of {list(BIDIR_ENGINES)}",
+                )
+                continue
+            if run["threads"] != 1:
+                self.error(
+                    where,
+                    "'threads' must be 1 (the comparison is single-threaded)",
+                )
+            if run["wall_seconds"] < 0:
+                self.error(where, "'wall_seconds' must be non-negative")
+            if run["read_length"] < 1:
+                self.error(where, "'read_length' must be >= 1")
+            for field in STATS_FIELDS:
+                value = run["stats"].get(field)
+                if not isinstance(value, int) or isinstance(value, bool):
+                    self.error(
+                        f"{where}.stats",
+                        f"'{field}' must be a non-negative integer",
+                    )
+            engines.add(run["engine"])
+            read_lengths.add(run["read_length"])
+            k_values.add(run["k"])
+            cell = (run["genome"], run["k"])
+            if cell in hits_by_cell and hits_by_cell[cell] != run["total_hits"]:
+                self.error(
+                    where,
+                    f"total_hits {run['total_hits']} disagrees with another "
+                    f"run of genome '{cell[0]}' k={cell[1]} "
+                    f"({hits_by_cell[cell]}) — the scheme search must "
+                    "return the enumeration engines' answer",
+                )
+            hits_by_cell.setdefault(cell, run["total_hits"])
+            engines_by_cell.setdefault(cell, set()).add(run["engine"])
+        for engine in BIDIR_ENGINES:
+            if engine not in engines:
+                self.error("$.runs", f"engine '{engine}' missing (always runs)")
+        for cell, cell_engines in sorted(engines_by_cell.items()):
+            if len(cell_engines) != len(BIDIR_ENGINES):
+                self.error(
+                    "$.runs",
+                    f"cell genome '{cell[0]}' k={cell[1]} lacks one of "
+                    f"{list(BIDIR_ENGINES)} — every cell is a triple",
+                )
+        if len(read_lengths) < 2:
+            self.error(
+                "$.runs",
+                f"need >= 2 distinct read lengths, got {sorted(read_lengths)}",
+            )
+        if len(k_values) < 3:
+            self.error(
+                "$.runs",
+                f"need >= 3 distinct k values, got {sorted(k_values)}",
             )
 
     def validate_serve(self, doc):
